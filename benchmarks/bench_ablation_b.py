@@ -1,0 +1,39 @@
+"""Ablation: ILHA's chunk-size parameter B (paper Section 5.3).
+
+The paper reports best B = 4 for LU (critical path urgency), B = 38 for
+LAPLACE/FORK-JOIN/STENCIL (balance + communication elimination) and
+B = 20 for DOOLITTLE/LDMt (a tradeoff), and notes the sensible range is
+[p .. M] with M the perfect-balance count.  This bench sweeps B on the
+two extreme testbeds and prints the sensitivity curve.
+"""
+
+import pytest
+
+from repro.experiments import b_sensitivity, format_cells
+from repro.graphs import laplace_graph, lu_graph
+
+B_VALUES = [2, 4, 6, 10, 20, 38, 60]
+
+
+@pytest.mark.parametrize(
+    "name,graph,kwargs",
+    [
+        ("lu-50", lu_graph(50), {}),
+        ("laplace-20", laplace_graph(20), {}),
+    ],
+    ids=["lu", "laplace"],
+)
+def test_b_sensitivity(benchmark, name, graph, kwargs):
+    def sweep():
+        return b_sensitivity(graph, B_VALUES, testbed=name, **kwargs)
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n{name}: ILHA speedup vs chunk size B")
+    print(format_cells(cells))
+    best = max(cells, key=lambda c: c.speedup)
+    print(f"best B for {name}: {best.size} (speedup {best.speedup:.2f})")
+    benchmark.extra_info["curve"] = [(c.size, round(c.speedup, 3)) for c in cells]
+    benchmark.extra_info["best_b"] = best.size
+    # the curve is not flat: B genuinely matters (the paper's point)
+    speedups = [c.speedup for c in cells]
+    assert max(speedups) > min(speedups) * 1.05

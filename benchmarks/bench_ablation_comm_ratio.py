@@ -1,0 +1,27 @@
+"""Ablation: the communication-to-computation ratio c.
+
+The paper pins c = 10 ("slow Ethernet") to stress communications.  This
+bench sweeps c and shows (i) speedups collapsing as messages get more
+expensive — the one-port penalty — and (ii) ILHA's communication
+avoidance mattering more at high c.
+"""
+
+from repro.experiments import comm_ratio_sweep, format_cells
+from repro.graphs import laplace_graph
+
+RATIOS = [0.0, 1.0, 5.0, 10.0, 20.0]
+
+
+def test_comm_ratio_sweep(benchmark):
+    def sweep():
+        return comm_ratio_sweep(
+            lambda c: laplace_graph(16, comm_ratio=c), RATIOS, b=38
+        )
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nlaplace-16: speedup vs communication ratio c (paper uses c=10)")
+    print(format_cells(cells))
+    heft = {c.size: c.speedup for c in cells if c.heuristic == "heft"}
+    benchmark.extra_info["heft_curve"] = {k: round(v, 3) for k, v in heft.items()}
+    # more expensive messages, lower speedup (ends of the sweep)
+    assert heft[0] > heft[20]

@@ -1,0 +1,28 @@
+"""Ablation: the communication models of Section 2.
+
+Macro-dataflow (contention-free) vs the bi-directional one-port model
+vs the two stricter variants the paper names but does not evaluate
+(uni-directional ports; no communication/computation overlap).  Each
+restriction removes concurrency, so makespans grow monotonically along
+the chain for the same heuristic — this bench quantifies each step on a
+communication-heavy testbed.
+"""
+
+from repro.experiments import format_cells, model_comparison
+from repro.graphs import stencil_graph
+
+
+def test_model_strictness_ladder(benchmark):
+    graph = stencil_graph(14)
+
+    def sweep():
+        return model_comparison(graph, b=38)
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nstencil-14: HEFT/ILHA under every Section 2 model")
+    print(format_cells(cells))
+    heft = {c.heuristic.split("/")[1]: c.makespan for c in cells if c.heuristic.startswith("heft")}
+    benchmark.extra_info["heft_makespans"] = {k: round(v, 1) for k, v in heft.items()}
+    # the strictness ladder for the greedy heuristic
+    assert heft["macro-dataflow"] <= heft["one-port"] + 1e-9
+    assert heft["one-port"] <= heft["no-overlap"] + 1e-9

@@ -1,0 +1,35 @@
+"""Ablation: the Section 4.4 ILHA refinements.
+
+The paper sketches two refinements without evaluating them: the extra
+scan for tasks placeable at the price of a single communication, and
+the third-step greedy re-scheduling of the chunk's communications after
+allocation.  This bench measures all four combinations on testbeds
+where the refinements matter (multi-parent structures).
+"""
+
+import pytest
+
+from repro.experiments import format_cells, ilha_variant_ablation
+from repro.graphs import ldmt_graph, stencil_graph
+
+CASES = [
+    ("stencil-20", stencil_graph(20), 38),
+    ("ldmt-30", ldmt_graph(30), 20),
+]
+
+
+@pytest.mark.parametrize("name,graph,b", CASES, ids=[c[0] for c in CASES])
+def test_ilha_variants(benchmark, name, graph, b):
+    def sweep():
+        return ilha_variant_ablation(graph, b=b)
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n{name} (B={b}): Section 4.4 variant ablation")
+    print(format_cells(cells))
+    by = {c.heuristic: c for c in cells}
+    benchmark.extra_info["speedups"] = {
+        c.heuristic: round(c.speedup, 3) for c in cells
+    }
+    # the single-communication scan reduces message counts on these
+    # multi-parent testbeds (its design goal)
+    assert by["ilha-scan"].num_comms <= by["ilha-plain"].num_comms

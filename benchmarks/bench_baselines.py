@@ -1,0 +1,29 @@
+"""The prior-work comparison ([3]) re-run under the one-port model.
+
+The paper's earlier study compared PCT, BIL, CPOP, GDL, HEFT and ILHA
+under macro-dataflow and found HEFT/ILHA best.  None of the baselines
+were designed for serialized communications; this bench runs the whole
+field under both models on one testbed and prints the league table.
+"""
+
+import pytest
+
+from repro.experiments import baseline_comparison, format_cells
+from repro.graphs import laplace_graph
+
+
+@pytest.mark.parametrize("model", ["macro-dataflow", "one-port"])
+def test_baseline_league_table(benchmark, model):
+    graph = laplace_graph(12)
+
+    def sweep():
+        return baseline_comparison(graph, model=model, b=38)
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nlaplace-12 under {model}:")
+    print(format_cells(sorted(cells, key=lambda c: -c.speedup)))
+    by = {c.heuristic: c.speedup for c in cells}
+    benchmark.extra_info["speedups"] = {k: round(v, 3) for k, v in by.items()}
+    # the paper's earlier finding: HEFT and ILHA lead the field
+    best_two = sorted(by, key=by.get, reverse=True)[:3]
+    assert "heft" in best_two or "ilha(B=38)" in best_two

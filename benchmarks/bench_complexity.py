@@ -1,0 +1,59 @@
+"""Benchmarks for the Theorem 1/2 reduction machinery.
+
+Times the full pipeline of each reduction — build the instance from a
+2-PARTITION instance, solve the partition, construct the witness
+schedule, validate it, and take the exact decision — demonstrating the
+complexity module end to end.
+"""
+
+from repro.complexity import equal_cardinality_partition, two_partition
+from repro.complexity import comm_sched, fork_sched
+from repro.core import validate_schedule
+
+A_BALANCED = [7, 3, 5, 5, 3, 7, 4, 6, 2, 8]  # sum 50, balanced halves exist
+
+
+def test_fork_sched_pipeline(benchmark):
+    def pipeline():
+        inst = fork_sched.build_instance(A_BALANCED)
+        side = equal_cardinality_partition(A_BALANCED)
+        sched = fork_sched.schedule_from_partition(inst, side)
+        return inst, sched, fork_sched.decide(inst)
+
+    inst, sched, decision = benchmark(pipeline)
+    validate_schedule(sched)
+    print(
+        f"\nFORK-SCHED: n={inst.n}, deadline T={inst.deadline:g}, witness "
+        f"makespan {sched.makespan():g}, exact decision {decision}"
+    )
+    assert decision
+    assert abs(sched.makespan() - inst.deadline) < 1e-9
+
+
+def test_comm_sched_pipeline(benchmark):
+    def pipeline():
+        inst = comm_sched.build_instance(A_BALANCED)
+        side = two_partition(A_BALANCED)
+        sched = comm_sched.schedule_from_partition(inst, side)
+        return inst, sched, comm_sched.decide(inst)
+
+    inst, sched, decision = benchmark(pipeline)
+    validate_schedule(sched)
+    print(
+        f"\nCOMM-SCHED: {inst.graph.num_tasks} tasks on "
+        f"{inst.platform.num_processors} processors, deadline 2S = "
+        f"{inst.deadline:g}, witness makespan {sched.makespan():g}, "
+        f"decision {decision}"
+    )
+    assert decision
+    assert sched.makespan() <= inst.deadline + 1e-9
+
+
+def test_partition_dp_scaling(benchmark):
+    """Pseudo-polynomial DP on a 24-element instance."""
+    values = [(i * 37) % 50 + 1 for i in range(24)]
+
+    def solve():
+        return two_partition(values)
+
+    benchmark(solve)

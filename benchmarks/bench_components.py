@@ -1,0 +1,98 @@
+"""Microbenchmarks of the scheduling substrates.
+
+These are the hot paths of every heuristic (profiling-guided, per the
+optimization workflow): timeline gap search, one-port joint fits through
+overlays, bottom-level computation, and a full one-port EFT evaluation.
+"""
+
+import random
+
+from repro.core import PortSet, Timeline, bottom_levels
+from repro.core.ports import PortSetOverlay
+from repro.experiments import paper_platform
+from repro.graphs import lu_graph
+from repro.heuristics.base import SchedulerState
+from repro.models import OnePortModel
+
+
+def test_timeline_next_fit(benchmark):
+    """Gap search over a timeline with 1000 busy intervals."""
+    t = Timeline()
+    for i in range(1000):
+        t.reserve(3.0 * i, 3.0 * i + 2.0, i)
+    rng = random.Random(7)
+    queries = [(rng.uniform(0, 3200), rng.uniform(0.5, 1.0)) for _ in range(200)]
+
+    def search():
+        return [t.next_fit(r, d) for r, d in queries]
+
+    out = benchmark(search)
+    assert len(out) == 200
+
+
+def test_timeline_fill(benchmark):
+    """Insertion-schedule 500 requests into an empty timeline."""
+    rng = random.Random(3)
+    reqs = [(rng.uniform(0, 500), rng.uniform(0.5, 3.0)) for _ in range(500)]
+
+    def fill():
+        t = Timeline()
+        for ready, dur in reqs:
+            start = t.next_fit(ready, dur)
+            t.reserve(start, start + dur)
+        return t
+
+    t = benchmark(fill)
+    assert len(t) == 500
+
+
+def test_one_port_joint_fit(benchmark):
+    """Tentative transfer placement through a port-set overlay."""
+    ports = PortSet(10)
+    rng = random.Random(11)
+    for _ in range(400):
+        q, r = rng.randrange(10), rng.randrange(10)
+        if q == r:
+            continue
+        start = ports.earliest_transfer(q, r, rng.uniform(0, 300), 2.0)
+        ports.reserve_transfer(q, r, start, 2.0)
+
+    def trial():
+        overlay = PortSetOverlay(ports)
+        total = 0.0
+        for i in range(50):
+            q, r = i % 10, (i * 3 + 1) % 10
+            if q == r:
+                continue
+            start = overlay.earliest_transfer(q, r, float(i), 2.0)
+            overlay.reserve_transfer(q, r, start, 2.0)
+            total += start
+        return total
+
+    benchmark(trial)
+
+
+def test_bottom_levels_lu(benchmark):
+    """Rank computation on a ~5000-task LU graph."""
+    graph = lu_graph(100)
+    platform = paper_platform()
+    bl = benchmark(bottom_levels, graph, platform)
+    assert len(bl) == graph.num_tasks
+
+
+def test_eft_evaluation(benchmark):
+    """One full one-port EFT evaluation round (10 processors)."""
+    platform = paper_platform()
+    graph = lu_graph(20)
+    model = OnePortModel(platform)
+    state = SchedulerState(graph, platform, model)
+    order = graph.topological_order()
+    for task in order[:100]:
+        state.commit(state.best_candidate(task))
+    target = order[100]
+
+    def evaluate():
+        return state.evaluate_all(target)
+
+    candidates = benchmark(evaluate)
+    assert len(candidates) == 10

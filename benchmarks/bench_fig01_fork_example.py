@@ -1,0 +1,55 @@
+"""Paper Figure 1 / Section 2.3: the motivating fork example.
+
+Regenerates the three headline numbers — macro-dataflow makespan 3, the
+same allocation under one-port >= 6, one-port optimum 5 — and times the
+exact fork solver that produces the optimum.
+"""
+
+import pytest
+
+from repro import FixedAllocation, Platform, validate_schedule
+from repro.complexity import optimal_fork_makespan
+from repro.graphs import figure1_example
+
+ALLOC = {"v0": 0, "v1": 0, "v2": 0, "v3": 1, "v4": 2, "v5": 3, "v6": 4}
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform.homogeneous(5, cycle_time=1.0, link=1.0)
+
+
+def test_fig01_numbers(benchmark, platform):
+    graph = figure1_example()
+
+    def run_all():
+        macro = FixedAllocation(ALLOC).run(graph, platform, "macro-dataflow")
+        oneport = FixedAllocation(ALLOC).run(graph, platform, "one-port")
+        optimum, local = optimal_fork_makespan(1.0, [1.0] * 6, [1.0] * 6)
+        return macro, oneport, optimum
+
+    macro, oneport, optimum = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    validate_schedule(macro)
+    validate_schedule(oneport)
+    print(
+        f"\nFig 1 example: macro-dataflow = {macro.makespan():g} (paper: 3), "
+        f"same allocation one-port = {oneport.makespan():g} (paper: >= 6), "
+        f"one-port optimum = {optimum:g} (paper: 5)"
+    )
+    benchmark.extra_info["macro"] = macro.makespan()
+    benchmark.extra_info["one_port_same_alloc"] = oneport.makespan()
+    benchmark.extra_info["one_port_optimum"] = optimum
+    assert macro.makespan() == 3.0
+    assert oneport.makespan() == 6.0
+    assert optimum == 5.0
+
+
+def test_exact_fork_solver_scaling(benchmark):
+    """Subset enumeration over 14 children (2^14 candidate splits)."""
+    weights = [float(1 + i % 5) for i in range(14)]
+
+    def solve():
+        return optimal_fork_makespan(1.0, weights, weights)
+
+    makespan, _ = benchmark(solve)
+    assert makespan > 0

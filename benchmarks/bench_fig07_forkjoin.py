@@ -1,0 +1,24 @@
+"""Paper Figure 7: FORK-JOIN, HEFT vs ILHA speedup over problem size.
+
+Paper outcome: both heuristics identical, speedup ~1.53-1.58 (flat),
+just under the analytic bound w*t_min/c + 1 = 1.6.  This figure uses the
+paper's own size axis (100..500 interior tasks) since FORK-JOIN is
+linear in the problem size.
+"""
+
+from repro.graphs import fork_join_speedup_bound
+
+
+def test_fig07_forkjoin(figure_bench):
+    run = figure_bench("fig07")
+    bound = fork_join_speedup_bound(1.0, 6.0, 10.0)
+    print(f"analytic speedup bound (Section 5.3): {bound:g}")
+
+    heft = dict(run.series("heft"))
+    ilha = dict(run.series("ilha(B=38)"))
+    for size in run.sizes():
+        # both under the bound, both close to it, both nearly identical
+        assert heft[size] <= bound + 1e-6
+        assert ilha[size] <= bound + 1e-6
+        assert heft[size] >= 1.45
+        assert abs(heft[size] - ilha[size]) / heft[size] < 0.02

@@ -1,0 +1,22 @@
+"""Paper Figure 8: LU decomposition, HEFT vs ILHA over problem size.
+
+Paper outcome: speedups grow with size; HEFT and ILHA similar at the
+smallest size with ILHA gaining as the problem grows (5.0 vs 4.5 at the
+top); best B = 4.  The size axis here is scaled (30..110, i.e. up to
+~6100 tasks) — see DESIGN.md; on our reconstruction the HEFT growth
+trend reproduces cleanly while the ILHA-vs-HEFT gap fluctuates with
+size (EXPERIMENTS.md discusses the deviation).
+"""
+
+
+def test_fig08_lu(figure_bench):
+    run = figure_bench("fig08")
+    heft = run.series("heft")
+
+    # the growth trend: speedup at the largest size clearly above the
+    # smallest (paper: 3.8 -> 4.5 for HEFT)
+    assert heft[-1][1] > heft[0][1]
+
+    # everything stays under the platform ceiling
+    for _, speedup in heft + run.series("ilha(B=4)"):
+        assert speedup <= 7.6

@@ -1,0 +1,18 @@
+"""Paper Figure 10: LDMt decomposition, HEFT vs ILHA over problem size.
+
+Paper outcome: ILHA ~10% over HEFT, speedup up to 4.9; best B = 20.
+The figure's ILHA uses the Section 4.4 single-communication scan (the
+two-parent structure of the LDMt updates makes the one-message
+placement the common case).
+"""
+
+
+def test_fig10_ldmt(figure_bench):
+    run = figure_bench("fig10")
+    heft = dict(run.series("heft"))
+    ilha = dict(run.series("ilha(B=20)"))
+
+    top = max(run.sizes())
+    assert ilha[top] > heft[top] * 1.05
+    wins = sum(1 for size in run.sizes() if ilha[size] >= heft[size] - 1e-9)
+    assert wins >= len(run.sizes()) - 1

@@ -1,0 +1,25 @@
+"""Paper Figure 12: STENCIL, HEFT vs ILHA over problem size.
+
+Paper outcome: the one testbed where speedup *decreases* as the problem
+grows — the rows widen past the processor count and the cross-boundary
+messages, serialized on the ports, become the bottleneck (ILHA ~2.7 vs
+HEFT ~2.4).  The size axis is the row width of a fixed-height band.
+"""
+
+
+def test_fig12_stencil(figure_bench):
+    run = figure_bench("fig12")
+    heft = dict(run.series("heft"))
+    ilha = dict(run.series("ilha(B=38)"))
+    sizes = run.sizes()
+
+    # ILHA above HEFT (the scan variant keeps stencil columns local)
+    top = max(sizes)
+    assert ilha[top] > heft[top]
+
+    # the widening band does not keep improving the speedup the way the
+    # other kernels do: the best size is NOT the largest
+    assert max(ilha, key=ilha.get) != top or max(heft, key=heft.get) != top
+
+    # and the serialized boundary messages keep speedups far from 7.6
+    assert all(s < 4.5 for s in heft.values())

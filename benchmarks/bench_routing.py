@@ -1,0 +1,51 @@
+"""Benchmark of the Section 4.3 routing extension.
+
+HEFT over a sparse ring topology with static store-and-forward routing,
+against the fully connected platform — same graph, same speeds.  The
+free scheduler mostly routes around the missing links (placing
+communicating tasks on neighbours), so the measured penalty is small;
+pinned cross-ring traffic (tested in the unit suite) pays the full
+relay-serialization cost.
+"""
+
+import math
+
+import numpy as np
+
+from repro import HEFT, Platform, validate_schedule
+from repro.graphs import laplace_graph
+from repro.models import RoutedOnePortModel
+
+
+def ring(p: int) -> Platform:
+    mat = np.full((p, p), math.inf)
+    np.fill_diagonal(mat, 0.0)
+    for i in range(p):
+        mat[i][(i + 1) % p] = 1.0
+        mat[(i + 1) % p][i] = 1.0
+    return Platform([1.0] * p, mat)
+
+
+def test_heft_on_ring(benchmark):
+    graph = laplace_graph(12, comm_ratio=3.0)
+    topo = ring(8)
+    model = RoutedOnePortModel(topo)
+
+    def schedule():
+        return HEFT().run(graph, topo, model)
+
+    sched = benchmark(schedule)
+    validate_schedule(sched)
+
+    full = Platform.homogeneous(8, cycle_time=1.0, link=1.0)
+    direct = HEFT().run(graph, full, "one-port")
+    penalty = sched.makespan() / direct.makespan()
+    hops = len(sched.comm_events)
+    messages = len({(e.src_task, e.dst_task) for e in sched.comm_events})
+    print(
+        f"\nring-8 vs fully-connected: makespan {sched.makespan():.0f} vs "
+        f"{direct.makespan():.0f} ({penalty:.2f}x), {messages} messages over "
+        f"{hops} hops"
+    )
+    benchmark.extra_info["penalty"] = round(penalty, 3)
+    assert sched.makespan() >= direct.makespan() * 0.99

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_figXX`` module regenerates one figure of the paper: it
+runs the figure's (size x heuristic) sweep exactly once under
+``pytest-benchmark`` (pedantic mode — these are macro-benchmarks, not
+microbenchmarks), prints the same speedup series the paper plots, and
+stores the series in ``benchmark.extra_info`` so it survives in the
+JSON output.
+
+Run with output visible::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_comparison, format_run, run_figure
+from repro.experiments.harness import ExperimentRun
+
+
+def run_figure_benchmark(benchmark, figure: str, sizes=None, tuned: bool = False) -> ExperimentRun:
+    """Execute one figure sweep once, print + stash the series."""
+    result: dict[str, ExperimentRun] = {}
+
+    def sweep():
+        result["run"] = run_figure(figure, sizes=sizes, tuned=tuned)
+        return result["run"]
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    run = result["run"]
+    report = format_run(run) + "\n\n" + format_comparison(run)
+    print(f"\n{report}")
+    benchmark.extra_info["figure"] = figure
+    for heuristic in run.heuristics():
+        benchmark.extra_info[heuristic] = [
+            (size, round(speedup, 3)) for size, speedup in run.series(heuristic)
+        ]
+    return run
+
+
+@pytest.fixture
+def figure_bench(benchmark):
+    """Fixture form of :func:`run_figure_benchmark`."""
+
+    def runner(figure: str, sizes=None, tuned: bool = False) -> ExperimentRun:
+        return run_figure_benchmark(benchmark, figure, sizes, tuned)
+
+    return runner

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Diagnosing schedules: is the makespan compute- or communication-bound?
+
+The paper explains STENCIL's poor speedup qualitatively ("many
+communications to be done sequentially, and these become the
+bottleneck").  The analysis package makes that quantitative: it walks
+the *scheduled critical chain* — the zero-slack sequence of task
+executions and port transfers ending at the makespan — and reports how
+much of it is computation vs serialized communication.
+
+This example contrasts a compute-bound kernel (LU on few messages) with
+the communication-bound STENCIL, and shows the replay simulator
+confirming the schedules carry no timing slack.
+
+Run:  python examples/bottleneck_analysis.py
+"""
+
+from repro import HEFT, ILHA
+from repro.analysis import bottleneck_report, compare_schedules, scheduled_critical_path
+from repro.experiments import paper_platform
+from repro.graphs import lu_graph, stencil_graph
+from repro.simulate import replay_schedule
+
+
+def diagnose(name: str, schedule) -> None:
+    report = bottleneck_report(schedule)
+    print(f"{name}: makespan {report['makespan']:.0f} — "
+          f"compute {report['compute']:.0f}, "
+          f"serialized comm {report['comm']:.0f} "
+          f"({report['comm_fraction']:.0%} of the critical chain)")
+    chain = scheduled_critical_path(schedule)
+    head = chain[: min(4, len(chain))]
+    for node in head:
+        print(f"    [{node.start:7.1f} {node.finish:7.1f}] {node.kind:<5} "
+              f"{node.label}  <- {node.released_by}")
+    print(f"    ... {len(chain)} activities on the chain\n")
+
+
+def main() -> None:
+    platform = paper_platform()
+
+    # a compute-heavy kernel with cheap messages
+    lu = lu_graph(15, comm_ratio=1.0)
+    lu_sched = HEFT().run(lu, platform, "one-port")
+    diagnose("LU (c=1)", lu_sched)
+
+    # the paper's communication-bound case
+    stencil = stencil_graph(10, comm_ratio=10.0)
+    stencil_sched = HEFT().run(stencil, platform, "one-port")
+    diagnose("STENCIL (c=10)", stencil_sched)
+
+    # ILHA attacks exactly the comm share
+    ilha_sched = ILHA(b=38, single_comm_scan=True).run(stencil, platform, "one-port")
+    diagnose("STENCIL with ILHA", ilha_sched)
+
+    print(compare_schedules([stencil_sched, ilha_sched]))
+
+    # the replay simulator re-derives every time from the decisions alone;
+    # zero compaction means the greedy engines left no slack
+    tight = replay_schedule(stencil_sched)
+    print(f"\nreplay cross-check: {stencil_sched.makespan():.0f} -> "
+          f"{tight.makespan():.0f} "
+          f"(slack recovered: {stencil_sched.makespan() - tight.makespan():.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The paper's Figures 3-4 toy example: HEFT vs ILHA side by side.
+
+Two fork roots ``a0`` and ``b0`` share two children; everything costs 1.
+On two identical processors, scheduling greedily task by task (HEFT)
+ships private children across the network, while ILHA's chunked Step 1
+keeps each root's private children at home — a smaller makespan *and*
+dramatically fewer messages (Section 4.4's design goal).
+
+With the paper's tie-break order and non-insertion slots, HEFT lands on
+the published makespan 6; the (classical) insertion-based HEFT finds 5
+by filling an idle gap — both are shown.  ILHA reaches 5 with only two
+messages either way.
+
+Run:  python examples/paper_toy_example.py
+"""
+
+from repro import HEFT, ILHA, Platform, validate_schedule
+from repro.graphs import toy_graph, toy_priority_key
+
+
+def show(label: str, schedule) -> None:
+    validate_schedule(schedule)
+    print(f"{label}: makespan {schedule.makespan():g}, "
+          f"{schedule.num_comms()} messages")
+    print(schedule.gantt(width=64))
+    print()
+
+
+def main() -> None:
+    graph = toy_graph()
+    platform = Platform.homogeneous(2, cycle_time=1.0, link=1.0)
+
+    heft_paper = HEFT(insertion=False, priority_key=toy_priority_key).run(
+        graph, platform, "one-port"
+    )
+    show("HEFT, paper convention (no insertion)", heft_paper)
+
+    heft_insert = HEFT(priority_key=toy_priority_key).run(graph, platform, "one-port")
+    show("HEFT, insertion-based", heft_insert)
+
+    ilha = ILHA(b=8, priority_key=toy_priority_key).run(graph, platform, "one-port")
+    show("ILHA (B >= 8)", ilha)
+
+    print(
+        "ILHA keeps a1-a3 with a0 and b1-b3 with b0 (zero-communication\n"
+        "Step 1), so only the two shared children ab1/ab2 ever cross the\n"
+        "network - the 'dramatically reduced' communication count of §4.4."
+    )
+
+
+if __name__ == "__main__":
+    main()

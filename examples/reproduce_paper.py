@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation figures (Figures 7-12) from the CLI.
+
+Examples
+--------
+All figures at the default (scaled) sizes::
+
+    python examples/reproduce_paper.py
+
+One figure, custom sizes, with the tuned-ILHA series and CSV output::
+
+    python examples/reproduce_paper.py --figures fig08 --sizes 30 60 90 \
+        --tuned --csv results.csv
+
+The default sizes keep each figure to seconds of pure-Python scheduling;
+the paper's own axes (problem size 100-500, up to ~125k tasks per cell
+for LU) work too if you have the patience — the code is the same.
+"""
+
+import argparse
+import sys
+
+from repro.experiments import (
+    available_figures,
+    format_comparison,
+    format_run,
+    run_figure,
+    write_csv,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--figures",
+        nargs="+",
+        default=available_figures(),
+        choices=available_figures(),
+        metavar="FIG",
+        help=f"figures to run (default: all of {', '.join(available_figures())})",
+    )
+    parser.add_argument(
+        "--sizes",
+        nargs="+",
+        type=int,
+        default=None,
+        help="override the problem-size axis (applies to every selected figure)",
+    )
+    parser.add_argument(
+        "--tuned",
+        action="store_true",
+        help="add the ilha-tuned series (best over several B, as the paper did)",
+    )
+    parser.add_argument("--csv", default=None, help="also write all cells to this CSV file")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    args = parser.parse_args(argv)
+
+    progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
+    all_cells = []
+    for fig in args.figures:
+        run = run_figure(fig, sizes=args.sizes, tuned=args.tuned, progress=progress)
+        all_cells.extend(run.cells)
+        print()
+        print(f"== {fig} ==")
+        print(format_run(run))
+        print()
+        print(format_comparison(run))
+    if args.csv:
+        path = write_csv(all_cells, args.csv)
+        print(f"\nwrote {len(all_cells)} cells to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

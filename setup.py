@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment is offline and has no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) are unavailable; this
+shim lets ``pip install -e .`` take the classic ``setup.py develop``
+path with the metadata from ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — one-port task-graph scheduling for heterogeneous processors.
+
+A full reproduction of Beaumont, Boudet & Robert, *A Realistic Model and
+an Efficient Heuristic for Scheduling with Heterogeneous Processors*
+(IPDPS 2002): the bi-directional one-port communication model, the
+one-port adaptations of HEFT and the ILHA heuristic, the six classical
+testbeds of the evaluation, and the NP-completeness reductions.
+
+Quickstart
+----------
+>>> from repro import Platform, HEFT, ILHA
+>>> from repro.graphs import lu_graph
+>>> platform = Platform.from_groups([(5, 6), (3, 10), (2, 15)])  # the paper's
+>>> graph = lu_graph(20, comm_ratio=10.0)
+>>> heft = HEFT().run(graph, platform, model="one-port")
+>>> ilha = ILHA(b=4).run(graph, platform, model="one-port")
+>>> ilha.speedup() >= 1.0
+True
+"""
+
+from .core import (
+    MACRO_DATAFLOW,
+    ONE_PORT,
+    Platform,
+    Schedule,
+    TaskGraph,
+    is_valid,
+    makespan_lower_bound,
+    validate_schedule,
+)
+from .heuristics import (
+    BIL,
+    CPOP,
+    GDL,
+    HEFT,
+    ILHA,
+    PCT,
+    FixedAllocation,
+    ILHAClassic,
+    MaxMin,
+    MinMin,
+    RandomMapper,
+    Serial,
+    TunedILHA,
+    available_schedulers,
+    get_scheduler,
+)
+from .models import MacroDataflowModel, OnePortModel, RoutedOnePortModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BIL",
+    "CPOP",
+    "FixedAllocation",
+    "GDL",
+    "HEFT",
+    "ILHA",
+    "ILHAClassic",
+    "MACRO_DATAFLOW",
+    "MacroDataflowModel",
+    "MaxMin",
+    "MinMin",
+    "ONE_PORT",
+    "OnePortModel",
+    "PCT",
+    "Platform",
+    "RandomMapper",
+    "RoutedOnePortModel",
+    "Schedule",
+    "Serial",
+    "TaskGraph",
+    "TunedILHA",
+    "available_schedulers",
+    "get_scheduler",
+    "is_valid",
+    "makespan_lower_bound",
+    "validate_schedule",
+    "__version__",
+]

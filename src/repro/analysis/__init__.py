@@ -1,0 +1,25 @@
+"""Schedule analytics: idle profiles, port loads, bottleneck attribution."""
+
+from .bottleneck import (
+    ScheduledNode,
+    bottleneck_report,
+    scheduled_critical_path,
+)
+from .stats import (
+    comm_matrix,
+    compare_schedules,
+    idle_profile,
+    port_busy_times,
+    processor_profile,
+)
+
+__all__ = [
+    "ScheduledNode",
+    "bottleneck_report",
+    "comm_matrix",
+    "compare_schedules",
+    "idle_profile",
+    "port_busy_times",
+    "processor_profile",
+    "scheduled_critical_path",
+]

@@ -1,0 +1,162 @@
+"""Bottleneck attribution: *why* is the makespan what it is?
+
+The makespan of a one-port schedule is determined by a chain of
+activities (task executions and message transfers) in which each
+activity starts exactly when its tightest constraint releases it:
+
+* a *dependence* constraint — a predecessor task or the previous hop of
+  the same message finished just then;
+* a *resource* constraint — the same processor (or the same send /
+  receive port) was occupied until then.
+
+:func:`scheduled_critical_path` walks this chain backwards from the
+activity that finishes at the makespan, classifying every link, and
+:func:`bottleneck_report` aggregates the chain into "how much of the
+critical chain is computation vs communication vs idle", which makes
+statements like the paper's STENCIL diagnosis ("many communications to
+be done sequentially, and these become the bottleneck") quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..core.schedule import CommEvent, Schedule, TaskPlacement
+from ..core.validation import TOL
+
+NodeKind = Literal["task", "comm"]
+
+
+@dataclass(frozen=True)
+class ScheduledNode:
+    """One activity on the scheduled critical chain."""
+
+    kind: NodeKind
+    label: str
+    start: float
+    finish: float
+    #: How this activity was released: what its start time was waiting on.
+    released_by: str
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+def _activities(schedule: Schedule):
+    tasks = list(schedule.placements.values())
+    comms = list(schedule.comm_events)
+    return tasks, comms
+
+
+def _tight(a_finish: float, b_start: float) -> bool:
+    return abs(a_finish - b_start) <= TOL
+
+
+def scheduled_critical_path(schedule: Schedule) -> list[ScheduledNode]:
+    """The zero-slack chain ending at the makespan (see module docstring).
+
+    Walks backwards greedily: from the latest-finishing activity, find
+    any activity whose finish coincides with the current start and which
+    constrains it (dependence or shared resource); prefer dependence
+    explanations over resource ones, and larger activities over smaller,
+    so the chain is informative and deterministic.  Gaps (start released
+    by nothing that finishes there — e.g. an entry task at time 0) end
+    the walk.
+    """
+    tasks, comms = _activities(schedule)
+    if not tasks:
+        return []
+
+    graph = schedule.graph
+    current: TaskPlacement | CommEvent = max(
+        tasks + comms, key=lambda a: (a.finish, a.duration)
+    )
+    chain: list[ScheduledNode] = []
+
+    def node_for(act, reason: str) -> ScheduledNode:
+        if isinstance(act, TaskPlacement):
+            return ScheduledNode("task", f"{act.task!r}@P{act.proc}", act.start, act.finish, reason)
+        return ScheduledNode(
+            "comm",
+            f"{act.src_task!r}->{act.dst_task!r} P{act.src_proc}->P{act.dst_proc}",
+            act.start,
+            act.finish,
+            reason,
+        )
+
+    def predecessors_of(act):
+        """(candidate, reason, priority) triples; lower priority wins."""
+        out = []
+        if isinstance(act, TaskPlacement):
+            for parent in graph.predecessors(act.task):
+                p = schedule.placements[parent]
+                if p.proc == act.proc and _tight(p.finish, act.start):
+                    out.append((p, "dependence (local parent)", 0))
+            for e in comms:
+                if e.dst_task == act.task and _tight(e.finish, act.start):
+                    # only the final hop of this task's messages
+                    if schedule.proc_of(act.task) == e.dst_proc:
+                        out.append((e, "dependence (message arrival)", 0))
+            for p in tasks:
+                if p.proc == act.proc and p is not act and _tight(p.finish, act.start):
+                    out.append((p, f"resource (P{act.proc} busy)", 1))
+        else:
+            src = schedule.placements.get(act.src_task)
+            if act.hop == 0 and src is not None and _tight(src.finish, act.start):
+                out.append((src, "dependence (source finished)", 0))
+            for e in comms:
+                if (
+                    e.src_task == act.src_task
+                    and e.dst_task == act.dst_task
+                    and e.hop == act.hop - 1
+                    and _tight(e.finish, act.start)
+                ):
+                    out.append((e, "dependence (previous hop)", 0))
+            for e in comms:
+                if e is act:
+                    continue
+                if e.src_proc == act.src_proc and _tight(e.finish, act.start):
+                    out.append((e, f"resource (P{act.src_proc} send port)", 1))
+                if e.dst_proc == act.dst_proc and _tight(e.finish, act.start):
+                    out.append((e, f"resource (P{act.dst_proc} recv port)", 1))
+        return out
+
+    reason = "makespan"
+    seen = set()
+    while True:
+        chain.append(node_for(current, reason))
+        key = id(current)
+        if key in seen:  # safety against pathological zero-duration loops
+            break
+        seen.add(key)
+        candidates = predecessors_of(current)
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[2], -item[0].duration, item[0].start))
+        current, reason, _ = candidates[0]
+    chain.reverse()
+    return chain
+
+
+def bottleneck_report(schedule: Schedule) -> dict[str, float]:
+    """Aggregate the critical chain into compute/comm/gap fractions.
+
+    ``compute`` + ``comm`` + ``gap`` == makespan (gap is time on the
+    chain covered by neither — release jitter between activities).  A
+    large ``comm`` share means serialized transfers bound the schedule,
+    the regime the paper identifies on STENCIL.
+    """
+    ms = schedule.makespan()
+    chain = scheduled_critical_path(schedule)
+    compute = sum(n.duration for n in chain if n.kind == "task")
+    comm = sum(n.duration for n in chain if n.kind == "comm")
+    return {
+        "makespan": ms,
+        "chain_length": float(len(chain)),
+        "compute": compute,
+        "comm": comm,
+        "gap": max(0.0, ms - compute - comm),
+        "comm_fraction": comm / ms if ms > 0 else 0.0,
+    }

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``info``
+    Paper platform constants (speedup bound, perfect-balance B, shares).
+``schedule``
+    Schedule one testbed with one heuristic and print the metrics and an
+    optional Gantt chart.
+``figures``
+    Regenerate the paper's Figures 7-12 series (same engine as
+    ``examples/reproduce_paper.py``).
+``compare``
+    Run every baseline heuristic on one testbed under one model.
+``bottleneck``
+    Print the scheduled critical chain of a heuristic's schedule — what
+    the makespan was waiting on, activity by activity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import bottleneck_report, compare_schedules, scheduled_critical_path
+from .core import validate_schedule
+from .core.loadbalance import optimal_distribution, weight_shares
+from .experiments import (
+    available_figures,
+    baseline_comparison,
+    format_cells,
+    format_comparison,
+    format_run,
+    paper_platform,
+    run_figure,
+)
+from .experiments.config import PAPER_BEST_B, PAPER_COMM_RATIO
+from .graphs import available_testbeds, make_testbed
+from .heuristics import available_schedulers, get_scheduler
+
+
+def _cmd_info(_args) -> int:
+    plat = paper_platform()
+    print("paper platform (Section 5.2)")
+    print(f"  processors        : {plat.num_processors} {plat.cycle_times}")
+    print(f"  speedup bound     : {plat.speedup_bound():.2f}")
+    print(f"  perfect balance B : {plat.perfect_balance_count()}")
+    shares = weight_shares(plat.cycle_times)
+    print(f"  weight shares     : {[round(c, 4) for c in shares]}")
+    print(f"  38-task counts    : {optimal_distribution(38, plat.cycle_times)}")
+    print(f"  best B per testbed: {PAPER_BEST_B}")
+    print(f"  testbeds          : {', '.join(available_testbeds())}")
+    print(f"  schedulers        : {', '.join(available_schedulers())}")
+    return 0
+
+
+def _make(args):
+    graph = make_testbed(args.testbed, args.size, comm_ratio=args.comm_ratio)
+    platform = paper_platform()
+    return graph, platform
+
+
+def _cmd_schedule(args) -> int:
+    graph, platform = _make(args)
+    kwargs = {}
+    if args.b is not None:
+        kwargs["b"] = args.b
+    scheduler = get_scheduler(args.heuristic, **kwargs)
+    sched = scheduler.run(graph, platform, args.model)
+    validate_schedule(sched)
+    for key, value in sched.summary().items():
+        print(f"{key:>16}: {value}")
+    if args.gantt:
+        print()
+        print(sched.gantt(width=args.gantt))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    for fig in args.figures:
+        run = run_figure(fig, sizes=args.sizes, tuned=args.tuned)
+        print(f"\n== {fig} ==")
+        print(format_run(run))
+        print()
+        print(format_comparison(run))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph, platform = _make(args)
+    cells = baseline_comparison(graph, platform, model=args.model)
+    print(format_cells(cells))
+    return 0
+
+
+def _cmd_bottleneck(args) -> int:
+    graph, platform = _make(args)
+    scheduler = get_scheduler(args.heuristic, **({"b": args.b} if args.b else {}))
+    sched = scheduler.run(graph, platform, args.model)
+    validate_schedule(sched)
+    report = bottleneck_report(sched)
+    print(f"makespan {report['makespan']:.1f}: "
+          f"compute {report['compute']:.1f}, comm {report['comm']:.1f}, "
+          f"gap {report['gap']:.1f} "
+          f"(comm fraction {report['comm_fraction']:.0%})")
+    print("\ncritical chain (earliest first):")
+    for node in scheduled_critical_path(sched):
+        print(
+            f"  [{node.start:9.1f} {node.finish:9.1f}] {node.kind:<5} "
+            f"{node.label:<40} <- {node.released_by}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="paper constants and registries").set_defaults(fn=_cmd_info)
+
+    def add_graph_args(p):
+        p.add_argument("--testbed", default="lu", choices=available_testbeds())
+        p.add_argument("--size", type=int, default=20)
+        p.add_argument("--comm-ratio", type=float, default=PAPER_COMM_RATIO)
+        p.add_argument("--model", default="one-port",
+                       choices=["one-port", "macro-dataflow"])
+
+    p = sub.add_parser("schedule", help="run one heuristic on one testbed")
+    add_graph_args(p)
+    p.add_argument("--heuristic", default="ilha", choices=available_schedulers())
+    p.add_argument("--b", type=int, default=None, help="ILHA chunk size")
+    p.add_argument("--gantt", type=int, nargs="?", const=78, default=None,
+                   help="print an ASCII Gantt chart (optional width)")
+    p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("--figures", nargs="+", default=available_figures(),
+                   choices=available_figures())
+    p.add_argument("--sizes", nargs="+", type=int, default=None)
+    p.add_argument("--tuned", action="store_true")
+    p.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("compare", help="all baselines on one testbed")
+    add_graph_args(p)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("bottleneck", help="critical-chain attribution")
+    add_graph_args(p)
+    p.add_argument("--heuristic", default="heft", choices=available_schedulers())
+    p.add_argument("--b", type=int, default=None)
+    p.set_defaults(fn=_cmd_bottleneck)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Complexity results: reductions of Theorems 1 & 2 and exact solvers."""
+
+from . import comm_sched, fork_sched
+from .exact_fork import (
+    brute_force_fork_makespan,
+    build_fork_schedule,
+    fork_makespan_for_subset,
+    jackson_remote_makespan,
+    optimal_fork_makespan,
+)
+from .partition import (
+    equal_cardinality_partition,
+    is_partition,
+    subset_with_sum,
+    two_partition,
+)
+
+__all__ = [
+    "brute_force_fork_makespan",
+    "build_fork_schedule",
+    "comm_sched",
+    "equal_cardinality_partition",
+    "fork_makespan_for_subset",
+    "fork_sched",
+    "is_partition",
+    "jackson_remote_makespan",
+    "optimal_fork_makespan",
+    "subset_with_sum",
+    "two_partition",
+]

@@ -1,0 +1,200 @@
+"""Exact one-port scheduling of fork graphs on unlimited processors.
+
+FORK-SCHED (Definition 1 of the paper) is NP-complete in the number of
+children, but for a *given* instance the optimum has enough structure to
+be computed exactly by subset enumeration, which the reduction tests and
+the Figure 1 example rely on:
+
+1. **Only the local/remote split matters.**  With unlimited identical
+   processors, putting two remote children on the *same* processor never
+   helps: every message still serializes on the parent's send port, and
+   sharing a processor can only delay one child's execution behind the
+   other's.  So an optimal schedule keeps some set ``A`` of children on
+   the parent's processor ``P0`` and gives every other child its own
+   processor.  (``test_exact_fork.py`` cross-checks this lemma by brute
+   force over groupings on small instances.)
+
+2. **Jackson's rule orders the messages.**  Given the remote set, the
+   parent sends one message per remote child back-to-back (its send port
+   is the bottleneck); child ``j`` then computes for ``w_j * t``.  This
+   is single-machine scheduling with delivery tails, solved exactly by
+   sending in non-increasing tail order (exchange argument; brute-forced
+   in the tests as well).
+
+3. The optimum is the minimum over the ``2^n`` subsets of
+   ``max(local compute, parent finish + best remote timing)``.
+
+All functions take the parent weight ``w0``, child weights ``w`` and
+message volumes ``d``; processors have cycle time ``cycle_time`` and
+links cost ``link`` per data item (homogeneous, as in Theorem 1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import permutations
+
+from ..core.exceptions import ConfigurationError
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+from ..graphs.fork import PARENT, child, fork_graph
+
+#: Refuse subset enumeration beyond this many children (2^n blow-up).
+MAX_EXACT_CHILDREN = 22
+
+
+def jackson_remote_makespan(jobs: Sequence[tuple[float, float]]) -> float:
+    """Optimal remote finishing time for ``(send_duration, exec_duration)`` jobs.
+
+    All messages leave one send port sequentially starting at time 0;
+    job ``j`` then runs for its exec duration on a dedicated processor.
+    Jackson's rule (longest tail first) minimizes the maximum completion.
+    """
+    ordered = sorted(jobs, key=lambda sd: -sd[1])
+    t = 0.0
+    out = 0.0
+    for send, execd in ordered:
+        t += send
+        out = max(out, t + execd)
+    return out
+
+
+def remote_makespan_for_order(
+    jobs: Sequence[tuple[float, float]], order: Sequence[int]
+) -> float:
+    """Remote finishing time for an explicit send order (for brute force)."""
+    t = 0.0
+    out = 0.0
+    for i in order:
+        send, execd = jobs[i]
+        t += send
+        out = max(out, t + execd)
+    return out
+
+
+def fork_makespan_for_subset(
+    w0: float,
+    weights: Sequence[float],
+    datas: Sequence[float],
+    local: frozenset[int] | set[int],
+    cycle_time: float = 1.0,
+    link: float = 1.0,
+) -> float:
+    """Best makespan keeping children ``local`` (0-based) on ``P0``."""
+    local_work = (w0 + sum(weights[i] for i in local)) * cycle_time
+    remote_jobs = [
+        (datas[i] * link, weights[i] * cycle_time)
+        for i in range(len(weights))
+        if i not in local
+    ]
+    remote = w0 * cycle_time + jackson_remote_makespan(remote_jobs)
+    return max(local_work, remote if remote_jobs else 0.0)
+
+
+def optimal_fork_makespan(
+    w0: float,
+    weights: Sequence[float],
+    datas: Sequence[float],
+    cycle_time: float = 1.0,
+    link: float = 1.0,
+) -> tuple[float, frozenset[int]]:
+    """Exact optimum over all local subsets; returns (makespan, local set).
+
+    Ties prefer larger local sets then lexicographically smaller ones,
+    so the result is deterministic.
+    """
+    n = len(weights)
+    if len(datas) != n:
+        raise ConfigurationError("weights and datas must have equal length")
+    if n > MAX_EXACT_CHILDREN:
+        raise ConfigurationError(
+            f"refusing exact enumeration for n={n} > {MAX_EXACT_CHILDREN}"
+        )
+    best: tuple[float, int, tuple[int, ...]] | None = None
+    best_set: frozenset[int] = frozenset()
+    for mask in range(1 << n):
+        local = frozenset(i for i in range(n) if mask >> i & 1)
+        ms = fork_makespan_for_subset(w0, weights, datas, local, cycle_time, link)
+        key = (ms, n - len(local), tuple(sorted(local)))
+        if best is None or key < best:
+            best = key
+            best_set = local
+    assert best is not None
+    return best[0], best_set
+
+
+def brute_force_fork_makespan(
+    w0: float,
+    weights: Sequence[float],
+    datas: Sequence[float],
+    cycle_time: float = 1.0,
+    link: float = 1.0,
+    max_children: int = 8,
+) -> float:
+    """Optimum over subsets x *all* send orders (validates Jackson's rule)."""
+    n = len(weights)
+    if n > max_children:
+        raise ConfigurationError(f"brute force limited to {max_children} children")
+    best = float("inf")
+    for mask in range(1 << n):
+        local = {i for i in range(n) if mask >> i & 1}
+        remote = [i for i in range(n) if i not in local]
+        local_work = (w0 + sum(weights[i] for i in local)) * cycle_time
+        jobs = [(datas[i] * link, weights[i] * cycle_time) for i in remote]
+        if jobs:
+            remote_best = min(
+                remote_makespan_for_order(jobs, order)
+                for order in permutations(range(len(jobs)))
+            )
+            ms = max(local_work, w0 * cycle_time + remote_best)
+        else:
+            ms = local_work
+        best = min(best, ms)
+    return best
+
+
+def build_fork_schedule(
+    w0: float,
+    weights: Sequence[float],
+    datas: Sequence[float],
+    local: frozenset[int] | set[int],
+    cycle_time: float = 1.0,
+    link: float = 1.0,
+    send_order: Sequence[int] | None = None,
+) -> Schedule:
+    """Materialize the subset solution as a validated one-port schedule.
+
+    ``P0`` executes the parent then its local children back-to-back;
+    remote children get processors ``1, 2, ...`` in send order (Jackson
+    order unless ``send_order`` gives explicit 0-based child indices).
+    The schedule passes :func:`repro.core.validation.validate_schedule`.
+    """
+    n = len(weights)
+    graph: TaskGraph = fork_graph(list(weights), list(datas), parent_weight=w0)
+    remote = [i for i in range(n) if i not in local]
+    if send_order is None:
+        remote.sort(key=lambda i: (-weights[i], i))
+    else:
+        if sorted(send_order) != sorted(remote):
+            raise ConfigurationError("send_order must enumerate exactly the remote children")
+        remote = list(send_order)
+    platform = Platform.homogeneous(max(1 + len(remote), 1), cycle_time, link)
+    schedule = Schedule(graph, platform, model="one-port", heuristic="exact-fork")
+
+    t = w0 * cycle_time
+    schedule.place(PARENT, 0, 0.0, t)
+    local_t = t
+    for i in sorted(local):
+        dur = weights[i] * cycle_time
+        schedule.place(child(i + 1), 0, local_t, local_t + dur)
+        local_t += dur
+    send_t = t
+    for rank, i in enumerate(remote):
+        proc = rank + 1
+        dur = datas[i] * link
+        schedule.record_comm(PARENT, child(i + 1), 0, proc, send_t, dur, datas[i])
+        arrive = send_t + dur
+        schedule.place(child(i + 1), proc, arrive, arrive + weights[i] * cycle_time)
+        send_t = arrive
+    return schedule

@@ -1,0 +1,114 @@
+"""Theorem 1: the FORK-SCHED reduction from 2-PARTITION.
+
+Given integers ``a_1..a_n`` (sum ``2S``, max ``M``, min ``m``), the paper
+builds a fork with ``N = n + 3`` children:
+
+* parent weight ``w_0 = 0``;
+* child ``i <= n`` has weight ``w_i = 10 (M + a_i + 1)``;
+* three extra children of weight ``w_min = 10 (M + m) + 1`` — the unique
+  minimal weight, and the only weight ``≡ 1 (mod 10)``;
+* message volumes ``d_i = w_i``;
+* the deadline ``T = (1/2) Σ_{i<=n} w_i + 2 w_min``.
+
+A schedule meeting ``T`` forces (paper's converse argument) the parent's
+processor load ``A`` and the last remote completion ``B`` to satisfy
+``A = B = T`` with the last message going to a minimal-weight child, and
+the mod-10 structure pins exactly two of the three special children on
+``P0``.  Splitting off those special children, ``A = B`` reads
+``|A1| (M+1) + Σ_{A1} a = |A2| (M+1) + Σ_{A2} a`` — the construction
+therefore decides 2-PARTITION *with equal cardinalities* (plain
+2-PARTITION does not force ``|A1| = |A2|``; DESIGN.md discusses this
+published edge case).  The test-suite verifies both directions against
+:func:`repro.complexity.partition.equal_cardinality_partition` and the
+exact solver of :mod:`repro.complexity.exact_fork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..core.exceptions import ConfigurationError
+from ..core.schedule import Schedule
+from .exact_fork import build_fork_schedule, optimal_fork_makespan
+from .partition import _check_values
+
+
+@dataclass(frozen=True)
+class ForkSchedInstance:
+    """A FORK-SCHED instance produced by the Theorem 1 construction."""
+
+    a_values: tuple[int, ...]
+    parent_weight: float
+    child_weights: tuple[float, ...]
+    child_data: tuple[float, ...]
+    deadline: float
+
+    @property
+    def n(self) -> int:
+        """Number of original 2-PARTITION values."""
+        return len(self.a_values)
+
+    @property
+    def num_children(self) -> int:
+        return len(self.child_weights)
+
+    @property
+    def w_min(self) -> float:
+        return min(self.child_weights)
+
+
+def build_instance(a_values: Sequence[int]) -> ForkSchedInstance:
+    """Apply the Theorem 1 construction to a 2-PARTITION instance."""
+    values = _check_values(a_values)
+    if not values:
+        raise ConfigurationError("need at least one value")
+    m_max = max(values)
+    m_min = min(values)
+    weights = [10.0 * (m_max + a + 1) for a in values]
+    w_min = 10.0 * (m_max + m_min) + 1.0
+    weights.extend([w_min, w_min, w_min])
+    deadline = 0.5 * sum(weights[: len(values)]) + 2.0 * w_min
+    return ForkSchedInstance(
+        a_values=tuple(values),
+        parent_weight=0.0,
+        child_weights=tuple(weights),
+        child_data=tuple(weights),
+        deadline=deadline,
+    )
+
+
+def schedule_from_partition(
+    instance: ForkSchedInstance, side: Sequence[int]
+) -> Schedule:
+    """The paper's forward-direction schedule for partition side ``side``.
+
+    ``side`` holds 0-based indices into ``a_values`` (the set ``A1`` kept
+    on ``P0``).  Following the proof, ``P0`` additionally executes the
+    parent and two of the three minimal children; every other child gets
+    its own processor, messages sent by increasing index so the last
+    message reaches the remaining minimal child.
+    """
+    n = instance.n
+    chosen = set(side)
+    if any(not (0 <= i < n) for i in chosen):
+        raise ConfigurationError(f"side indices out of range: {sorted(chosen)}")
+    local = frozenset(chosen | {n, n + 1})  # two of the three special children
+    remote = [i for i in range(instance.num_children) if i not in local]
+    # "by increasing values of the index i": the last message goes to the
+    # third special child (index n + 2), which has the minimal weight.
+    return build_fork_schedule(
+        instance.parent_weight,
+        instance.child_weights,
+        instance.child_data,
+        local,
+        send_order=sorted(remote),
+    )
+
+
+def decide(instance: ForkSchedInstance) -> bool:
+    """Exact FORK-SCHED decision: optimum makespan within the deadline."""
+    makespan, _ = optimal_fork_makespan(
+        instance.parent_weight, instance.child_weights, instance.child_data
+    )
+    return makespan <= instance.deadline + 1e-9

@@ -1,0 +1,120 @@
+"""2-PARTITION solvers (the source problem of both reductions).
+
+2-PARTITION [Garey & Johnson]: given positive integers ``a_1..a_n``,
+decide whether some subset sums to exactly half the total.  NP-complete,
+but solvable in pseudo-polynomial time ``O(n * S)`` by subset-sum
+dynamic programming — which is what lets the test-suite verify the
+paper's reductions on concrete instances.
+
+Theorem 1's construction additionally requires the two sides to have
+*equal cardinality* (its child weights ``w_i = 10(M + a_i + 1)`` carry a
+per-element constant, see DESIGN.md), so the equal-cardinality variant
+— also NP-complete — is provided too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.exceptions import ConfigurationError
+
+
+def _check_values(values: Sequence[int]) -> list[int]:
+    out = []
+    for v in values:
+        if v != int(v) or v <= 0:
+            raise ConfigurationError(f"2-PARTITION values must be positive integers, got {v}")
+        out.append(int(v))
+    return out
+
+
+def subset_with_sum(values: Sequence[int], target: int) -> list[int] | None:
+    """Indices of a subset summing to ``target``, or ``None``.
+
+    Subset-sum DP over achievable sums with parent pointers for
+    reconstruction: ``O(n * target)`` time and space.
+    """
+    values = _check_values(values)
+    if target < 0:
+        return None
+    if target == 0:
+        return []
+    # parent[s] = (previous sum, index used), set the first time s is hit.
+    parent: dict[int, tuple[int, int]] = {0: (-1, -1)}
+    sums = [0]
+    for i, v in enumerate(values):
+        new_sums = []
+        for s in sums:
+            t = s + v
+            if t <= target and t not in parent:
+                parent[t] = (s, i)
+                new_sums.append(t)
+        sums.extend(new_sums)
+        if target in parent:
+            break
+    if target not in parent:
+        return None
+    out = []
+    s = target
+    while s != 0:
+        prev, idx = parent[s]
+        out.append(idx)
+        s = prev
+    out.reverse()
+    return out
+
+
+def two_partition(values: Sequence[int]) -> list[int] | None:
+    """Indices of one side of a 2-PARTITION, or ``None`` when impossible."""
+    values = _check_values(values)
+    total = sum(values)
+    if total % 2 != 0:
+        return None
+    return subset_with_sum(values, total // 2)
+
+
+def equal_cardinality_partition(values: Sequence[int]) -> list[int] | None:
+    """A 2-PARTITION with both sides of size ``n/2``, or ``None``.
+
+    DP over (subset size, sum) pairs with parent pointers; requires even
+    ``n``.  This is the predicate Theorem 1's construction actually
+    decides (see :mod:`repro.complexity.fork_sched`).
+    """
+    values = _check_values(values)
+    n = len(values)
+    total = sum(values)
+    if n % 2 != 0 or total % 2 != 0:
+        return None
+    half_n, half_s = n // 2, total // 2
+    # parent[(k, s)] = (index used to reach this state from (k-1, s - v)).
+    parent: dict[tuple[int, int], int] = {}
+    reachable: set[tuple[int, int]] = {(0, 0)}
+    for i, v in enumerate(values):
+        additions = []
+        for k, s in reachable:
+            state = (k + 1, s + v)
+            if state[0] <= half_n and state[1] <= half_s and state not in reachable:
+                if state not in parent:
+                    parent[state] = i
+                    additions.append(state)
+        reachable.update(additions)
+    if (half_n, half_s) not in reachable:
+        return None
+    out = []
+    k, s = half_n, half_s
+    while k > 0:
+        i = parent[(k, s)]
+        out.append(i)
+        k, s = k - 1, s - values[i]
+    out.reverse()
+    return out
+
+
+def is_partition(values: Sequence[int], side: Sequence[int]) -> bool:
+    """Whether the index set ``side`` splits ``values`` into equal sums."""
+    values = _check_values(values)
+    chosen = set(side)
+    if len(chosen) != len(side) or any(not (0 <= i < len(values)) for i in chosen):
+        return False
+    left = sum(values[i] for i in chosen)
+    return 2 * left == sum(values)

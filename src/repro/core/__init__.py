@@ -1,0 +1,87 @@
+"""Core substrates: task graphs, platforms, timelines, schedules, ranks."""
+
+from .bounds import (
+    critical_path_lower_bound,
+    makespan_lower_bound,
+    work_lower_bound,
+)
+from .exceptions import (
+    ConfigurationError,
+    GraphError,
+    PlatformError,
+    ReproError,
+    SchedulingError,
+    TimelineError,
+    ValidationError,
+)
+from .loadbalance import (
+    ChunkLoadTracker,
+    b_candidates,
+    distribution_makespan,
+    optimal_distribution,
+    perfect_balance_count,
+    share_limits,
+    weight_shares,
+)
+from .platform import Platform
+from .ports import PortSet, PortSetOverlay
+from .ranking import (
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    priority_order,
+    top_levels,
+)
+from .schedule import CommEvent, Schedule, TaskPlacement
+from .serialization import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .taskgraph import TaskGraph
+from .timeline import Timeline, TimelineOverlay, earliest_joint_fit
+from .validation import MACRO_DATAFLOW, ONE_PORT, is_valid, validate_schedule
+
+__all__ = [
+    "ChunkLoadTracker",
+    "CommEvent",
+    "ConfigurationError",
+    "GraphError",
+    "MACRO_DATAFLOW",
+    "ONE_PORT",
+    "Platform",
+    "PlatformError",
+    "PortSet",
+    "PortSetOverlay",
+    "ReproError",
+    "Schedule",
+    "SchedulingError",
+    "TaskGraph",
+    "TaskPlacement",
+    "Timeline",
+    "TimelineError",
+    "TimelineOverlay",
+    "ValidationError",
+    "b_candidates",
+    "bottom_levels",
+    "critical_path",
+    "critical_path_length",
+    "critical_path_lower_bound",
+    "makespan_lower_bound",
+    "work_lower_bound",
+    "distribution_makespan",
+    "earliest_joint_fit",
+    "is_valid",
+    "load_schedule",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "optimal_distribution",
+    "perfect_balance_count",
+    "priority_order",
+    "share_limits",
+    "top_levels",
+    "validate_schedule",
+    "weight_shares",
+]

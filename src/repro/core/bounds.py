@@ -1,0 +1,41 @@
+"""Makespan lower bounds — sanity anchors for every heuristic.
+
+No valid schedule can beat either of these, whatever the communication
+model (communications only add constraints):
+
+* **work bound** — the total computation weight shared perfectly among
+  all processors: ``sum(w) / sum(1/t_i)``;
+* **critical-path bound** — the longest chain of the graph executed
+  entirely on the fastest processor with *zero* communication cost:
+  ``max over paths of (sum of w along path) * min(t_i)``.
+
+The test-suite asserts ``lower_bound <= makespan`` for every heuristic
+on every generated graph, and the experiment report prints the bound
+next to the measured speedups (the paper's 7.6 speedup ceiling is the
+work bound in disguise).
+"""
+
+from __future__ import annotations
+
+from .platform import Platform
+from .ranking import bottom_levels_from
+from .taskgraph import TaskGraph
+
+
+def work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
+    """Total weight divided by the aggregate speed ``sum(1/t_i)``."""
+    return graph.total_weight() / platform.aggregate_speed()
+
+
+def critical_path_lower_bound(graph: TaskGraph, platform: Platform) -> float:
+    """Longest weight-chain on the fastest processor, communications free."""
+    tmin = platform.min_cycle_time()
+    node_cost = {v: graph.weight(v) * tmin for v in graph.tasks()}
+    edge_cost = {e: 0.0 for e in graph.edges()}
+    bl = bottom_levels_from(graph, node_cost, edge_cost)
+    return max(bl.values(), default=0.0)
+
+
+def makespan_lower_bound(graph: TaskGraph, platform: Platform) -> float:
+    """The larger of the work and critical-path bounds."""
+    return max(work_lower_bound(graph, platform), critical_path_lower_bound(graph, platform))

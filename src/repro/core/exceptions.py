@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` scheduling library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated Python
+errors.  Validation failures carry enough context (task, processor,
+time window) to diagnose an invalid schedule directly from the message.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """The task graph is malformed (cycle, unknown node, bad weight...)."""
+
+
+class PlatformError(ReproError):
+    """The platform description is malformed (bad cycle time, link matrix...)."""
+
+
+class TimelineError(ReproError):
+    """A resource timeline operation is invalid (overlapping reservation...)."""
+
+
+class SchedulingError(ReproError):
+    """A heuristic could not produce a schedule (e.g. unschedulable input)."""
+
+
+class ValidationError(ReproError):
+    """A schedule violates the scheduling rules of the chosen model."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or heuristic was configured inconsistently."""

@@ -1,0 +1,274 @@
+"""Heterogeneous computing platforms: processors and communication links.
+
+This implements the target model of the paper (Section 2.1): a set
+``P = {P_0, ..., P_{p-1}}`` of processors where each ``P_i`` has a
+*cycle time* ``t_i`` (the inverse of its relative speed — executing task
+``v`` on ``P_i`` takes ``w(v) * t_i`` time units), together with a
+``p x p`` communication matrix ``link`` giving the time to transfer one
+data item between each processor pair (zero diagonal).
+
+The module also provides the heterogeneous *averages* the paper uses to
+compute bottom levels (Section 4.1):
+
+* the average execution time of a task of weight ``w`` over the whole
+  platform is ``w * p / sum(1/t_i)`` — i.e. ``w`` times the harmonic mean
+  of the cycle times;
+* the average communication factor replaces ``link(q, r)`` by the inverse
+  of the harmonic mean of the link bandwidths, which is the arithmetic
+  mean of the off-diagonal ``link`` entries.
+
+Finally :meth:`Platform.speedup_bound` reproduces the paper's Section 5.2
+upper bound (7.6 for the paper platform).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import PlatformError
+
+#: Index of a processor inside a :class:`Platform`.
+ProcId = int
+
+
+def _lcm_of(values: Iterable[int]) -> int:
+    out = 1
+    for v in values:
+        out = math.lcm(out, v)
+    return out
+
+
+class Platform:
+    """A set of heterogeneous processors joined by a communication network.
+
+    Parameters
+    ----------
+    cycle_times:
+        Sequence of per-processor cycle times ``t_i`` (strictly positive).
+        Identical processors all use ``t_i = 1``.
+    link:
+        Either a scalar (fully homogeneous network: every off-diagonal
+        entry equals the scalar) or a full ``p x p`` matrix with zero
+        diagonal and non-negative entries.  ``link[q][r]`` is the time to
+        ship one data item from ``P_q`` to ``P_r``.  An entry of
+        ``math.inf`` means "no direct link" (used by the routing model).
+
+    Notes
+    -----
+    Instances are immutable; all mutating experiments build new platforms.
+    """
+
+    __slots__ = ("_cycle_times", "_link", "_p")
+
+    def __init__(self, cycle_times: Sequence[float], link: float | Sequence[Sequence[float]] = 1.0):
+        cts = tuple(float(t) for t in cycle_times)
+        if not cts:
+            raise PlatformError("a platform needs at least one processor")
+        for i, t in enumerate(cts):
+            if not (t > 0) or t == float("inf"):
+                raise PlatformError(f"processor {i}: cycle time must be finite and > 0, got {t}")
+        self._cycle_times = cts
+        self._p = len(cts)
+
+        if isinstance(link, (int, float)):
+            scalar = float(link)
+            if scalar < 0:
+                raise PlatformError(f"link cost must be >= 0, got {scalar}")
+            mat = np.full((self._p, self._p), scalar, dtype=float)
+            np.fill_diagonal(mat, 0.0)
+        else:
+            mat = np.asarray(link, dtype=float)
+            if mat.shape != (self._p, self._p):
+                raise PlatformError(
+                    f"link matrix must be {self._p}x{self._p}, got shape {mat.shape}"
+                )
+            if np.any(np.diagonal(mat) != 0.0):
+                raise PlatformError("link matrix diagonal must be zero")
+            if np.any(mat < 0):
+                raise PlatformError("link matrix entries must be >= 0")
+        mat.setflags(write=False)
+        self._link = mat
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_processors(self) -> int:
+        return self._p
+
+    def __len__(self) -> int:
+        return self._p
+
+    @property
+    def processors(self) -> range:
+        """Processor indices ``0 .. p-1``."""
+        return range(self._p)
+
+    @property
+    def cycle_times(self) -> tuple[float, ...]:
+        return self._cycle_times
+
+    def cycle_time(self, proc: ProcId) -> float:
+        """Cycle time ``t_proc`` (inverse relative speed)."""
+        self._check_proc(proc)
+        return self._cycle_times[proc]
+
+    def speed(self, proc: ProcId) -> float:
+        """Relative speed ``1 / t_proc``."""
+        return 1.0 / self.cycle_time(proc)
+
+    @property
+    def link_matrix(self) -> np.ndarray:
+        """Read-only ``p x p`` matrix of per-item transfer times."""
+        return self._link
+
+    def link(self, src: ProcId, dst: ProcId) -> float:
+        """Per-item transfer time from ``src`` to ``dst`` (0 when equal)."""
+        self._check_proc(src)
+        self._check_proc(dst)
+        return float(self._link[src, dst])
+
+    def has_link(self, src: ProcId, dst: ProcId) -> bool:
+        """Whether a direct (finite-cost) link exists from ``src`` to ``dst``."""
+        return src == dst or math.isfinite(self._link[src, dst])
+
+    def is_fully_connected(self) -> bool:
+        """True when every processor pair has a direct finite link."""
+        off = ~np.eye(self._p, dtype=bool)
+        return bool(np.all(np.isfinite(self._link[off])))
+
+    def _check_proc(self, proc: ProcId) -> None:
+        if not (0 <= proc < self._p):
+            raise PlatformError(f"processor index {proc} out of range [0, {self._p})")
+
+    # ------------------------------------------------------------------
+    # costs
+    # ------------------------------------------------------------------
+    def exec_time(self, weight: float, proc: ProcId) -> float:
+        """Time to execute a task of computation cost ``weight`` on ``proc``."""
+        return weight * self.cycle_time(proc)
+
+    def comm_time(self, data: float, src: ProcId, dst: ProcId) -> float:
+        """Time to transfer ``data`` items from ``src`` to ``dst``.
+
+        Zero when ``src == dst`` (memory accesses are neglected, as in the
+        paper).  Raises if the processors are not directly linked — the
+        routing model handles multi-hop paths.
+        """
+        if src == dst:
+            return 0.0
+        cost = self.link(src, dst)
+        if not math.isfinite(cost):
+            raise PlatformError(f"no direct link from P{src} to P{dst}")
+        return data * cost
+
+    # ------------------------------------------------------------------
+    # heterogeneous averages (Section 4.1)
+    # ------------------------------------------------------------------
+    def aggregate_speed(self) -> float:
+        """``sum(1/t_i)`` — the platform's total relative speed."""
+        return sum(1.0 / t for t in self._cycle_times)
+
+    def average_cycle_time(self) -> float:
+        """Harmonic mean of the cycle times: ``p / sum(1/t_i)``.
+
+        The paper estimates the weight of a task as
+        ``p * w(T) / sum(1/t_i)`` when computing bottom levels; that is
+        ``w(T) * average_cycle_time()``.
+        """
+        return self._p / self.aggregate_speed()
+
+    def average_link_time(self) -> float:
+        """Average per-item communication time over distinct pairs.
+
+        The paper replaces ``link(q, r)`` by "the inverse of the harmonic
+        mean" of the link bandwidths.  With bandwidth ``b = 1/link``, the
+        harmonic mean of the bandwidths over the ``p(p-1)`` ordered pairs
+        is ``p(p-1) / sum(link)``... inverted, this is the arithmetic mean
+        of the ``link`` entries.  For a single processor there are no
+        links and the average is 0.
+        """
+        if self._p == 1:
+            return 0.0
+        off = ~np.eye(self._p, dtype=bool)
+        vals = self._link[off]
+        finite = vals[np.isfinite(vals)]
+        if finite.size == 0:
+            return 0.0
+        return float(np.mean(finite))
+
+    def fastest_processor(self) -> ProcId:
+        """Index of a processor with the minimal cycle time (lowest index wins)."""
+        return min(self.processors, key=lambda i: (self._cycle_times[i], i))
+
+    def min_cycle_time(self) -> float:
+        return min(self._cycle_times)
+
+    def sequential_time(self, total_weight: float) -> float:
+        """Time to run ``total_weight`` of work on one fastest processor.
+
+        This is the paper's sequential reference (Section 5.2 computes
+        ``38 * 6 = 228`` for 38 unit tasks on a cycle-time-6 processor).
+        """
+        return total_weight * self.min_cycle_time()
+
+    def speedup_bound(self) -> float:
+        """Paper Section 5.2 upper bound on the achievable speedup.
+
+        Ignoring communications and dependences, work distributed
+        proportionally to speeds completes ``sum(1/t_i)`` units of weight
+        per time unit, while the fastest sequential processor completes
+        ``1/min(t_i)``; the ratio is ``min(t_i) * sum(1/t_i)``.  For the
+        paper platform: ``6 * (5/6 + 3/10 + 2/15) = 7.6``.
+        """
+        return self.min_cycle_time() * self.aggregate_speed()
+
+    def perfect_balance_count(self) -> int:
+        """Smallest number of equal-size tasks that balances perfectly.
+
+        Section 5.2: ``B = lcm(t_1..t_p) * sum(1/t_i)`` when the cycle
+        times are integers (38 for the paper platform).  Raises
+        :class:`PlatformError` when cycle times are not integral, since
+        the lcm construction is only meaningful for integers.
+        """
+        ints = []
+        for t in self._cycle_times:
+            if abs(t - round(t)) > 1e-12:
+                raise PlatformError("perfect_balance_count needs integer cycle times")
+            ints.append(round(t))
+        lcm = _lcm_of(ints)
+        total = sum(lcm // t for t in ints)
+        return int(total)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, count: int, cycle_time: float = 1.0, link: float = 1.0) -> "Platform":
+        """``count`` identical processors on a fully homogeneous network."""
+        if count < 1:
+            raise PlatformError(f"count must be >= 1, got {count}")
+        return cls([cycle_time] * count, link)
+
+    @classmethod
+    def from_groups(
+        cls, groups: Sequence[tuple[int, float]], link: float | Sequence[Sequence[float]] = 1.0
+    ) -> "Platform":
+        """Build from ``(count, cycle_time)`` groups.
+
+        ``Platform.from_groups([(5, 6), (3, 10), (2, 15)])`` is the paper
+        platform: five cycle-time-6, three cycle-time-10, two cycle-time-15
+        processors.
+        """
+        cts: list[float] = []
+        for count, ct in groups:
+            if count < 0:
+                raise PlatformError(f"group count must be >= 0, got {count}")
+            cts.extend([ct] * count)
+        return cls(cts, link)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Platform(p={self._p}, cycle_times={self._cycle_times})"

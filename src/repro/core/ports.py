@@ -1,0 +1,118 @@
+"""Per-processor communication ports for the bi-directional one-port model.
+
+Under the paper's model (Section 2.3) each processor owns exactly one
+*send* port and one *receive* port: at any instant it is sending to at
+most one processor and receiving from at most one processor, while
+computation proceeds independently.  A transfer from ``q`` to ``r``
+therefore books the same window on ``q``'s send timeline and ``r``'s
+receive timeline.
+
+:class:`PortSet` owns the committed state; :class:`PortSetOverlay` gives
+heuristics a scratch view (lazily created :class:`TimelineOverlay` per
+port) for evaluating one candidate placement, which is either discarded
+or committed atomically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .exceptions import TimelineError
+from .timeline import Timeline, TimelineOverlay, earliest_joint_fit
+
+#: Direction constants for port lookups.
+SEND = "send"
+RECV = "recv"
+
+
+class PortSet:
+    """Committed send/receive port timelines for every processor."""
+
+    __slots__ = ("send", "recv")
+
+    def __init__(self, num_processors: int) -> None:
+        if num_processors < 1:
+            raise TimelineError("PortSet needs at least one processor")
+        self.send = [Timeline() for _ in range(num_processors)]
+        self.recv = [Timeline() for _ in range(num_processors)]
+
+    @property
+    def num_processors(self) -> int:
+        return len(self.send)
+
+    def earliest_transfer(self, src: int, dst: int, ready: float, duration: float) -> float:
+        """Earliest start of a ``duration``-long transfer ``src -> dst``.
+
+        The window must be free on ``src``'s send port and ``dst``'s
+        receive port simultaneously, and start no earlier than ``ready``
+        (typically the source task's completion time).
+        """
+        if src == dst:
+            return ready
+        return earliest_joint_fit([self.send[src], self.recv[dst]], ready, duration)
+
+    def reserve_transfer(
+        self, src: int, dst: int, start: float, duration: float, tag: Any = None
+    ) -> None:
+        """Commit a transfer window on both ports (no-op when ``src == dst``)."""
+        if src == dst:
+            return
+        self.send[src].reserve(start, start + duration, tag)
+        self.recv[dst].reserve(start, start + duration, tag)
+
+    def copy(self) -> "PortSet":
+        dup = PortSet(self.num_processors)
+        dup.send = [t.copy() for t in self.send]
+        dup.recv = [t.copy() for t in self.recv]
+        return dup
+
+
+class PortSetOverlay:
+    """Tentative view over a :class:`PortSet`.
+
+    Overlays are created lazily per (processor, direction) so evaluating
+    a candidate that touches only two ports costs two small objects.
+    """
+
+    __slots__ = ("_base", "_send", "_recv")
+
+    def __init__(self, base: PortSet) -> None:
+        self._base = base
+        self._send: dict[int, TimelineOverlay] = {}
+        self._recv: dict[int, TimelineOverlay] = {}
+
+    def _send_view(self, proc: int) -> TimelineOverlay:
+        view = self._send.get(proc)
+        if view is None:
+            view = self._send[proc] = TimelineOverlay(self._base.send[proc])
+        return view
+
+    def _recv_view(self, proc: int) -> TimelineOverlay:
+        view = self._recv.get(proc)
+        if view is None:
+            view = self._recv[proc] = TimelineOverlay(self._base.recv[proc])
+        return view
+
+    def earliest_transfer(self, src: int, dst: int, ready: float, duration: float) -> float:
+        if src == dst:
+            return ready
+        return earliest_joint_fit(
+            [self._send_view(src), self._recv_view(dst)], ready, duration
+        )
+
+    def reserve_transfer(
+        self, src: int, dst: int, start: float, duration: float, tag: Any = None
+    ) -> None:
+        if src == dst:
+            return
+        self._send_view(src).reserve(start, start + duration, tag)
+        self._recv_view(dst).reserve(start, start + duration, tag)
+
+    def commit(self) -> None:
+        """Replay every tentative transfer onto the base port set."""
+        for view in self._send.values():
+            view.commit()
+        for view in self._recv.values():
+            view.commit()
+        self._send.clear()
+        self._recv.clear()

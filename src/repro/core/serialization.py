@@ -1,0 +1,105 @@
+"""Schedule persistence: JSON-compatible round-trips.
+
+Schedules carry non-JSON task ids (tuples, arbitrary hashables), so the
+format stores ``repr`` strings and resolves them against the graph's
+tasks on load — a schedule is always deserialized *against* the graph
+and platform it was computed for, which also re-validates the pairing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Hashable
+from pathlib import Path
+
+from .exceptions import SchedulingError
+from .platform import Platform
+from .schedule import Schedule
+from .taskgraph import TaskGraph
+
+TaskId = Hashable
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """JSON-compatible dict of a schedule's decisions and times."""
+    return {
+        "heuristic": schedule.heuristic,
+        "model": schedule.model,
+        "placements": [
+            {
+                "task": repr(p.task),
+                "proc": p.proc,
+                "start": p.start,
+                "finish": p.finish,
+            }
+            for p in schedule.placements.values()
+        ],
+        "comm_events": [
+            {
+                "src_task": repr(e.src_task),
+                "dst_task": repr(e.dst_task),
+                "src_proc": e.src_proc,
+                "dst_proc": e.dst_proc,
+                "start": e.start,
+                "finish": e.finish,
+                "data": e.data,
+                "hop": e.hop,
+            }
+            for e in schedule.comm_events
+        ],
+    }
+
+
+def schedule_from_dict(
+    payload: dict, graph: TaskGraph, platform: Platform
+) -> Schedule:
+    """Rebuild a schedule against its graph and platform.
+
+    Task references are matched by ``repr``; unknown or ambiguous
+    references raise :class:`~repro.core.exceptions.SchedulingError`.
+    """
+    by_repr: dict[str, TaskId] = {}
+    for task in graph.tasks():
+        key = repr(task)
+        if key in by_repr:
+            raise SchedulingError(f"ambiguous task repr {key!r} in graph")
+        by_repr[key] = task
+
+    def resolve(key: str) -> TaskId:
+        try:
+            return by_repr[key]
+        except KeyError:
+            raise SchedulingError(f"schedule references unknown task {key!r}") from None
+
+    schedule = Schedule(
+        graph,
+        platform,
+        model=payload.get("model", "one-port"),
+        heuristic=payload.get("heuristic", ""),
+    )
+    for row in payload["placements"]:
+        schedule.place(resolve(row["task"]), row["proc"], row["start"], row["finish"])
+    for row in payload["comm_events"]:
+        schedule.record_comm(
+            resolve(row["src_task"]),
+            resolve(row["dst_task"]),
+            row["src_proc"],
+            row["dst_proc"],
+            row["start"],
+            row["finish"] - row["start"],
+            row["data"],
+            row.get("hop", 0),
+        )
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> Path:
+    """Write a schedule as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+    return path
+
+
+def load_schedule(path: str | Path, graph: TaskGraph, platform: Platform) -> Schedule:
+    """Read a schedule written by :func:`save_schedule`."""
+    return schedule_from_dict(json.loads(Path(path).read_text()), graph, platform)

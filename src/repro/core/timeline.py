@@ -1,0 +1,299 @@
+"""Resource timelines: sorted busy intervals with earliest-gap search.
+
+A :class:`Timeline` records the busy intervals ``[start, end)`` of one
+exclusive resource — a processor's compute unit, a send port, or a
+receive port.  The two operations every scheduling heuristic needs are:
+
+* :meth:`Timeline.next_fit` — the earliest time ``>= ready`` at which a
+  window of a given duration is entirely free (insertion scheduling);
+* :meth:`Timeline.reserve` — book a window, failing loudly on overlap.
+
+:class:`TimelineOverlay` layers *tentative* reservations over a base
+timeline without mutating it.  Heuristics use overlays to evaluate a
+candidate processor (which may involve several interacting communication
+reservations) and either discard the overlay or :meth:`~TimelineOverlay.commit`
+it.  :func:`earliest_joint_fit` finds the earliest window simultaneously
+free on several timelines — the primitive behind the one-port rule, where
+a transfer must fit the sender's send port *and* the receiver's receive
+port at the same instant.
+
+Implementation notes
+--------------------
+Intervals are kept in parallel sorted lists (starts / ends / tags) and
+searched with :mod:`bisect`, so ``next_fit`` is ``O(log n + k)`` where
+``k`` is the number of intervals skipped, and ``reserve`` is ``O(n)`` in
+the worst case (list insert) but ``O(1)`` amortized for the common
+append-at-end pattern of list scheduling.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from .exceptions import TimelineError
+
+#: Absolute slack tolerated when validating float arithmetic on interval
+#: endpoints.  Reservations produced by the heuristics chain exact float
+#: values, so overlaps beyond this are genuine bugs.
+EPSILON = 1e-9
+
+
+class Timeline:
+    """Busy intervals of one exclusive resource."""
+
+    __slots__ = ("_starts", "_ends", "_tags")
+
+    def __init__(self) -> None:
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self._tags: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def is_empty(self) -> bool:
+        return not self._starts
+
+    def last_end(self) -> float:
+        """End of the latest reservation (0.0 when empty)."""
+        return self._ends[-1] if self._ends else 0.0
+
+    def intervals(self) -> list[tuple[float, float, Any]]:
+        """All reservations as ``(start, end, tag)``, sorted by start."""
+        return list(zip(self._starts, self._ends, self._tags))
+
+    def busy_time(self) -> float:
+        """Total reserved duration."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def is_free(self, start: float, end: float) -> bool:
+        """Whether ``[start, end)`` overlaps no reservation."""
+        if end < start:
+            raise TimelineError(f"invalid window [{start}, {end})")
+        return self.next_fit(start, end - start) <= start
+
+    # ------------------------------------------------------------------
+    # gap search
+    # ------------------------------------------------------------------
+    def next_fit(self, ready: float, duration: float) -> float:
+        """Earliest ``t >= ready`` such that ``[t, t + duration)`` is free.
+
+        Zero-length windows conflict with nothing (the COMM-SCHED
+        reduction schedules zero-weight tasks), so ``duration == 0``
+        returns ``ready`` unchanged.
+        """
+        if duration < 0:
+            raise TimelineError(f"duration must be >= 0, got {duration}")
+        if duration == 0:
+            return ready
+        t = ready
+        starts = self._starts
+        ends = self._ends
+        i = bisect_right(starts, t) - 1
+        if i >= 0 and ends[i] > t:
+            t = ends[i]
+        i += 1
+        n = len(starts)
+        while i < n and starts[i] < t + duration:
+            if ends[i] > t:
+                t = ends[i]
+            i += 1
+        return t
+
+    def next_after_last(self, ready: float) -> float:
+        """Earliest start with *no insertion*: after every reservation."""
+        return max(ready, self.last_end())
+
+    def gaps(self, horizon: float) -> list[tuple[float, float]]:
+        """Free intervals within ``[0, horizon)``."""
+        out: list[tuple[float, float]] = []
+        t = 0.0
+        for s, e in zip(self._starts, self._ends):
+            if s >= horizon:
+                break
+            if s > t:
+                out.append((t, min(s, horizon)))
+            t = max(t, e)
+        if t < horizon:
+            out.append((t, horizon))
+        return out
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def reserve(self, start: float, end: float, tag: Any = None) -> None:
+        """Book ``[start, end)``; raises :class:`TimelineError` on overlap.
+
+        Zero-length reservations conflict with nothing and are not
+        stored (storing them would break the disjoint-sorted invariant
+        the gap search relies on).
+        """
+        if end < start:
+            raise TimelineError(f"invalid reservation [{start}, {end})")
+        if start != start or end != end:  # NaN guard
+            raise TimelineError(f"NaN reservation endpoints [{start}, {end})")
+        if end == start:
+            return
+        pos = bisect_right(self._starts, start)
+        if pos > 0 and self._ends[pos - 1] > start + EPSILON:
+            prev = (self._starts[pos - 1], self._ends[pos - 1], self._tags[pos - 1])
+            raise TimelineError(
+                f"reservation [{start}, {end}) tag={tag!r} overlaps {prev}"
+            )
+        if pos < len(self._starts) and self._starts[pos] < end - EPSILON:
+            nxt = (self._starts[pos], self._ends[pos], self._tags[pos])
+            raise TimelineError(
+                f"reservation [{start}, {end}) tag={tag!r} overlaps {nxt}"
+            )
+        self._starts.insert(pos, start)
+        self._ends.insert(pos, end)
+        self._tags.insert(pos, tag)
+
+    def copy(self) -> "Timeline":
+        dup = Timeline()
+        dup._starts = list(self._starts)
+        dup._ends = list(self._ends)
+        dup._tags = list(self._tags)
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeline({len(self._starts)} intervals, last_end={self.last_end():g})"
+
+
+class TimelineOverlay:
+    """Tentative reservations layered over a base :class:`Timeline`.
+
+    The overlay answers :meth:`next_fit` against the union of the base's
+    intervals and the locally added ones, but only mutates its own local
+    store.  Call :meth:`commit` to replay the local reservations onto the
+    base (after the heuristic picks this candidate) or simply drop the
+    overlay to discard them.
+    """
+
+    __slots__ = ("_base", "_starts", "_ends", "_tags")
+
+    def __init__(self, base: Timeline) -> None:
+        self._base = base
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self._tags: list[Any] = []
+
+    @property
+    def base(self) -> Timeline:
+        return self._base
+
+    def added(self) -> list[tuple[float, float, Any]]:
+        """Locally added reservations (sorted by start)."""
+        return list(zip(self._starts, self._ends, self._tags))
+
+    def _local_next_fit(self, ready: float, duration: float) -> float:
+        if duration == 0:
+            return ready
+        t = ready
+        starts = self._starts
+        ends = self._ends
+        i = bisect_right(starts, t) - 1
+        if i >= 0 and ends[i] > t:
+            t = ends[i]
+        i += 1
+        n = len(starts)
+        while i < n and starts[i] < t + duration:
+            if ends[i] > t:
+                t = ends[i]
+            i += 1
+        return t
+
+    def next_fit(self, ready: float, duration: float) -> float:
+        """Earliest window free in *both* the base and the local layer."""
+        if duration < 0:
+            raise TimelineError(f"duration must be >= 0, got {duration}")
+        if duration == 0:
+            return ready
+        t = ready
+        while True:
+            t1 = self._base.next_fit(t, duration)
+            t2 = self._local_next_fit(t1, duration)
+            if t2 == t1:
+                return t1
+            t = t2
+
+    def next_after_last(self, ready: float) -> float:
+        last_local = self._ends[-1] if self._ends else 0.0
+        return max(ready, self._base.last_end(), last_local)
+
+    def last_end(self) -> float:
+        return max(self._base.last_end(), self._ends[-1] if self._ends else 0.0)
+
+    def reserve(self, start: float, end: float, tag: Any = None) -> None:
+        """Book ``[start, end)`` locally; checks both layers for overlap."""
+        if end < start:
+            raise TimelineError(f"invalid reservation [{start}, {end})")
+        if end == start:
+            return
+        if self._base.next_fit(start, end - start) > start + EPSILON:
+            raise TimelineError(
+                f"tentative reservation [{start}, {end}) tag={tag!r} "
+                f"overlaps the base timeline"
+            )
+        if self._local_next_fit(start, end - start) > start + EPSILON:
+            raise TimelineError(
+                f"tentative reservation [{start}, {end}) tag={tag!r} "
+                f"overlaps a tentative interval"
+            )
+        pos = bisect_right(self._starts, start)
+        self._starts.insert(pos, start)
+        self._ends.insert(pos, end)
+        self._tags.insert(pos, tag)
+
+    def commit(self) -> None:
+        """Replay every local reservation onto the base timeline."""
+        for s, e, tag in zip(self._starts, self._ends, self._tags):
+            self._base.reserve(s, e, tag)
+        self._starts.clear()
+        self._ends.clear()
+        self._tags.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimelineOverlay({len(self._starts)} tentative over {self._base!r})"
+
+
+def earliest_joint_fit(
+    views: Sequence[Timeline | TimelineOverlay], ready: float, duration: float
+) -> float:
+    """Earliest ``t >= ready`` with ``[t, t + duration)`` free on *all* views.
+
+    Alternates ``next_fit`` across the views until a fixed point: each
+    call only moves ``t`` forward, and past the last reservation of every
+    view any ``t`` fits, so the loop terminates.  This is the one-port
+    primitive: a message from ``q`` to ``r`` needs a window free on
+    ``q``'s send port and ``r``'s receive port simultaneously.
+    """
+    if not views:
+        raise TimelineError("earliest_joint_fit needs at least one view")
+    t = ready
+    while True:
+        moved = False
+        for view in views:
+            t2 = view.next_fit(t, duration)
+            if t2 != t:
+                t = t2
+                moved = True
+        if not moved:
+            return t
+
+
+def merge_busy(intervals: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge possibly-touching intervals into maximal disjoint ones."""
+    items = sorted(intervals)
+    out: list[tuple[float, float]] = []
+    for s, e in items:
+        if out and s <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], e))
+        else:
+            out.append((s, e))
+    return out

@@ -1,0 +1,52 @@
+"""Experiment harness reproducing the paper's evaluation (Section 5)."""
+
+from .ablation import (
+    b_sensitivity,
+    baseline_comparison,
+    comm_ratio_sweep,
+    ilha_variant_ablation,
+    insertion_ablation,
+    model_comparison,
+)
+from .config import (
+    PAPER_BEST_B,
+    PAPER_COMM_RATIO,
+    PAPER_PERFECT_BALANCE,
+    PAPER_PROCESSOR_GROUPS,
+    PAPER_SPEEDUP_BOUND,
+    paper_platform,
+)
+from .figures import FIGURES, FigureSpec, available_figures, run_figure
+from .harness import CellResult, ExperimentRun, run_cell, run_sweep
+from .io import read_csv, read_json, write_csv, write_json
+from .report import format_cells, format_comparison, format_run
+
+__all__ = [
+    "CellResult",
+    "ExperimentRun",
+    "FIGURES",
+    "FigureSpec",
+    "PAPER_BEST_B",
+    "PAPER_COMM_RATIO",
+    "PAPER_PERFECT_BALANCE",
+    "PAPER_PROCESSOR_GROUPS",
+    "PAPER_SPEEDUP_BOUND",
+    "available_figures",
+    "b_sensitivity",
+    "baseline_comparison",
+    "comm_ratio_sweep",
+    "ilha_variant_ablation",
+    "insertion_ablation",
+    "model_comparison",
+    "format_cells",
+    "format_comparison",
+    "format_run",
+    "paper_platform",
+    "read_csv",
+    "read_json",
+    "run_cell",
+    "run_figure",
+    "run_sweep",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,206 @@
+"""Ablation studies around the paper's design choices.
+
+The paper leaves several knobs open — the chunk size ``B`` ("we have not
+found any systematic technique to predict the optimal value"), the model
+variants of Section 2.3, the Section 4.4 ILHA refinements, and the
+communication-to-computation ratio ``c``.  Each function here sweeps one
+knob with everything else pinned to the paper configuration, and returns
+:class:`~repro.experiments.harness.CellResult` rows for the report and
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..core.platform import Platform
+from ..core.taskgraph import TaskGraph
+from ..heuristics import HEFT, ILHA
+from ..models import (
+    MacroDataflowModel,
+    NoOverlapOnePortModel,
+    OnePortModel,
+    UniPortModel,
+)
+from .config import PAPER_COMM_RATIO, paper_platform
+from .harness import CellResult, run_cell
+
+
+def b_sensitivity(
+    graph: TaskGraph,
+    b_values: Sequence[int],
+    platform: Platform | None = None,
+    testbed: str = "",
+    **ilha_kwargs,
+) -> list[CellResult]:
+    """ILHA speedup as a function of the chunk size ``B`` (Section 5.3)."""
+    platform = platform or paper_platform()
+    cells = []
+    for b in b_values:
+        cell, _ = run_cell(
+            "ablation-b",
+            testbed or graph.name,
+            b,
+            graph,
+            ILHA(b=b, **ilha_kwargs),
+            f"ilha(B={b})",
+            platform,
+            "one-port",
+        )
+        cells.append(cell)
+    return cells
+
+
+def ilha_variant_ablation(
+    graph: TaskGraph,
+    b: int,
+    platform: Platform | None = None,
+) -> list[CellResult]:
+    """Plain ILHA vs the Section 4.4 refinements at a fixed ``B``."""
+    platform = platform or paper_platform()
+    variants = [
+        ("plain", {}),
+        ("scan", {"single_comm_scan": True}),
+        ("resched", {"reschedule": True}),
+        ("scan+resched", {"single_comm_scan": True, "reschedule": True}),
+    ]
+    cells = []
+    for label, kwargs in variants:
+        cell, _ = run_cell(
+            "ablation-variants",
+            graph.name,
+            b,
+            graph,
+            ILHA(b=b, **kwargs),
+            f"ilha-{label}",
+            platform,
+            "one-port",
+        )
+        cells.append(cell)
+    return cells
+
+
+def model_comparison(
+    graph: TaskGraph,
+    platform: Platform | None = None,
+    b: int = 38,
+) -> list[CellResult]:
+    """HEFT and ILHA under every communication model of Section 2.
+
+    Ordering expectation: macro-dataflow (no contention) <= bi-directional
+    one-port <= {uni-directional, no-overlap} — each step adds
+    constraints.  (Heuristics are greedy, so the ordering is a strong
+    tendency, not a theorem; the benchmark prints the measured numbers.)
+    """
+    platform = platform or paper_platform()
+    models = [
+        ("macro-dataflow", MacroDataflowModel(platform)),
+        ("one-port", OnePortModel(platform)),
+        ("uni-port", UniPortModel(platform)),
+        ("no-overlap", NoOverlapOnePortModel(platform)),
+    ]
+    cells = []
+    for label, model in models:
+        for hname, scheduler in (("heft", HEFT()), (f"ilha(B={b})", ILHA(b=b))):
+            cell, _ = run_cell(
+                "ablation-models",
+                graph.name,
+                0,
+                graph,
+                scheduler,
+                f"{hname}/{label}",
+                platform,
+                model,
+            )
+            cells.append(cell)
+    return cells
+
+
+def comm_ratio_sweep(
+    graph_factory: Callable[[float], TaskGraph],
+    ratios: Sequence[float],
+    platform: Platform | None = None,
+    b: int = 38,
+) -> list[CellResult]:
+    """Speedups as the communication-to-computation ratio ``c`` varies.
+
+    The paper fixes ``c = 10`` ("slow Ethernet"); this sweep shows the
+    one-port penalty growing with ``c`` and ILHA's advantage widening —
+    communication avoidance matters more when messages are expensive.
+    ``graph_factory`` maps a ratio to a graph (e.g.
+    ``lambda c: lu_graph(30, comm_ratio=c)``).
+    """
+    platform = platform or paper_platform()
+    cells = []
+    for ratio in ratios:
+        graph = graph_factory(ratio)
+        for label, scheduler in (("heft", HEFT()), (f"ilha(B={b})", ILHA(b=b))):
+            cell, _ = run_cell(
+                "ablation-comm-ratio",
+                graph.name,
+                int(ratio),
+                graph,
+                scheduler,
+                label,
+                platform,
+                "one-port",
+            )
+            cells.append(cell)
+    return cells
+
+
+def insertion_ablation(
+    graph: TaskGraph,
+    platform: Platform | None = None,
+) -> list[CellResult]:
+    """Insertion-based vs append-only compute slots for HEFT.
+
+    The paper's toy example behaves like append-only scheduling (its
+    HEFT reaches makespan 6 where insertion finds 5); this ablation
+    measures the difference on real testbeds.
+    """
+    platform = platform or paper_platform()
+    cells = []
+    for label, scheduler in (
+        ("heft-insertion", HEFT(insertion=True)),
+        ("heft-append", HEFT(insertion=False)),
+    ):
+        cell, _ = run_cell(
+            "ablation-insertion", graph.name, 0, graph, scheduler, label, platform, "one-port"
+        )
+        cells.append(cell)
+    return cells
+
+
+def baseline_comparison(
+    graph: TaskGraph,
+    platform: Platform | None = None,
+    model: str = "one-port",
+    b: int = 38,
+) -> list[CellResult]:
+    """The paper's prior-work comparison ([3]) re-run under any model.
+
+    PCT, BIL, CPOP, GDL, HEFT and ILHA — the paper's earlier study did
+    this under macro-dataflow and found HEFT/ILHA best; running it under
+    the one-port model (which none of the baselines were designed for)
+    shows how each degrades under serialized communications.
+    """
+    from ..heuristics import BIL, CPOP, GDL, PCT, MinMin
+
+    platform = platform or paper_platform()
+    schedulers = [
+        ("pct", PCT()),
+        ("bil", BIL()),
+        ("cpop", CPOP()),
+        ("gdl", GDL()),
+        ("min-min", MinMin()),
+        ("heft", HEFT()),
+        (f"ilha(B={b})", ILHA(b=b)),
+    ]
+    cells = []
+    for label, scheduler in schedulers:
+        cell, _ = run_cell(
+            "baseline-comparison", graph.name, 0, graph, scheduler, label, platform, model
+        )
+        cells.append(cell)
+    return cells

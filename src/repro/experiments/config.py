@@ -1,0 +1,41 @@
+"""Experimental configuration matching the paper's Section 5.2.
+
+* **Platform** — 10 processors: five of cycle time 6, three of cycle
+  time 10, two of cycle time 15, on a fully homogeneous unit network.
+  Derived constants: speedup bound 7.6, perfect-balance chunk B = 38.
+* **Communication-to-computation ratio** — ``c = 10`` ("rather
+  representative of workstations linked with a slow (Ethernet)
+  network"); every edge carries ``c`` times its source task's weight.
+* **Best chunk sizes** — the values the paper reports per testbed
+  (Section 5.3): B = 38 for FORK-JOIN / LAPLACE / STENCIL, B = 4 for
+  LU, B = 20 for DOOLITTLE and LDMt.
+"""
+
+from __future__ import annotations
+
+from ..core.platform import Platform
+
+#: (count, cycle time) groups of the paper platform.
+PAPER_PROCESSOR_GROUPS = ((5, 6.0), (3, 10.0), (2, 15.0))
+
+#: The paper's communication-to-computation ratio.
+PAPER_COMM_RATIO = 10.0
+
+#: Section 5.2's derived constants (asserted by the test-suite).
+PAPER_SPEEDUP_BOUND = 7.6
+PAPER_PERFECT_BALANCE = 38
+
+#: Section 5.3's experimentally best chunk size per testbed.
+PAPER_BEST_B = {
+    "fork-join": 38,
+    "lu": 4,
+    "laplace": 38,
+    "ldmt": 20,
+    "doolittle": 20,
+    "stencil": 38,
+}
+
+
+def paper_platform(link: float = 1.0) -> Platform:
+    """The 10-processor heterogeneous platform of Section 5.2."""
+    return Platform.from_groups(PAPER_PROCESSOR_GROUPS, link)

@@ -1,0 +1,132 @@
+"""Experiment runner: schedule, validate, measure, record.
+
+One :class:`CellResult` per (testbed, size, heuristic) cell of a figure.
+Every schedule is checked by the independent validator before its
+metrics are recorded, so a buggy heuristic cannot silently inflate its
+own numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import asdict, dataclass, field
+
+from ..core.bounds import makespan_lower_bound
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+from ..core.validation import validate_schedule
+from ..heuristics.base import Scheduler
+from ..models.base import CommunicationModel
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Metrics of one scheduled cell."""
+
+    figure: str
+    testbed: str
+    size: int
+    num_tasks: int
+    heuristic: str
+    model: str
+    makespan: float
+    speedup: float
+    num_comms: int
+    total_comm_time: float
+    utilization: float
+    lower_bound: float
+    runtime_s: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ExperimentRun:
+    """All cells of one figure plus shared context."""
+
+    figure: str
+    description: str
+    platform: Platform
+    cells: list[CellResult] = field(default_factory=list)
+
+    def series(self, heuristic: str) -> list[tuple[int, float]]:
+        """(size, speedup) pairs of one heuristic, sorted by size."""
+        pts = [(c.size, c.speedup) for c in self.cells if c.heuristic == heuristic]
+        return sorted(pts)
+
+    def heuristics(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.heuristic, None)
+        return list(seen)
+
+    def sizes(self) -> list[int]:
+        return sorted({c.size for c in self.cells})
+
+
+def run_cell(
+    figure: str,
+    testbed: str,
+    size: int,
+    graph: TaskGraph,
+    scheduler: Scheduler,
+    label: str,
+    platform: Platform,
+    model: str | CommunicationModel = "one-port",
+    validate: bool = True,
+) -> tuple[CellResult, Schedule]:
+    """Schedule one cell, validate it, and compute its metrics."""
+    t0 = time.perf_counter()
+    schedule = scheduler.run(graph, platform, model)
+    runtime = time.perf_counter() - t0
+    if validate:
+        validate_schedule(schedule)
+    result = CellResult(
+        figure=figure,
+        testbed=testbed,
+        size=size,
+        num_tasks=graph.num_tasks,
+        heuristic=label,
+        model=schedule.model,
+        makespan=schedule.makespan(),
+        speedup=schedule.speedup(),
+        num_comms=schedule.num_comms(),
+        total_comm_time=schedule.total_comm_time(),
+        utilization=schedule.utilization(),
+        lower_bound=makespan_lower_bound(graph, platform),
+        runtime_s=runtime,
+    )
+    return result, schedule
+
+
+def run_sweep(
+    figure: str,
+    testbed: str,
+    description: str,
+    graph_factory: Callable[[int], TaskGraph],
+    sizes: Sequence[int],
+    schedulers: Sequence[tuple[str, Scheduler]],
+    platform: Platform,
+    model: str | CommunicationModel = "one-port",
+    validate: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> ExperimentRun:
+    """Run every (size, heuristic) cell of one figure."""
+    run = ExperimentRun(figure=figure, description=description, platform=platform)
+    for size in sizes:
+        graph = graph_factory(size)
+        for label, scheduler in schedulers:
+            cell, _ = run_cell(
+                figure, testbed, size, graph, scheduler, label, platform, model, validate
+            )
+            run.cells.append(cell)
+            if progress is not None:
+                progress(
+                    f"{figure} {testbed} size={size} {label}: "
+                    f"speedup={cell.speedup:.2f} comms={cell.num_comms} "
+                    f"({cell.runtime_s:.1f}s)"
+                )
+    return run

@@ -1,0 +1,62 @@
+"""Result persistence: CSV and JSON round-trips for experiment cells."""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable
+from dataclasses import fields
+from pathlib import Path
+
+from .harness import CellResult
+
+_FIELDS = [f.name for f in fields(CellResult)]
+
+
+def write_csv(cells: Iterable[CellResult], path: str | Path) -> Path:
+    """Write cells as CSV (one header row, one row per cell)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        for cell in cells:
+            writer.writerow(cell.as_dict())
+    return path
+
+
+def read_csv(path: str | Path) -> list[CellResult]:
+    """Read cells back from :func:`write_csv` output."""
+    out = []
+    with Path(path).open() as fh:
+        for row in csv.DictReader(fh):
+            out.append(
+                CellResult(
+                    figure=row["figure"],
+                    testbed=row["testbed"],
+                    size=int(row["size"]),
+                    num_tasks=int(row["num_tasks"]),
+                    heuristic=row["heuristic"],
+                    model=row["model"],
+                    makespan=float(row["makespan"]),
+                    speedup=float(row["speedup"]),
+                    num_comms=int(row["num_comms"]),
+                    total_comm_time=float(row["total_comm_time"]),
+                    utilization=float(row["utilization"]),
+                    lower_bound=float(row["lower_bound"]),
+                    runtime_s=float(row["runtime_s"]),
+                )
+            )
+    return out
+
+
+def write_json(cells: Iterable[CellResult], path: str | Path) -> Path:
+    """Write cells as a JSON array of objects."""
+    path = Path(path)
+    path.write_text(json.dumps([c.as_dict() for c in cells], indent=2))
+    return path
+
+
+def read_json(path: str | Path) -> list[CellResult]:
+    """Read cells back from :func:`write_json` output."""
+    data = json.loads(Path(path).read_text())
+    return [CellResult(**item) for item in data]

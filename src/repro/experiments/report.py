@@ -1,0 +1,86 @@
+"""Text reports: the paper's series as aligned tables.
+
+The paper's Figures 7-12 each plot speedup versus problem size for HEFT
+and ILHA; :func:`format_run` prints the same series as one row per size
+(plus communication counts, which Section 4.4 highlights as ILHA's
+design goal).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .harness import CellResult, ExperimentRun
+
+
+def _fmt(value: float, width: int = 8, digits: int = 3) -> str:
+    return f"{value:{width}.{digits}f}"
+
+
+def format_run(run: ExperimentRun, show_comms: bool = True) -> str:
+    """One aligned table: a row per size, speedup columns per heuristic."""
+    heuristics = run.heuristics()
+    header = f"{'size':>6} {'tasks':>7}"
+    for h in heuristics:
+        header += f" {h + ' spd':>16}"
+        if show_comms:
+            header += f" {h + ' #msg':>16}"
+    lines = [run.description, header, "-" * len(header)]
+    by_size: dict[int, dict[str, CellResult]] = {}
+    tasks: dict[int, int] = {}
+    for cell in run.cells:
+        by_size.setdefault(cell.size, {})[cell.heuristic] = cell
+        tasks[cell.size] = cell.num_tasks
+    for size in sorted(by_size):
+        row = f"{size:>6} {tasks[size]:>7}"
+        for h in heuristics:
+            cell = by_size[size].get(h)
+            if cell is None:
+                row += f" {'-':>16}" + (f" {'-':>16}" if show_comms else "")
+                continue
+            row += f" {_fmt(cell.speedup, 16)}"
+            if show_comms:
+                row += f" {cell.num_comms:>16}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_comparison(run: ExperimentRun, base: str = "heft") -> str:
+    """Per-size gain of every heuristic over ``base`` (the paper's ~10%)."""
+    heuristics = [h for h in run.heuristics() if h != base]
+    header = f"{'size':>6} {base + ' spd':>12}"
+    for h in heuristics:
+        header += f" {h + ' gain%':>20}"
+    lines = [header, "-" * len(header)]
+    by_size: dict[int, dict[str, CellResult]] = {}
+    for cell in run.cells:
+        by_size.setdefault(cell.size, {})[cell.heuristic] = cell
+    for size in sorted(by_size):
+        cells = by_size[size]
+        if base not in cells:
+            continue
+        base_speedup = cells[base].speedup
+        row = f"{size:>6} {_fmt(base_speedup, 12)}"
+        for h in heuristics:
+            if h in cells and base_speedup > 0:
+                gain = (cells[h].speedup / base_speedup - 1.0) * 100.0
+                row += f" {gain:>19.1f}%"
+            else:
+                row += f" {'-':>20}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_cells(cells: Iterable[CellResult]) -> str:
+    """Flat dump of arbitrary cells (used by the CLI example)."""
+    lines = [
+        f"{'figure':>7} {'testbed':>10} {'size':>6} {'tasks':>7} "
+        f"{'heuristic':>16} {'speedup':>8} {'#msg':>7} {'makespan':>12} {'lb':>12}"
+    ]
+    for c in cells:
+        lines.append(
+            f"{c.figure:>7} {c.testbed:>10} {c.size:>6} {c.num_tasks:>7} "
+            f"{c.heuristic:>16} {c.speedup:>8.3f} {c.num_comms:>7} "
+            f"{c.makespan:>12.1f} {c.lower_bound:>12.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Task-graph generators: the paper's six testbeds and test utilities."""
+
+from .base import (
+    PAPER_COMM_RATIO,
+    apply_source_proportional_comm,
+    available_testbeds,
+    make_testbed,
+    register_generator,
+)
+from .doolittle import doolittle_graph
+from .fork import figure1_example, fork_graph, uniform_fork
+from .forkjoin import fork_join_graph, fork_join_speedup_bound
+from .laplace import laplace_graph
+from .ldmt import ldmt_graph
+from .lu import lu_graph, lu_task_count
+from .random_dags import layered_random, random_dag
+from .stencil import stencil_graph, stencil_grid
+from .toy import PAPER_CHILD_ORDER, toy_graph, toy_priority_key
+from .trees import diamond_chain, in_tree, out_tree
+
+__all__ = [
+    "PAPER_CHILD_ORDER",
+    "PAPER_COMM_RATIO",
+    "apply_source_proportional_comm",
+    "available_testbeds",
+    "doolittle_graph",
+    "figure1_example",
+    "fork_graph",
+    "fork_join_graph",
+    "fork_join_speedup_bound",
+    "laplace_graph",
+    "layered_random",
+    "ldmt_graph",
+    "lu_graph",
+    "lu_task_count",
+    "make_testbed",
+    "random_dag",
+    "register_generator",
+    "stencil_graph",
+    "stencil_grid",
+    "diamond_chain",
+    "in_tree",
+    "out_tree",
+    "toy_graph",
+    "toy_priority_key",
+    "uniform_fork",
+]

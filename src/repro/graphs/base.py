@@ -1,0 +1,65 @@
+"""Common helpers and the registry of testbed generators.
+
+Weight rules follow the paper's Section 5.2, and every testbed applies
+the same communication policy: the data volume on an edge ``u -> v`` is
+``comm_ratio`` times the *weight of the source task* — "we always
+communicate the data that has just been updated"; the paper uses
+``c = 10`` to model workstations on a slow Ethernet.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..core.exceptions import ConfigurationError, GraphError
+from ..core.taskgraph import TaskGraph
+
+#: The paper's communication-to-computation ratio (Section 5.2).
+PAPER_COMM_RATIO = 10.0
+
+
+def apply_source_proportional_comm(graph: TaskGraph, comm_ratio: float) -> TaskGraph:
+    """Set ``data(u, v) = comm_ratio * w(u)`` on every edge (in place)."""
+    if comm_ratio < 0:
+        raise GraphError(f"comm_ratio must be >= 0, got {comm_ratio}")
+    for u, v in list(graph.edges()):
+        graph.set_data(u, v, comm_ratio * graph.weight(u))
+    return graph
+
+
+GeneratorFn = Callable[..., TaskGraph]
+
+_GENERATORS: dict[str, GeneratorFn] = {}
+
+
+def register_generator(name: str) -> Callable[[GeneratorFn], GeneratorFn]:
+    """Decorator registering a testbed generator under ``name``."""
+
+    def wrap(fn: GeneratorFn) -> GeneratorFn:
+        if name in _GENERATORS:
+            raise ConfigurationError(f"duplicate generator {name!r}")
+        _GENERATORS[name] = fn
+        return fn
+
+    return wrap
+
+
+def make_testbed(name: str, size: int, comm_ratio: float = PAPER_COMM_RATIO) -> TaskGraph:
+    """Build a registered testbed by name.
+
+    ``size`` is the testbed's natural size parameter: the number of
+    interior tasks for ``fork-join``, the matrix dimension for ``lu`` /
+    ``doolittle`` / ``ldmt``, and the grid side for ``laplace`` /
+    ``stencil``.
+    """
+    try:
+        fn = _GENERATORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown testbed {name!r}; available: {sorted(_GENERATORS)}"
+        ) from None
+    return fn(size, comm_ratio=comm_ratio)
+
+
+def available_testbeds() -> list[str]:
+    return sorted(_GENERATORS)

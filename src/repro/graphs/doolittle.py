@@ -1,0 +1,49 @@
+"""The DOOLITTLE testbed: the task graph of Doolittle reduction.
+
+Doolittle's method computes ``A = L U`` directly: step ``k`` produces
+row ``k`` of ``U`` and column ``k`` of ``L`` through inner products of
+length ``~k`` against the already-computed factors.  Work therefore
+*grows* with the step index — Section 5.2: "the weight of a task at
+level k is k" — the mirror image of LU's shrinking weights.
+
+The dependence structure mirrors :mod:`repro.graphs.lu`: step ``k`` has
+a pivot task ``p(k)`` (row ``k`` of ``U``) feeding update tasks
+``u(k, j)`` (the entries of column ``k`` of ``L`` and the running sums
+of later rows, ``j = k+1 .. n``); column ``j``'s chain advances step by
+step and the next pivot needs the first update of the previous step.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import GraphError
+from ..core.taskgraph import TaskGraph
+from .base import PAPER_COMM_RATIO, apply_source_proportional_comm, register_generator
+
+
+def pivot(k: int) -> tuple:
+    return ("p", k)
+
+
+def update(k: int, j: int) -> tuple:
+    return ("u", k, j)
+
+
+@register_generator("doolittle")
+def doolittle_graph(n: int, comm_ratio: float = PAPER_COMM_RATIO) -> TaskGraph:
+    """Doolittle reduction DAG for an ``n x n`` matrix (size = ``n``)."""
+    if n < 2:
+        raise GraphError(f"doolittle needs n >= 2, got {n}")
+    g = TaskGraph(name=f"doolittle-{n}")
+    for k in range(1, n):
+        w = float(k)
+        g.add_task(pivot(k), w)
+        for j in range(k + 1, n + 1):
+            g.add_task(update(k, j), w)
+    for k in range(1, n):
+        for j in range(k + 1, n + 1):
+            g.add_dependency(pivot(k), update(k, j))
+        if k + 1 < n:
+            g.add_dependency(update(k, k + 1), pivot(k + 1))
+            for j in range(k + 2, n + 1):
+                g.add_dependency(update(k, j), update(k + 1, j))
+    return apply_source_proportional_comm(g, comm_ratio)

@@ -1,0 +1,64 @@
+"""Fork graphs: one parent broadcasting to N independent children.
+
+The fork is the paper's vehicle for both the Section 2.3 motivating
+example (Figure 1) and the Theorem 1 NP-completeness proof (Figure 2):
+under the one-port model the parent's outgoing messages serialize, so
+choosing which children to keep local is already a partitioning problem.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.exceptions import GraphError
+from ..core.taskgraph import TaskGraph
+
+#: Conventional node ids.
+PARENT = "v0"
+
+
+def child(i: int) -> str:
+    """Id of the ``i``-th child (1-based, matching the paper)."""
+    return f"v{i}"
+
+
+def fork_graph(
+    child_weights: Sequence[float],
+    child_data: Sequence[float] | None = None,
+    parent_weight: float = 1.0,
+    name: str = "fork",
+) -> TaskGraph:
+    """Fork with explicit per-child weights ``w_i`` and volumes ``d_i``.
+
+    ``child_data`` defaults to the child weights (``d_i = w_i``), which is
+    the convention of the Theorem 1 reduction.
+    """
+    if child_data is None:
+        child_data = list(child_weights)
+    if len(child_data) != len(child_weights):
+        raise GraphError("child_weights and child_data must have equal length")
+    g = TaskGraph(name=name)
+    g.add_task(PARENT, parent_weight)
+    for i, (w, d) in enumerate(zip(child_weights, child_data), start=1):
+        g.add_task(child(i), w)
+        g.add_dependency(PARENT, child(i), d)
+    return g
+
+
+def uniform_fork(n: int, weight: float = 1.0, data: float = 1.0) -> TaskGraph:
+    """Fork with ``n`` identical children (weights and volumes uniform)."""
+    if n < 0:
+        raise GraphError(f"n must be >= 0, got {n}")
+    return fork_graph([weight] * n, [data] * n, parent_weight=weight, name=f"fork-{n}")
+
+
+def figure1_example() -> TaskGraph:
+    """The Section 2.3 example: 6 unit children, unit communications.
+
+    On five identical processors with unit links the macro-dataflow
+    optimum is 3, the same allocation costs at least 6 under one-port,
+    and the one-port optimum is 5 (three children kept on the parent's
+    processor).  Tests and ``benchmarks/bench_fig01_fork_example.py``
+    verify all three numbers.
+    """
+    return uniform_fork(6, weight=1.0, data=1.0)

@@ -1,0 +1,52 @@
+"""The FORK-JOIN testbed (paper Figure 6 top, Figure 7 experiment).
+
+A source task fans out to ``n`` independent interior tasks which all
+join into a sink.  All weights are 1 (Section 5.2) and the data on each
+edge is ``comm_ratio`` times the source task's weight.
+
+The paper derives an analytic speedup bound for this graph under the
+one-port model (Section 5.3): to reach speedup ``s``, roughly
+``(s-1)/s * n`` messages must leave the source sequentially, giving
+``s <= w * t_min / c + 1`` — 1.6 for the paper platform (``t_min = 6``,
+``c = 10``, ``w = 1``); both heuristics reach ~1.58.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import GraphError
+from ..core.taskgraph import TaskGraph
+from .base import PAPER_COMM_RATIO, apply_source_proportional_comm, register_generator
+
+SOURCE = "source"
+SINK = "sink"
+
+
+def middle(i: int) -> str:
+    """Id of the ``i``-th interior task (0-based)."""
+    return f"m{i}"
+
+
+@register_generator("fork-join")
+def fork_join_graph(
+    n: int, comm_ratio: float = PAPER_COMM_RATIO, weight: float = 1.0
+) -> TaskGraph:
+    """FORK-JOIN with ``n`` interior tasks (problem size = ``n``)."""
+    if n < 1:
+        raise GraphError(f"fork-join needs n >= 1 interior tasks, got {n}")
+    g = TaskGraph(name=f"fork-join-{n}")
+    g.add_task(SOURCE, weight)
+    g.add_task(SINK, weight)
+    for i in range(n):
+        g.add_task(middle(i), weight)
+        g.add_dependency(SOURCE, middle(i))
+        g.add_dependency(middle(i), SINK)
+    return apply_source_proportional_comm(g, comm_ratio)
+
+
+def fork_join_speedup_bound(
+    weight: float, min_cycle_time: float, comm_ratio: float
+) -> float:
+    """The paper's analytic bound ``s <= w * t / c + 1`` (Section 5.3)."""
+    if comm_ratio <= 0:
+        return float("inf")
+    return weight * min_cycle_time / comm_ratio + 1.0

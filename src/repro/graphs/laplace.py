@@ -1,0 +1,41 @@
+"""The LAPLACE testbed: the diamond (wavefront) DAG of a Laplace solver.
+
+One sweep of a Gauss-Seidel-style Laplace solver updates grid point
+``(i, j)`` from its already-updated west and north neighbours, giving
+the dependence structure ``(i, j) -> (i+1, j)`` and ``(i, j) -> (i, j+1)``
+on an ``m x m`` grid.  All weights are 1 (Section 5.2).
+
+Every source-to-sink path in this DAG has exactly ``2m - 1`` tasks, so
+*every* node lies on a critical path — the property the paper quotes
+("all nodes are on a critical path") to explain why a large chunk
+``B = 38`` is best: no task is more urgent than another, and the big
+chunk lets ILHA balance load and kill communications.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import GraphError
+from ..core.taskgraph import TaskGraph
+from .base import PAPER_COMM_RATIO, apply_source_proportional_comm, register_generator
+
+
+def cell(i: int, j: int) -> tuple:
+    return (i, j)
+
+
+@register_generator("laplace")
+def laplace_graph(m: int, comm_ratio: float = PAPER_COMM_RATIO) -> TaskGraph:
+    """Diamond DAG on an ``m x m`` grid (problem size = grid side ``m``)."""
+    if m < 1:
+        raise GraphError(f"laplace needs m >= 1, got {m}")
+    g = TaskGraph(name=f"laplace-{m}")
+    for i in range(m):
+        for j in range(m):
+            g.add_task(cell(i, j), 1.0)
+    for i in range(m):
+        for j in range(m):
+            if i + 1 < m:
+                g.add_dependency(cell(i, j), cell(i + 1, j))
+            if j + 1 < m:
+                g.add_dependency(cell(i, j), cell(i, j + 1))
+    return apply_source_proportional_comm(g, comm_ratio)

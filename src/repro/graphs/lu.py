@@ -1,0 +1,63 @@
+"""The LU testbed: the task graph of Gaussian elimination.
+
+The classical kernel of the paper's reference [5] (Cosnard, Marrakchi,
+Robert & Trystram, *Parallel Gaussian elimination on a MIMD computer*):
+factoring an ``n x n`` matrix proceeds in steps ``k = 1 .. n-1``; step
+``k`` prepares the pivot column (task ``p(k)``) and then updates every
+remaining column ``j`` in ``k+1 .. n`` (task ``u(k, j)``).
+
+Dependences:
+
+* ``p(k) -> u(k, j)`` — the multipliers of column ``k`` feed every
+  update of step ``k``;
+* ``u(k, k+1) -> p(k+1)`` — the next pivot column must be up to date;
+* ``u(k, j) -> u(k+1, j)`` for ``j >= k+2`` — updating column ``j`` at
+  step ``k+1`` needs its state after step ``k``.
+
+Weights follow Section 5.2: every task of step ``k`` (both pivot and
+updates) costs ``n - k`` — the updated vectors shrink as elimination
+proceeds.  The graph has ``(n-1)(n+2)/2`` tasks; its available
+parallelism (the step width ``n - k``) shrinks towards the end, which is
+why the paper finds a *small* chunk ``B = 4`` best: the critical path
+(the pivot chain) must advance quickly.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import GraphError
+from ..core.taskgraph import TaskGraph
+from .base import PAPER_COMM_RATIO, apply_source_proportional_comm, register_generator
+
+
+def pivot(k: int) -> tuple:
+    return ("p", k)
+
+
+def update(k: int, j: int) -> tuple:
+    return ("u", k, j)
+
+
+@register_generator("lu")
+def lu_graph(n: int, comm_ratio: float = PAPER_COMM_RATIO) -> TaskGraph:
+    """LU elimination DAG for an ``n x n`` matrix (problem size = ``n``)."""
+    if n < 2:
+        raise GraphError(f"lu needs n >= 2, got {n}")
+    g = TaskGraph(name=f"lu-{n}")
+    for k in range(1, n):
+        w = float(n - k)
+        g.add_task(pivot(k), w)
+        for j in range(k + 1, n + 1):
+            g.add_task(update(k, j), w)
+    for k in range(1, n):
+        for j in range(k + 1, n + 1):
+            g.add_dependency(pivot(k), update(k, j))
+        if k + 1 < n:
+            g.add_dependency(update(k, k + 1), pivot(k + 1))
+            for j in range(k + 2, n + 1):
+                g.add_dependency(update(k, j), update(k + 1, j))
+    return apply_source_proportional_comm(g, comm_ratio)
+
+
+def lu_task_count(n: int) -> int:
+    """Closed form for the number of tasks of :func:`lu_graph`."""
+    return (n - 1) * (n + 2) // 2

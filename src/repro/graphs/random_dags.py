@@ -1,0 +1,82 @@
+"""Random DAG generators for property-based testing and extra experiments.
+
+Two families:
+
+* :func:`layered_random` — tasks arranged in layers with edges only
+  between consecutive layers (the shape of most numerical kernels); the
+  width, depth, and edge density are controllable, and every non-entry
+  task is guaranteed at least one parent so the DAG stays connected
+  "downwards".
+* :func:`random_dag` — Erdős–Rényi over a fixed topological order: edge
+  ``i -> j`` (``i < j``) present independently with probability ``p``.
+
+Both take explicit seeds and draw weights/volumes from user ranges, so
+hypothesis-driven tests can shrink failures deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.exceptions import GraphError
+from ..core.taskgraph import TaskGraph
+
+
+def layered_random(
+    num_layers: int,
+    width: int,
+    density: float = 0.5,
+    seed: int = 0,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+    data_range: tuple[float, float] = (0.0, 10.0),
+) -> TaskGraph:
+    """Layered DAG: ``num_layers`` layers of up to ``width`` tasks each.
+
+    Each task of layer ``i+1`` connects to each task of layer ``i`` with
+    probability ``density``; tasks left parentless get one uniformly
+    random parent from the previous layer.
+    """
+    if num_layers < 1 or width < 1:
+        raise GraphError(f"need num_layers, width >= 1, got {num_layers}, {width}")
+    if not (0.0 <= density <= 1.0):
+        raise GraphError(f"density must be in [0, 1], got {density}")
+    rng = random.Random(seed)
+    g = TaskGraph(name=f"layered-{num_layers}x{width}-s{seed}")
+    layers: list[list[tuple]] = []
+    for layer in range(num_layers):
+        size = rng.randint(1, width)
+        nodes = [(layer, i) for i in range(size)]
+        for node in nodes:
+            g.add_task(node, rng.uniform(*weight_range))
+        layers.append(nodes)
+    for prev, cur in zip(layers, layers[1:]):
+        for node in cur:
+            parents = [p for p in prev if rng.random() < density]
+            if not parents:
+                parents = [prev[rng.randrange(len(prev))]]
+            for p in parents:
+                g.add_dependency(p, node, rng.uniform(*data_range))
+    return g
+
+
+def random_dag(
+    n: int,
+    edge_prob: float = 0.3,
+    seed: int = 0,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+    data_range: tuple[float, float] = (0.0, 10.0),
+) -> TaskGraph:
+    """Erdős–Rényi DAG on ``n`` topologically ordered tasks."""
+    if n < 1:
+        raise GraphError(f"n must be >= 1, got {n}")
+    if not (0.0 <= edge_prob <= 1.0):
+        raise GraphError(f"edge_prob must be in [0, 1], got {edge_prob}")
+    rng = random.Random(seed)
+    g = TaskGraph(name=f"random-{n}-s{seed}")
+    for i in range(n):
+        g.add_task(i, rng.uniform(*weight_range))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < edge_prob:
+                g.add_dependency(i, j, rng.uniform(*data_range))
+    return g

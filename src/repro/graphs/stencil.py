@@ -1,0 +1,46 @@
+"""The STENCIL testbed: a row-synchronous three-point stencil DAG.
+
+Task ``(r, c)`` of row ``r`` depends on up to three tasks of the
+previous row: ``(r-1, c-1)``, ``(r-1, c)``, ``(r-1, c+1)``.  All
+weights are 1 (Section 5.2).
+
+This is the testbed where the paper observes *decreasing* speedup as
+the problem grows (Figure 12): once the row width exceeds the processor
+count, every row boundary between two processors forces cross messages
+that the one-port model serializes on the senders' and receivers'
+ports, and these serialized transfers become the bottleneck.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import GraphError
+from ..core.taskgraph import TaskGraph
+from .base import PAPER_COMM_RATIO, apply_source_proportional_comm, register_generator
+
+
+def cell(r: int, c: int) -> tuple:
+    return (r, c)
+
+
+def stencil_grid(
+    width: int, height: int, comm_ratio: float = PAPER_COMM_RATIO
+) -> TaskGraph:
+    """Stencil DAG with explicit ``width`` (columns) and ``height`` (rows)."""
+    if width < 1 or height < 1:
+        raise GraphError(f"stencil needs width, height >= 1, got {width}x{height}")
+    g = TaskGraph(name=f"stencil-{width}x{height}")
+    for r in range(height):
+        for c in range(width):
+            g.add_task(cell(r, c), 1.0)
+    for r in range(1, height):
+        for c in range(width):
+            for dc in (-1, 0, 1):
+                if 0 <= c + dc < width:
+                    g.add_dependency(cell(r - 1, c + dc), cell(r, c))
+    return apply_source_proportional_comm(g, comm_ratio)
+
+
+@register_generator("stencil")
+def stencil_graph(m: int, comm_ratio: float = PAPER_COMM_RATIO) -> TaskGraph:
+    """Square ``m x m`` stencil (problem size = grid side ``m``)."""
+    return stencil_grid(m, m, comm_ratio)

@@ -1,0 +1,89 @@
+"""Tree-shaped task graphs: broadcasts and reductions.
+
+The fork graph of the paper's complexity section is the depth-1
+broadcast; these generators provide the general out-tree (broadcast /
+divide) and in-tree (reduction / conquer) families used throughout the
+scheduling literature, for experiments beyond the paper's six testbeds
+("more extensive experimental validation", Section 6).
+
+Under the one-port model, trees stress a single phenomenon: at each
+internal node all child messages serialize on one send port (out-tree)
+or all parent messages on one receive port (in-tree).
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import GraphError
+from ..core.taskgraph import TaskGraph
+from .base import PAPER_COMM_RATIO, apply_source_proportional_comm
+
+
+def out_tree(
+    depth: int,
+    arity: int = 2,
+    weight: float = 1.0,
+    comm_ratio: float = PAPER_COMM_RATIO,
+) -> TaskGraph:
+    """Complete ``arity``-ary broadcast tree of the given ``depth``.
+
+    The root is level 0; every node feeds ``arity`` children.  Node ids
+    are ``(level, index)``.
+    """
+    if depth < 0 or arity < 1:
+        raise GraphError(f"need depth >= 0 and arity >= 1, got {depth}, {arity}")
+    g = TaskGraph(name=f"out-tree-d{depth}-a{arity}")
+    for level in range(depth + 1):
+        for i in range(arity**level):
+            g.add_task((level, i), weight)
+    for level in range(depth):
+        for i in range(arity**level):
+            for c in range(arity):
+                g.add_dependency((level, i), (level + 1, i * arity + c))
+    return apply_source_proportional_comm(g, comm_ratio)
+
+
+def in_tree(
+    depth: int,
+    arity: int = 2,
+    weight: float = 1.0,
+    comm_ratio: float = PAPER_COMM_RATIO,
+) -> TaskGraph:
+    """Complete ``arity``-ary reduction tree: leaves at level 0 merge
+    down to a single root at level ``depth``."""
+    if depth < 0 or arity < 1:
+        raise GraphError(f"need depth >= 0 and arity >= 1, got {depth}, {arity}")
+    g = TaskGraph(name=f"in-tree-d{depth}-a{arity}")
+    for level in range(depth + 1):
+        for i in range(arity ** (depth - level)):
+            g.add_task((level, i), weight)
+    for level in range(depth):
+        for i in range(arity ** (depth - level - 1)):
+            for c in range(arity):
+                g.add_dependency((level, i * arity + c), (level + 1, i))
+    return apply_source_proportional_comm(g, comm_ratio)
+
+
+def diamond_chain(
+    stages: int,
+    width: int,
+    weight: float = 1.0,
+    comm_ratio: float = PAPER_COMM_RATIO,
+) -> TaskGraph:
+    """Alternating fork-join stages: a chain of ``stages`` bundles of
+    ``width`` parallel tasks between synchronization points.
+
+    Models iterative bulk-synchronous computations; each join node is a
+    one-port receive hot-spot, each fork node a send hot-spot.
+    """
+    if stages < 1 or width < 1:
+        raise GraphError(f"need stages, width >= 1, got {stages}, {width}")
+    g = TaskGraph(name=f"diamond-chain-{stages}x{width}")
+    g.add_task(("sync", 0), weight)
+    for s in range(stages):
+        for i in range(width):
+            g.add_task(("par", s, i), weight)
+            g.add_dependency(("sync", s), ("par", s, i))
+        g.add_task(("sync", s + 1), weight)
+        for i in range(width):
+            g.add_dependency(("par", s, i), ("sync", s + 1))
+    return apply_source_proportional_comm(g, comm_ratio)

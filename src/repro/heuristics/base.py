@@ -1,0 +1,335 @@
+"""Shared machinery for list-scheduling heuristics.
+
+:class:`SchedulerState` owns everything a heuristic mutates while
+building a schedule: one compute :class:`~repro.core.timeline.Timeline`
+per processor, the communication state of the chosen model, the
+:class:`~repro.core.schedule.Schedule` under construction, and the
+finish times seen so far.  Its :meth:`~SchedulerState.evaluate` /
+:meth:`~SchedulerState.commit` pair implements the earliest-finish-time
+(EFT) engine all heuristics in this package are built on: evaluating a
+candidate books the task's incoming communications *tentatively* through
+the model's trial mechanism (Section 4.3 of the paper), so rejected
+candidates leave no trace.
+
+:class:`ReadyQueue` maintains the ready set ordered by priority, and the
+:func:`register_scheduler` registry lets experiments construct heuristics
+by name.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+from ..core.exceptions import ConfigurationError, SchedulingError
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+from ..core.timeline import Timeline
+from ..models.base import CommTrial, CommunicationModel
+from ..models.macro_dataflow import MacroDataflowModel
+from ..models.one_port import OnePortModel
+
+TaskId = Hashable
+PriorityKey = Callable[[TaskId], tuple]
+
+
+def make_model(platform: Platform, model: str | CommunicationModel) -> CommunicationModel:
+    """Resolve a model name (``"one-port"`` / ``"macro-dataflow"``) or pass through."""
+    if isinstance(model, CommunicationModel):
+        return model
+    if model == "one-port":
+        return OnePortModel(platform)
+    if model == "macro-dataflow":
+        return MacroDataflowModel(platform)
+    raise ConfigurationError(f"unknown communication model {model!r}")
+
+
+@dataclass(slots=True)
+class Candidate:
+    """Outcome of evaluating one (task, processor) placement."""
+
+    task: TaskId
+    proc: int
+    start: float
+    finish: float
+    trial: CommTrial
+
+    @property
+    def est(self) -> float:
+        """Earliest start time found for the task (same as ``start``)."""
+        return self.start
+
+
+class SchedulerState:
+    """Mutable state of one scheduling run (see module docstring)."""
+
+    __slots__ = (
+        "graph",
+        "platform",
+        "model",
+        "maps",
+        "compute",
+        "comm",
+        "schedule",
+        "finish",
+        "insertion",
+    )
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        platform: Platform,
+        model: CommunicationModel,
+        heuristic: str = "",
+        insertion: bool = True,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.platform = platform
+        self.model = model
+        self.maps = graph.as_maps()
+        self.compute = [Timeline() for _ in platform.processors]
+        if getattr(model, "wants_compute", False):
+            # variant models (e.g. no communication/computation overlap)
+            # book transfers on the compute timelines too
+            model.bind_compute(self.compute)
+        self.comm = model.new_state()
+        self.schedule = Schedule(graph, platform, model=model.name, heuristic=heuristic)
+        self.finish: dict[TaskId, float] = {}
+        self.insertion = insertion
+
+    # ------------------------------------------------------------------
+    # EFT engine
+    # ------------------------------------------------------------------
+    def parents_info(self, task: TaskId) -> list[tuple[TaskId, int, float, float]]:
+        """Incoming edges as ``(parent, parent_proc, parent_finish, data)``.
+
+        Sorted by (finish, insertion index): the order in which the
+        task's incoming messages are greedily booked on the ports.  The
+        paper does not fix this order; first-finished-first is the
+        natural greedy choice (data that exists earliest ships earliest).
+        """
+        maps = self.maps
+        placements = self.schedule.placements
+        out = []
+        for parent in maps.preds[task]:
+            try:
+                placement = placements[parent]
+            except KeyError:
+                raise SchedulingError(
+                    f"task {task!r} evaluated before its parent {parent!r} was scheduled"
+                ) from None
+            out.append((parent, placement.proc, placement.finish, maps.data[(parent, task)]))
+        out.sort(key=lambda item: (item[2], maps.index[item[0]]))
+        return out
+
+    def evaluate(
+        self,
+        task: TaskId,
+        proc: int,
+        parents: Sequence[tuple[TaskId, int, float, float]] | None = None,
+        insertion: bool | None = None,
+    ) -> Candidate:
+        """EFT of ``task`` on ``proc``: tentative comms + compute slot.
+
+        Incoming messages are booked through a fresh model trial; the
+        compute slot is the earliest free window of length
+        ``w(task) * t_proc`` at or after the latest arrival (insertion
+        scheduling by default).  Nothing is committed.
+        """
+        if parents is None:
+            parents = self.parents_info(task)
+        trial = self.comm.trial()
+        est = 0.0
+        for parent, pproc, pfinish, data in parents:
+            arrival = trial.edge_arrival(parent, task, pproc, proc, pfinish, data)
+            if arrival > est:
+                est = arrival
+        duration = self.platform.exec_time(self.maps.weight[task], proc)
+        use_insertion = self.insertion if insertion is None else insertion
+        if use_insertion:
+            start = self.compute[proc].next_fit(est, duration)
+        else:
+            start = self.compute[proc].next_after_last(est)
+        return Candidate(task, proc, start, start + duration, trial)
+
+    def evaluate_all(
+        self,
+        task: TaskId,
+        procs: Iterable[int] | None = None,
+        insertion: bool | None = None,
+    ) -> list[Candidate]:
+        """Evaluate ``task`` on every processor (or the given subset)."""
+        parents = self.parents_info(task)
+        procs = self.platform.processors if procs is None else procs
+        return [self.evaluate(task, proc, parents, insertion) for proc in procs]
+
+    def best_candidate(
+        self,
+        task: TaskId,
+        procs: Iterable[int] | None = None,
+        insertion: bool | None = None,
+    ) -> Candidate:
+        """Minimum-EFT candidate; ties broken by start time then processor
+        index (the paper's toy example sends ties to ``P0``)."""
+        candidates = self.evaluate_all(task, procs, insertion)
+        if not candidates:
+            raise SchedulingError(f"no candidate processors for task {task!r}")
+        return min(candidates, key=lambda c: (c.finish, c.start, c.proc))
+
+    def commit(self, candidate: Candidate) -> None:
+        """Make a candidate permanent: comms, compute window, placement."""
+        candidate.trial.commit(self.schedule)
+        self.compute[candidate.proc].reserve(
+            candidate.start, candidate.finish, candidate.task
+        )
+        self.schedule.place(
+            candidate.task, candidate.proc, candidate.start, candidate.finish
+        )
+        self.finish[candidate.task] = candidate.finish
+
+    def schedule_on(
+        self, task: TaskId, proc: int, insertion: bool | None = None
+    ) -> Candidate:
+        """Evaluate-and-commit ``task`` on a fixed processor."""
+        candidate = self.evaluate(task, proc, insertion=insertion)
+        self.commit(candidate)
+        return candidate
+
+    # ------------------------------------------------------------------
+    # snapshots (for chunk-rescheduling variants)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "SchedulerState":
+        """Deep copy: trial-run a whole chunk without touching this state."""
+        dup = object.__new__(SchedulerState)
+        dup.graph = self.graph
+        dup.platform = self.platform
+        dup.model = self.model
+        dup.maps = self.maps
+        dup.compute = [t.copy() for t in self.compute]
+        dup.comm = self.comm.copy()
+        if hasattr(dup.comm, "compute"):
+            # compute-sharing models must follow the copied timelines
+            dup.comm.compute = dup.compute
+        dup.schedule = Schedule(
+            self.graph,
+            self.platform,
+            model=self.schedule.model,
+            heuristic=self.schedule.heuristic,
+        )
+        dup.schedule.placements = dict(self.schedule.placements)
+        dup.schedule.comm_events = list(self.schedule.comm_events)
+        dup.finish = dict(self.finish)
+        dup.insertion = self.insertion
+        return dup
+
+
+class ReadyQueue:
+    """Ready tasks ordered by priority (a heap keyed by ``key(task)``).
+
+    Tracks the remaining in-degree of every task; :meth:`complete` marks
+    a task finished and enqueues the children that became ready.
+    """
+
+    __slots__ = ("_key", "_heap", "_remaining", "_succs", "_index")
+
+    def __init__(self, graph: TaskGraph, key: PriorityKey) -> None:
+        maps = graph.as_maps()
+        self._key = key
+        self._succs = maps.succs
+        self._index = maps.index
+        self._remaining = {v: len(maps.preds[v]) for v in maps.preds}
+        self._heap: list[tuple] = []
+        for v in maps.index:
+            if self._remaining[v] == 0:
+                self._push(v)
+
+    def _push(self, task: TaskId) -> None:
+        # The unique insertion index keeps heap entries totally ordered
+        # without ever comparing (possibly mixed-type) task ids.
+        heapq.heappush(self._heap, (self._key(task), self._index[task], task))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def pop(self) -> TaskId:
+        """Highest-priority ready task."""
+        return heapq.heappop(self._heap)[-1]
+
+    def pop_chunk(self, size: int) -> list[TaskId]:
+        """Up to ``size`` highest-priority ready tasks, in priority order."""
+        out = []
+        while self._heap and len(out) < size:
+            out.append(heapq.heappop(self._heap)[-1])
+        return out
+
+    def push_back(self, task: TaskId) -> None:
+        """Return an unscheduled task to the queue (chunk leftovers)."""
+        self._push(task)
+
+    def complete(self, task: TaskId) -> list[TaskId]:
+        """Mark ``task`` done; enqueue and return newly-ready children."""
+        newly = []
+        for child in self._succs[task]:
+            self._remaining[child] -= 1
+            if self._remaining[child] == 0:
+                self._push(child)
+                newly.append(child)
+        return newly
+
+
+class Scheduler(ABC):
+    """Base class: a configured heuristic that schedules graphs."""
+
+    #: Registry name; subclasses set this.
+    name: str = ""
+
+    @abstractmethod
+    def run(
+        self,
+        graph: TaskGraph,
+        platform: Platform,
+        model: str | CommunicationModel = "one-port",
+    ) -> Schedule:
+        """Schedule ``graph`` on ``platform`` under ``model``."""
+
+    def __call__(self, graph, platform, model="one-port") -> Schedule:
+        return self.run(graph, platform, model)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, type[Scheduler]] = {}
+
+
+def register_scheduler(cls: type[Scheduler]) -> type[Scheduler]:
+    """Class decorator adding a scheduler to the global registry."""
+    if not cls.name:
+        raise ConfigurationError(f"{cls.__name__} has no registry name")
+    if cls.name in _REGISTRY:
+        raise ConfigurationError(f"duplicate scheduler name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available_schedulers() -> list[str]:
+    """Names of all registered schedulers."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,86 @@
+"""Min-min and max-min batch heuristics.
+
+Classic independent-task mapping heuristics extended to DAGs: at every
+step, the earliest-finish-time of *each* ready task on its best
+processor is computed; min-min commits the task that can finish
+soonest (greedy throughput), max-min the task whose best finish is
+latest (large tasks first).  Both are quadratic in the ready-set size
+and serve as additional comparison points for the experiments beyond
+the paper's own baselines.
+"""
+
+from __future__ import annotations
+
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+from ..models.base import CommunicationModel
+from .base import (
+    Candidate,
+    Scheduler,
+    SchedulerState,
+    make_model,
+    register_scheduler,
+)
+
+
+class _BatchScheduler(Scheduler):
+    """Shared machinery: repeatedly commit an extreme best-candidate."""
+
+    #: ``False`` = min-min (earliest best finish), ``True`` = max-min.
+    take_max = False
+
+    def __init__(self, insertion: bool = True):
+        self.insertion = insertion
+
+    def run(
+        self,
+        graph: TaskGraph,
+        platform: Platform,
+        model: str | CommunicationModel = "one-port",
+    ) -> Schedule:
+        model = make_model(platform, model)
+        state = SchedulerState(
+            graph, platform, model, heuristic=self.name, insertion=self.insertion
+        )
+        maps = graph.as_maps()
+        remaining = {v: len(maps.preds[v]) for v in maps.index}
+        ready = [v for v in maps.index if remaining[v] == 0]
+
+        while ready:
+            chosen: Candidate | None = None
+            chosen_key: tuple | None = None
+            for task in ready:
+                cand = state.best_candidate(task)
+                finish = -cand.finish if self.take_max else cand.finish
+                key = (finish, maps.index[task])
+                if chosen_key is None or key < chosen_key:
+                    chosen_key = key
+                    chosen = cand
+            assert chosen is not None
+            # Re-evaluate on the live state: the stored trial was built
+            # against the same state (no commits in between), so it is
+            # still valid to commit directly.
+            state.commit(chosen)
+            ready.remove(chosen.task)
+            for child in maps.succs[chosen.task]:
+                remaining[child] -= 1
+                if remaining[child] == 0:
+                    ready.append(child)
+        return state.schedule
+
+
+@register_scheduler
+class MinMin(_BatchScheduler):
+    """Commit the ready task with the earliest achievable finish."""
+
+    name = "min-min"
+    take_max = False
+
+
+@register_scheduler
+class MaxMin(_BatchScheduler):
+    """Commit the ready task whose best finish is the latest."""
+
+    name = "max-min"
+    take_max = True

@@ -1,0 +1,76 @@
+"""Reference schedulers: serial execution and random mapping.
+
+* :class:`Serial` runs the whole graph on one processor (the fastest by
+  default) in topological order — its makespan is exactly the paper's
+  sequential reference time, so its speedup is 1.0 by construction.
+* :class:`RandomMapper` assigns every task to a uniformly random
+  processor and books communications greedily in topological order.  It
+  is deliberately naive: the test-suite uses it to exercise the
+  validators on diverse, valid-but-inefficient schedules, and the
+  experiments use it as a floor.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+from ..models.base import CommunicationModel
+from .base import Scheduler, SchedulerState, make_model, register_scheduler
+
+
+@register_scheduler
+class Serial(Scheduler):
+    """Everything on one processor, topological order, no communications."""
+
+    name = "serial"
+
+    def __init__(self, proc: int | None = None):
+        self.proc = proc
+
+    def run(
+        self,
+        graph: TaskGraph,
+        platform: Platform,
+        model: str | CommunicationModel = "one-port",
+    ) -> Schedule:
+        model = make_model(platform, model)
+        state = SchedulerState(graph, platform, model, heuristic=self.name)
+        proc = self.proc if self.proc is not None else platform.fastest_processor()
+        for task in graph.topological_order():
+            state.schedule_on(task, proc)
+        return state.schedule
+
+
+@register_scheduler
+class RandomMapper(Scheduler):
+    """Uniformly random allocation with greedy communication booking.
+
+    Deterministic for a given ``seed``.  Scheduling order is topological,
+    so parents are always placed before children and the resulting
+    schedule is valid under the chosen model.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, insertion: bool = True):
+        self.seed = seed
+        self.insertion = insertion
+
+    def run(
+        self,
+        graph: TaskGraph,
+        platform: Platform,
+        model: str | CommunicationModel = "one-port",
+    ) -> Schedule:
+        model = make_model(platform, model)
+        state = SchedulerState(
+            graph, platform, model, heuristic=self.name, insertion=self.insertion
+        )
+        rng = random.Random(self.seed)
+        p = platform.num_processors
+        for task in graph.topological_order():
+            state.schedule_on(task, rng.randrange(p))
+        return state.schedule

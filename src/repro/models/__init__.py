@@ -1,0 +1,29 @@
+"""Communication models: macro-dataflow, one-port, routed one-port."""
+
+from .base import CommState, CommTrial, CommunicationModel
+from .macro_dataflow import MacroDataflowModel, MacroDataflowState
+from .one_port import OnePortModel, OnePortState
+from .routing import RoutedOnePortModel, RoutedOnePortState, build_routing_table
+from .variants import (
+    NoOverlapOnePortModel,
+    UniPortModel,
+    validate_no_overlap,
+    validate_uni_port,
+)
+
+__all__ = [
+    "CommState",
+    "CommTrial",
+    "CommunicationModel",
+    "MacroDataflowModel",
+    "MacroDataflowState",
+    "NoOverlapOnePortModel",
+    "OnePortModel",
+    "OnePortState",
+    "RoutedOnePortModel",
+    "RoutedOnePortState",
+    "UniPortModel",
+    "build_routing_table",
+    "validate_no_overlap",
+    "validate_uni_port",
+]

@@ -1,0 +1,91 @@
+"""Communication-model interface shared by all scheduling heuristics.
+
+A :class:`CommunicationModel` encapsulates *how communications consume
+resources*: the macro-dataflow model consumes none (any number of
+messages flow simultaneously), the one-port model serializes messages on
+per-processor send/receive ports, and the routed model additionally
+forwards messages hop by hop over a sparse topology.
+
+Heuristics never manipulate ports directly.  The protocol is:
+
+1. ``state = model.new_state()`` — fresh resource state for one run;
+2. ``trial = state.trial()`` — tentative view for evaluating *one*
+   candidate placement;
+3. ``trial.edge_arrival(...)`` per incoming edge — books tentative
+   resources, returns when the data reaches the candidate processor;
+4. either drop the trial (candidate rejected) or
+   ``trial.commit(schedule)`` — replay the tentative bookings onto the
+   state and append the corresponding :class:`~repro.core.schedule.CommEvent`
+   records to the schedule.
+
+This mirrors the paper's Section 4.3: "since we have access to current
+communication schedules for all processors, we can assign the new
+communications as early as possible, in a greedy fashion" — the *trial*
+is how a candidate's communications are placed without disturbing the
+committed schedules of the other candidates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable
+
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+
+TaskId = Hashable
+
+
+class CommTrial(ABC):
+    """Tentative communication bookings for one candidate placement."""
+
+    @abstractmethod
+    def edge_arrival(
+        self,
+        src_task: TaskId,
+        dst_task: TaskId,
+        src_proc: int,
+        dst_proc: int,
+        ready: float,
+        data: float,
+    ) -> float:
+        """Book the transfer of ``data`` items for edge ``src->dst``.
+
+        ``ready`` is the earliest the message may leave (the source
+        task's finish time).  Returns the arrival time at ``dst_proc``
+        (``ready`` itself when both tasks share a processor).  The
+        booking is tentative until :meth:`commit`.
+        """
+
+    @abstractmethod
+    def commit(self, schedule: Schedule) -> None:
+        """Make every tentative booking permanent and record its events."""
+
+
+class CommState(ABC):
+    """Committed communication-resource state for one scheduling run."""
+
+    @abstractmethod
+    def trial(self) -> CommTrial:
+        """A fresh tentative view over this state."""
+
+    def copy(self) -> "CommState":
+        """Deep copy (used by chunk-rescheduling heuristic variants)."""
+        raise NotImplementedError
+
+
+class CommunicationModel(ABC):
+    """Factory for per-run communication states; carries the model name."""
+
+    #: Model identifier, matching :mod:`repro.core.validation` constants.
+    name: str = ""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+
+    @abstractmethod
+    def new_state(self) -> CommState:
+        """Fresh, empty communication state for a scheduling run."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(p={self.platform.num_processors})"

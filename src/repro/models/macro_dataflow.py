@@ -1,0 +1,81 @@
+"""The classical macro-dataflow model: contention-free communications.
+
+Section 2.1 of the paper: a message of ``data`` items from processor
+``q`` to ``r`` takes ``data * link(q, r)`` time, may start the instant
+the source task completes, and consumes no shared resource — a processor
+can send or receive arbitrarily many messages simultaneously.  This is
+the model every classical heuristic (HEFT, CPOP, GDL, BIL, PCT...)
+assumes; the paper argues it is unrealistic and uses it as the baseline.
+
+Events are still recorded (one per remote edge) so that communication
+counts and a Gantt view remain available, and so that a macro-dataflow
+schedule can be *checked* against the one-port rules — which it will
+generally violate, as the paper's Figure 1 example shows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..core.validation import MACRO_DATAFLOW
+from .base import CommState, CommTrial, CommunicationModel
+
+TaskId = Hashable
+
+
+class MacroDataflowTrial(CommTrial):
+    """Trial bookings under macro-dataflow: pure arithmetic, no resources."""
+
+    __slots__ = ("_platform", "_pending")
+
+    def __init__(self, platform: Platform) -> None:
+        self._platform = platform
+        self._pending: list[tuple] = []
+
+    def edge_arrival(
+        self,
+        src_task: TaskId,
+        dst_task: TaskId,
+        src_proc: int,
+        dst_proc: int,
+        ready: float,
+        data: float,
+    ) -> float:
+        if src_proc == dst_proc:
+            return ready
+        duration = self._platform.comm_time(data, src_proc, dst_proc)
+        self._pending.append(
+            (src_task, dst_task, src_proc, dst_proc, ready, duration, data)
+        )
+        return ready + duration
+
+    def commit(self, schedule: Schedule) -> None:
+        for src_task, dst_task, q, r, start, duration, data in self._pending:
+            schedule.record_comm(src_task, dst_task, q, r, start, duration, data)
+        self._pending.clear()
+
+
+class MacroDataflowState(CommState):
+    """No shared communication state: every trial is independent."""
+
+    __slots__ = ("_platform",)
+
+    def __init__(self, platform: Platform) -> None:
+        self._platform = platform
+
+    def trial(self) -> MacroDataflowTrial:
+        return MacroDataflowTrial(self._platform)
+
+    def copy(self) -> "MacroDataflowState":
+        return MacroDataflowState(self._platform)
+
+
+class MacroDataflowModel(CommunicationModel):
+    """Factory for macro-dataflow communication states."""
+
+    name = MACRO_DATAFLOW
+
+    def new_state(self) -> MacroDataflowState:
+        return MacroDataflowState(self.platform)

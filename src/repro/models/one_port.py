@@ -1,0 +1,89 @@
+"""The bi-directional one-port model (the paper's contribution, §2.3).
+
+At any instant a processor sends to at most one processor and receives
+from at most one processor; sending and receiving may overlap each other
+and overlap computation.  Messages between disjoint sender/receiver
+pairs proceed in parallel — the model of a switched network (Myrinet-
+style permutation switches) or a multiplexed bus.
+
+A transfer ``q -> r`` of ``data`` items books the window
+``[start, start + data * link(q, r))`` on *both* ``q``'s send port and
+``r``'s receive port, where ``start`` is the earliest instant at or
+after the source task's completion at which that window is free on both
+ports — the greedy "as early as possible" rule of Section 4.3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..core.platform import Platform
+from ..core.ports import PortSet, PortSetOverlay
+from ..core.schedule import Schedule
+from ..core.validation import ONE_PORT
+from .base import CommState, CommTrial, CommunicationModel
+
+TaskId = Hashable
+
+
+class OnePortTrial(CommTrial):
+    """Tentative port bookings over a committed :class:`PortSet`."""
+
+    __slots__ = ("_platform", "_overlay", "_pending")
+
+    def __init__(self, platform: Platform, ports: PortSet) -> None:
+        self._platform = platform
+        self._overlay = PortSetOverlay(ports)
+        self._pending: list[tuple] = []
+
+    def edge_arrival(
+        self,
+        src_task: TaskId,
+        dst_task: TaskId,
+        src_proc: int,
+        dst_proc: int,
+        ready: float,
+        data: float,
+    ) -> float:
+        if src_proc == dst_proc:
+            return ready
+        duration = self._platform.comm_time(data, src_proc, dst_proc)
+        start = self._overlay.earliest_transfer(src_proc, dst_proc, ready, duration)
+        self._overlay.reserve_transfer(
+            src_proc, dst_proc, start, duration, tag=(src_task, dst_task)
+        )
+        self._pending.append(
+            (src_task, dst_task, src_proc, dst_proc, start, duration, data)
+        )
+        return start + duration
+
+    def commit(self, schedule: Schedule) -> None:
+        self._overlay.commit()
+        for src_task, dst_task, q, r, start, duration, data in self._pending:
+            schedule.record_comm(src_task, dst_task, q, r, start, duration, data)
+        self._pending.clear()
+
+
+class OnePortState(CommState):
+    """Committed send/receive port timelines for one scheduling run."""
+
+    __slots__ = ("_platform", "ports")
+
+    def __init__(self, platform: Platform, ports: PortSet | None = None) -> None:
+        self._platform = platform
+        self.ports = ports if ports is not None else PortSet(platform.num_processors)
+
+    def trial(self) -> OnePortTrial:
+        return OnePortTrial(self._platform, self.ports)
+
+    def copy(self) -> "OnePortState":
+        return OnePortState(self._platform, self.ports.copy())
+
+
+class OnePortModel(CommunicationModel):
+    """Factory for bi-directional one-port communication states."""
+
+    name = ONE_PORT
+
+    def new_state(self) -> OnePortState:
+        return OnePortState(self.platform)

@@ -1,0 +1,155 @@
+"""One-port scheduling over sparse topologies with static routing.
+
+Section 4.3 of the paper notes that the model "can easily be extended to
+the case where the interconnection network is such that messages must be
+routed between some processor pairs: if there is no direct link from P2
+to P1, we redo the previous step for all intermediate messages between
+adjacent processors."  This module implements exactly that extension:
+
+* the platform's link matrix may contain ``inf`` for missing links;
+* a static routing table is precomputed (shortest paths by link cost,
+  ties broken deterministically), matching the fully static routing of
+  the related work by Sinnen & Sousa;
+* a logical transfer becomes a chain of store-and-forward hops, each
+  individually subject to the one-port rule on its own endpoints, and
+  each hop leaving no earlier than the previous hop's arrival.
+
+Intermediate processors relay with their ports only — relaying does not
+occupy their compute timeline (communication/computation overlap).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable
+
+import networkx as nx
+
+from ..core.exceptions import PlatformError
+from ..core.platform import Platform
+from ..core.ports import PortSet, PortSetOverlay
+from ..core.schedule import Schedule
+from ..core.validation import ONE_PORT
+from .base import CommState, CommTrial, CommunicationModel
+
+TaskId = Hashable
+
+
+def build_routing_table(platform: Platform) -> dict[tuple[int, int], list[int]]:
+    """Static routes between every ordered processor pair.
+
+    Each route is the node sequence ``[src, ..., dst]`` of a minimum
+    total-link-cost path (hop count breaks ties, then lexicographic node
+    order, so routes are deterministic).  Raises
+    :class:`~repro.core.exceptions.PlatformError` if some pair is
+    unreachable.
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(platform.processors)
+    for q in platform.processors:
+        for r in platform.processors:
+            if q != r and math.isfinite(platform.link_matrix[q, r]):
+                g.add_edge(q, r, cost=float(platform.link_matrix[q, r]))
+
+    table: dict[tuple[int, int], list[int]] = {}
+    for src in platform.processors:
+        # Dijkstra with deterministic tie-breaking on (cost, hops, path).
+        paths: dict[int, tuple[float, int, list[int]]] = {src: (0.0, 0, [src])}
+        frontier = [(0.0, 0, [src], src)]
+        import heapq
+
+        while frontier:
+            cost, hops, path, node = heapq.heappop(frontier)
+            if paths.get(node, (math.inf,))[0] < cost:
+                continue
+            for nxt in sorted(g.successors(node)):
+                ncost = cost + g.edges[node, nxt]["cost"]
+                cand = (ncost, hops + 1, path + [nxt])
+                if nxt not in paths or cand < paths[nxt]:
+                    paths[nxt] = cand
+                    heapq.heappush(frontier, (*cand, nxt))
+        for dst in platform.processors:
+            if dst == src:
+                table[(src, dst)] = [src]
+            elif dst in paths:
+                table[(src, dst)] = paths[dst][2]
+            else:
+                raise PlatformError(f"no route from P{src} to P{dst}")
+    return table
+
+
+class RoutedOnePortTrial(CommTrial):
+    """Tentative multi-hop bookings over a committed :class:`PortSet`."""
+
+    __slots__ = ("_platform", "_routes", "_overlay", "_pending")
+
+    def __init__(
+        self,
+        platform: Platform,
+        routes: dict[tuple[int, int], list[int]],
+        ports: PortSet,
+    ) -> None:
+        self._platform = platform
+        self._routes = routes
+        self._overlay = PortSetOverlay(ports)
+        self._pending: list[tuple] = []
+
+    def edge_arrival(
+        self,
+        src_task: TaskId,
+        dst_task: TaskId,
+        src_proc: int,
+        dst_proc: int,
+        ready: float,
+        data: float,
+    ) -> float:
+        if src_proc == dst_proc:
+            return ready
+        route = self._routes[(src_proc, dst_proc)]
+        t = ready
+        for hop, (a, b) in enumerate(zip(route, route[1:])):
+            duration = self._platform.comm_time(data, a, b)
+            start = self._overlay.earliest_transfer(a, b, t, duration)
+            self._overlay.reserve_transfer(a, b, start, duration, tag=(src_task, dst_task, hop))
+            self._pending.append((src_task, dst_task, a, b, start, duration, data, hop))
+            t = start + duration
+        return t
+
+    def commit(self, schedule: Schedule) -> None:
+        self._overlay.commit()
+        for src_task, dst_task, a, b, start, duration, data, hop in self._pending:
+            schedule.record_comm(src_task, dst_task, a, b, start, duration, data, hop)
+        self._pending.clear()
+
+
+class RoutedOnePortState(CommState):
+    __slots__ = ("_platform", "_routes", "ports")
+
+    def __init__(
+        self,
+        platform: Platform,
+        routes: dict[tuple[int, int], list[int]],
+        ports: PortSet | None = None,
+    ) -> None:
+        self._platform = platform
+        self._routes = routes
+        self.ports = ports if ports is not None else PortSet(platform.num_processors)
+
+    def trial(self) -> RoutedOnePortTrial:
+        return RoutedOnePortTrial(self._platform, self._routes, self.ports)
+
+    def copy(self) -> "RoutedOnePortState":
+        return RoutedOnePortState(self._platform, self._routes, self.ports.copy())
+
+
+class RoutedOnePortModel(CommunicationModel):
+    """One-port model over an arbitrary (connected) topology."""
+
+    name = ONE_PORT
+
+    def __init__(self, platform: Platform) -> None:
+        super().__init__(platform)
+        self.routes = build_routing_table(platform)
+
+    def new_state(self) -> RoutedOnePortState:
+        return RoutedOnePortState(self.platform, self.routes)

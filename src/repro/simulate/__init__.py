@@ -1,0 +1,5 @@
+"""Order-preserving replay simulation of one-port schedules."""
+
+from .replay import ReplayDecisions, extract_decisions, replay, replay_schedule
+
+__all__ = ["ReplayDecisions", "extract_decisions", "replay", "replay_schedule"]

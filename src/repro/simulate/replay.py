@@ -1,0 +1,192 @@
+"""Order-preserving replay: independent reconstruction of schedule times.
+
+A one-port schedule is fully determined by its *decisions* — the
+allocation ``alloc(v)``, the execution order on each processor, and the
+transfer order on each send and each receive port.  Given only those
+decisions, the earliest-start times satisfy a simple recurrence (each
+activity starts when its dependence and resource predecessors finish),
+solvable in one topological pass over the *constraint DAG*:
+
+* precedence edges — parent task → its outgoing transfer → child task
+  (or parent → child directly when co-located);
+* processor edges — consecutive tasks in a processor's order;
+* port edges — consecutive transfers in a send port's order and in a
+  receive port's order.
+
+:func:`replay_schedule` extracts the decisions from an existing
+schedule and re-derives all times from scratch.  Because the original
+times are one feasible solution of the same constraints and the replay
+computes the component-wise *least* solution, the replayed schedule
+
+* is valid under the same model,
+* starts every activity no later than the original, and
+* never increases the makespan.
+
+The test-suite uses this as an end-to-end cross-check on every
+heuristic (a timing bug in a heuristic that still passes the validator
+would show up as a replay mismatch), and `tighten=True` gives users a
+free post-pass that compacts any schedule without changing a single
+decision.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..core.exceptions import SchedulingError
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+
+TaskId = Hashable
+
+#: Constraint-DAG node ids: ("task", v) or ("comm", src, dst, hop).
+Node = tuple
+
+
+@dataclass
+class ReplayDecisions:
+    """The decision content of a schedule, stripped of all times."""
+
+    alloc: dict[TaskId, int]
+    proc_order: dict[int, list[TaskId]]
+    send_order: dict[int, list[tuple]]
+    recv_order: dict[int, list[tuple]]
+    #: (src, dst, hop) -> (from_proc, to_proc); identifies each transfer.
+    hops: dict[tuple, tuple[int, int]] = field(default_factory=dict)
+
+
+def extract_decisions(schedule: Schedule) -> ReplayDecisions:
+    """Pull allocation and all resource orders out of a schedule."""
+    alloc = {t: p.proc for t, p in schedule.placements.items()}
+    proc_order: dict[int, list[TaskId]] = {}
+    for proc in schedule.platform.processors:
+        proc_order[proc] = [p.task for p in schedule.tasks_on(proc)]
+    send_order: dict[int, list[tuple]] = {p: [] for p in schedule.platform.processors}
+    recv_order: dict[int, list[tuple]] = {p: [] for p in schedule.platform.processors}
+    hops: dict[tuple, tuple[int, int]] = {}
+    for e in sorted(schedule.comm_events, key=lambda e: (e.start, e.finish)):
+        key = (e.src_task, e.dst_task, e.hop)
+        if key in hops:
+            raise SchedulingError(f"duplicate transfer {key} in schedule")
+        hops[key] = (e.src_proc, e.dst_proc)
+        send_order[e.src_proc].append(key)
+        recv_order[e.dst_proc].append(key)
+    return ReplayDecisions(alloc, proc_order, send_order, recv_order, hops)
+
+
+def replay(
+    graph: TaskGraph,
+    platform: Platform,
+    decisions: ReplayDecisions,
+    heuristic: str = "replay",
+) -> Schedule:
+    """Least feasible times for the given decisions (see module docstring)."""
+    maps = graph.as_maps()
+    preds: dict[Node, list[Node]] = {}
+
+    def task_node(v) -> Node:
+        return ("task", v)
+
+    def comm_node(key) -> Node:
+        return ("comm", *key)
+
+    # durations
+    duration: dict[Node, float] = {}
+    for v in graph.tasks():
+        if v not in decisions.alloc:
+            raise SchedulingError(f"decisions missing task {v!r}")
+        duration[task_node(v)] = platform.exec_time(
+            maps.weight[v], decisions.alloc[v]
+        )
+        preds[task_node(v)] = []
+    for key, (a, b) in decisions.hops.items():
+        src, dst, hop = key
+        duration[comm_node(key)] = platform.comm_time(maps.data[(src, dst)], a, b)
+        preds[comm_node(key)] = []
+
+    # precedence: group hop chains per graph edge
+    chains: dict[tuple, list[tuple]] = {}
+    for key in decisions.hops:
+        chains.setdefault((key[0], key[1]), []).append(key)
+    for (src, dst), keys in chains.items():
+        keys.sort(key=lambda k: k[2])
+        if [k[2] for k in keys] != list(range(len(keys))):
+            raise SchedulingError(f"edge {src!r}->{dst!r}: non-contiguous hops")
+        preds[comm_node(keys[0])].append(task_node(src))
+        for a, b in zip(keys, keys[1:]):
+            preds[comm_node(b)].append(comm_node(a))
+        preds[task_node(dst)].append(comm_node(keys[-1]))
+    for u, v in graph.edges():
+        if decisions.alloc[u] == decisions.alloc[v]:
+            if (u, v) in chains:
+                raise SchedulingError(f"edge {u!r}->{v!r} is local but has transfers")
+            preds[task_node(v)].append(task_node(u))
+        elif (u, v) not in chains:
+            raise SchedulingError(f"remote edge {u!r}->{v!r} has no transfer")
+
+    # resource orders
+    for proc, tasks in decisions.proc_order.items():
+        for a, b in zip(tasks, tasks[1:]):
+            preds[task_node(b)].append(task_node(a))
+    for orders in (decisions.send_order, decisions.recv_order):
+        for proc, keys in orders.items():
+            for a, b in zip(keys, keys[1:]):
+                preds[comm_node(b)].append(comm_node(a))
+
+    # longest-path pass (Kahn) over the constraint DAG
+    indeg = {n: 0 for n in preds}
+    succs: dict[Node, list[Node]] = {n: [] for n in preds}
+    for node, plist in preds.items():
+        for p in plist:
+            succs[p].append(node)
+            indeg[node] += 1
+    ready = [n for n, d in indeg.items() if d == 0]
+    start: dict[Node, float] = {}
+    finish: dict[Node, float] = {}
+    done = 0
+    while ready:
+        node = ready.pop()
+        s = max((finish[p] for p in preds[node]), default=0.0)
+        start[node] = s
+        finish[node] = s + duration[node]
+        done += 1
+        for nxt in succs[node]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    if done != len(preds):
+        raise SchedulingError(
+            "constraint DAG has a cycle: the decision orders are inconsistent"
+        )
+
+    out = Schedule(graph, platform, model="one-port", heuristic=heuristic)
+    for key, (a, b) in decisions.hops.items():
+        node = comm_node(key)
+        src, dst, hop = key
+        out.record_comm(
+            src, dst, a, b, start[node], duration[node], maps.data[(src, dst)], hop
+        )
+    for v in graph.tasks():
+        node = task_node(v)
+        out.place(v, decisions.alloc[v], start[node], finish[node])
+    return out
+
+
+def replay_schedule(schedule: Schedule, tighten: bool = True) -> Schedule:
+    """Re-derive a schedule's times from its own decisions.
+
+    With ``tighten=True`` (default) this is a free compaction pass:
+    the result keeps every decision of the input but starts each
+    activity as early as the decision orders allow, so its makespan is
+    less than or equal to the input's.
+    """
+    decisions = extract_decisions(schedule)
+    out = replay(
+        schedule.graph,
+        schedule.platform,
+        decisions,
+        heuristic=f"replay({schedule.heuristic})" if tighten else schedule.heuristic,
+    )
+    return out

@@ -1,0 +1,122 @@
+"""Unit tests for the Theorem 2 COMM-SCHED reduction."""
+
+import pytest
+
+from repro.complexity import two_partition
+from repro.complexity.comm_sched import (
+    build_instance,
+    decide,
+    decide_by_enumeration,
+    schedule_from_partition,
+    task,
+)
+from repro.core import ConfigurationError, validate_schedule
+
+
+class TestConstruction:
+    def test_shape(self):
+        inst = build_instance([1, 3, 2, 2])
+        n = 4
+        assert inst.graph.num_tasks == 3 * n + 1
+        assert inst.platform.num_processors == 2 * n + 1
+        assert inst.deadline == 8.0  # 2S with S = 4
+
+    def test_zero_weights(self):
+        inst = build_instance([2, 2])
+        assert all(inst.graph.weight(v) == 0.0 for v in inst.graph.tasks())
+
+    def test_edge_volumes(self):
+        inst = build_instance([1, 3, 2, 2])
+        assert inst.graph.data(task(0), task(2)) == 3.0
+        # pair edges carry S = 4
+        assert inst.graph.data(task(9), task(5)) == 4.0
+
+    def test_allocation(self):
+        inst = build_instance([1, 1])
+        assert inst.alloc[task(0)] == 0
+        assert inst.alloc[task(1)] == 1
+        assert inst.alloc[task(3)] == 1  # v_{n+i} with P_i
+        assert inst.alloc[task(5)] == 3  # v_{2n+i} on P_{n+i}
+
+    def test_odd_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_instance([1, 2])
+
+
+class TestForwardDirection:
+    @pytest.mark.parametrize(
+        "a", [[1, 1], [3, 1, 1, 2, 2, 3], [2, 2, 2, 2], [5, 5, 4, 6]]
+    )
+    def test_schedule_meets_2s_deadline(self, a):
+        side = two_partition(a)
+        assert side is not None
+        inst = build_instance(a)
+        sched = schedule_from_partition(inst, side)
+        validate_schedule(sched)  # one-port rules incl. port disjointness
+        assert sched.makespan() <= inst.deadline + 1e-9
+
+    def test_placements_follow_fixed_allocation(self):
+        a = [2, 2, 2, 2]
+        inst = build_instance(a)
+        sched = schedule_from_partition(inst, two_partition(a))
+        for t, proc in inst.alloc.items():
+            assert sched.proc_of(t) == proc
+
+    def test_p0_send_port_saturated(self):
+        """P0's sends are back-to-back for the whole window [0, 2S]."""
+        a = [3, 1, 1, 2, 2, 3]
+        inst = build_instance(a)
+        sched = schedule_from_partition(inst, two_partition(a))
+        p0_sends = sorted(
+            (e for e in sched.comm_events if e.src_proc == 0), key=lambda e: e.start
+        )
+        assert p0_sends[0].start == 0.0
+        for a_ev, b_ev in zip(p0_sends, p0_sends[1:]):
+            assert b_ev.start == pytest.approx(a_ev.finish)
+        assert p0_sends[-1].finish == pytest.approx(inst.deadline)
+
+    def test_no_message_straddles_s(self):
+        a = [3, 1, 1, 2, 2, 3]
+        inst = build_instance(a)
+        s = inst.half_sum
+        sched = schedule_from_partition(inst, two_partition(a))
+        for e in sched.comm_events:
+            if e.src_proc == 0:
+                assert e.finish <= s + 1e-9 or e.start >= s - 1e-9
+
+    def test_bad_side_rejected(self):
+        inst = build_instance([1, 1])
+        with pytest.raises(ConfigurationError):
+            schedule_from_partition(inst, [7])
+
+
+class TestDecision:
+    @pytest.mark.parametrize(
+        "a, expected",
+        [
+            ([1, 1], True),
+            ([3, 1, 1, 2, 2, 3], True),
+            ([3, 1, 1, 1], True),   # plain 2-PARTITION suffices here
+            ([2, 4, 100, 2], False),
+            ([5, 5, 4, 6], True),
+        ],
+    )
+    def test_closed_form(self, a, expected):
+        inst = build_instance(a)
+        assert decide(inst) == expected
+
+    def test_closed_form_matches_enumeration(self):
+        """The subset-sum argument agrees with brute force over P0 send
+        orders on exhaustive small instances."""
+        from itertools import product
+
+        for a in product([1, 2, 3], repeat=4):
+            if sum(a) % 2 != 0:
+                continue
+            inst = build_instance(list(a))
+            assert decide(inst) == decide_by_enumeration(inst), a
+
+    def test_enumeration_guard(self):
+        inst = build_instance([2] * 10)
+        with pytest.raises(ConfigurationError):
+            decide_by_enumeration(inst, max_n=8)

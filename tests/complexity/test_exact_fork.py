@@ -1,0 +1,155 @@
+"""Unit tests for the exact one-port fork scheduler."""
+
+import itertools
+
+import pytest
+
+from repro.complexity import (
+    brute_force_fork_makespan,
+    build_fork_schedule,
+    fork_makespan_for_subset,
+    jackson_remote_makespan,
+    optimal_fork_makespan,
+)
+from repro.core import ConfigurationError, validate_schedule
+
+
+class TestJackson:
+    def test_empty(self):
+        assert jackson_remote_makespan([]) == 0.0
+
+    def test_single_job(self):
+        assert jackson_remote_makespan([(2.0, 3.0)]) == 5.0
+
+    def test_longest_tail_first(self):
+        # tails 5 and 1, sends 1 each: LTF gives max(1+5, 2+1) = 6
+        assert jackson_remote_makespan([(1.0, 1.0), (1.0, 5.0)]) == 6.0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_beats_every_permutation(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        jobs = [(rng.uniform(0.5, 4.0), rng.uniform(0.5, 4.0)) for _ in range(5)]
+        from repro.complexity.exact_fork import remote_makespan_for_order
+
+        best = min(
+            remote_makespan_for_order(jobs, order)
+            for order in itertools.permutations(range(5))
+        )
+        assert jackson_remote_makespan(jobs) == pytest.approx(best)
+
+
+class TestSubsetMakespan:
+    def test_all_local_is_sequential(self):
+        ms = fork_makespan_for_subset(1.0, [2.0, 3.0], [9.0, 9.0], {0, 1})
+        assert ms == 6.0  # 1 + 2 + 3, no messages
+
+    def test_all_remote(self):
+        ms = fork_makespan_for_subset(1.0, [1.0, 1.0], [1.0, 1.0], set())
+        # parent 1, then sends at 1 and 2; children finish 3 and...
+        # LTF order: max(1+1+1, 1+2+1) = 4
+        assert ms == 4.0
+
+    def test_cycle_time_and_link_scaling(self):
+        base = fork_makespan_for_subset(1.0, [1.0], [1.0], set())
+        scaled = fork_makespan_for_subset(1.0, [1.0], [1.0], set(), cycle_time=2.0, link=3.0)
+        assert base == 3.0
+        assert scaled == 2.0 + 3.0 + 2.0
+
+
+class TestOptimal:
+    def test_figure1_example(self):
+        """Section 2.3: one-port optimum 5 for the 6-child unit fork."""
+        ms, local = optimal_fork_makespan(1.0, [1.0] * 6, [1.0] * 6)
+        assert ms == 5.0
+        # with 4 local children: P0 busy 5; remote side 1 + 2 sends + exec
+        assert len(local) in (3, 4)
+
+    def test_matches_brute_force_on_random_instances(self):
+        import random
+
+        for seed in range(8):
+            rng = random.Random(seed)
+            n = rng.randint(1, 6)
+            w = [rng.randint(1, 6) for _ in range(n)]
+            d = [rng.randint(1, 6) for _ in range(n)]
+            exact, _ = optimal_fork_makespan(2.0, w, d)
+            brute = brute_force_fork_makespan(2.0, w, d)
+            assert exact == pytest.approx(brute)
+
+    def test_grouping_never_helps(self):
+        """The lemma behind subset enumeration: splitting remote children
+        across more processors never hurts.  Enumerate every grouped
+        variant of tiny instances via explicit simulation."""
+        import random
+
+        def grouped_makespan(w0, w, d, groups, order):
+            # groups: remote child -> processor label; order: send order
+            t = float(w0)
+            arrival = {}
+            for i in order:
+                t += d[i]
+                arrival[i] = t
+            finish = 0.0
+            by_proc = {}
+            for i in order:
+                p = groups[i]
+                start = max(arrival[i], by_proc.get(p, 0.0))
+                by_proc[p] = start + w[i]
+                finish = max(finish, by_proc[p])
+            return finish
+
+        for seed in range(5):
+            rng = random.Random(100 + seed)
+            n = 4
+            w = [rng.randint(1, 5) for _ in range(n)]
+            d = [rng.randint(1, 5) for _ in range(n)]
+            exact, _ = optimal_fork_makespan(1.0, w, d)
+            best_grouped = float("inf")
+            for mask in range(1 << n):
+                local = {i for i in range(n) if mask >> i & 1}
+                remote = [i for i in range(n) if i not in local]
+                local_ms = 1.0 + sum(w[i] for i in local)
+                for labels in itertools.product(range(max(1, len(remote))), repeat=len(remote)):
+                    groups = dict(zip(remote, labels))
+                    for order in itertools.permutations(remote):
+                        ms = max(local_ms, grouped_makespan(1.0, w, d, groups, order))
+                        best_grouped = min(best_grouped, ms)
+            assert exact == pytest.approx(best_grouped)
+
+    def test_refuses_huge_enumeration(self):
+        with pytest.raises(ConfigurationError):
+            optimal_fork_makespan(0.0, [1.0] * 30, [1.0] * 30)
+        with pytest.raises(ConfigurationError):
+            brute_force_fork_makespan(0.0, [1.0] * 12, [1.0] * 12)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            optimal_fork_makespan(0.0, [1.0], [1.0, 2.0])
+
+
+class TestBuildSchedule:
+    def test_schedule_matches_predicted_makespan(self):
+        w = [3.0, 1.0, 2.0, 5.0]
+        d = [2.0, 1.0, 2.0, 1.0]
+        ms, local = optimal_fork_makespan(1.0, w, d)
+        sched = build_fork_schedule(1.0, w, d, local)
+        validate_schedule(sched)
+        assert sched.makespan() == pytest.approx(ms)
+
+    def test_explicit_send_order(self):
+        sched = build_fork_schedule(1.0, [1.0, 1.0], [2.0, 3.0], set(), send_order=[1, 0])
+        validate_schedule(sched)
+        first, second = sorted(sched.comm_events, key=lambda e: e.start)
+        assert first.dst_task == "v2"
+
+    def test_bad_send_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_fork_schedule(1.0, [1.0, 1.0], [1.0, 1.0], {0}, send_order=[0, 1])
+
+    def test_local_children_sequential_on_p0(self):
+        sched = build_fork_schedule(2.0, [1.0, 2.0, 3.0], [1.0] * 3, {0, 1, 2})
+        validate_schedule(sched)
+        assert sched.makespan() == 8.0
+        assert sched.processors_used() == {0}

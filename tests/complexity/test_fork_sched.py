@@ -1,0 +1,112 @@
+"""Unit tests for the Theorem 1 FORK-SCHED reduction."""
+
+import pytest
+
+from repro.complexity import equal_cardinality_partition, optimal_fork_makespan
+from repro.complexity.fork_sched import build_instance, decide, schedule_from_partition
+from repro.core import ConfigurationError, validate_schedule
+
+
+class TestConstruction:
+    def test_weights_follow_theorem(self):
+        inst = build_instance([2, 3, 5])
+        m, mn = 5, 2
+        assert inst.child_weights[:3] == (10 * (5 + 2 + 1), 10 * (5 + 3 + 1), 10 * (5 + 5 + 1))
+        w_min = 10 * (m + mn) + 1
+        assert inst.child_weights[3:] == (w_min, w_min, w_min)
+        assert inst.child_data == inst.child_weights
+        assert inst.parent_weight == 0.0
+
+    def test_wmin_is_unique_minimum(self):
+        inst = build_instance([1, 4, 2, 2])
+        assert inst.w_min == min(inst.child_weights)
+        assert inst.w_min == inst.child_weights[-1]
+        # the paper: w_min <= w_i <= 2 w_min for the first n children
+        for w in inst.child_weights[: inst.n]:
+            assert inst.w_min <= w <= 2 * inst.w_min
+
+    def test_deadline_formula(self):
+        a = [1, 2, 3, 4]
+        inst = build_instance(a)
+        n, s = 4, 5
+        m, mn = 4, 1
+        expected = 5 * n * (m + 1) + 10 * s + 20 * (m + mn) + 2
+        assert inst.deadline == pytest.approx(expected)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            build_instance([])
+        with pytest.raises(ConfigurationError):
+            build_instance([0, 1])
+
+
+class TestForwardDirection:
+    """Balanced partition -> schedule meeting the deadline exactly."""
+
+    @pytest.mark.parametrize(
+        "a",
+        [[3, 1, 1, 2, 2, 3], [2, 2, 2, 2], [5, 3, 4, 4, 3, 5], [1, 1]],
+    )
+    def test_schedule_meets_deadline(self, a):
+        side = equal_cardinality_partition(a)
+        assert side is not None, "test instances must have balanced partitions"
+        inst = build_instance(a)
+        sched = schedule_from_partition(inst, side)
+        validate_schedule(sched)
+        assert sched.makespan() == pytest.approx(inst.deadline)
+
+    def test_p0_load_equals_deadline(self):
+        a = [3, 1, 1, 2, 2, 3]
+        side = equal_cardinality_partition(a)
+        inst = build_instance(a)
+        sched = schedule_from_partition(inst, side)
+        assert sched.proc_busy_time(0) == pytest.approx(inst.deadline)
+
+    def test_last_message_reaches_minimal_child(self):
+        a = [2, 2, 4, 4]
+        side = equal_cardinality_partition(a)
+        inst = build_instance(a)
+        sched = schedule_from_partition(inst, side)
+        last = max(sched.comm_events, key=lambda e: e.finish)
+        # the third special child (index n+3 in paper numbering)
+        assert last.dst_task == f"v{inst.num_children}"
+
+    def test_bad_side_rejected(self):
+        inst = build_instance([1, 1])
+        with pytest.raises(ConfigurationError):
+            schedule_from_partition(inst, [5])
+
+
+class TestDecision:
+    """The construction decides equal-cardinality 2-PARTITION (DESIGN.md
+    documents why plain 2-PARTITION is not exactly what it decides)."""
+
+    @pytest.mark.parametrize(
+        "a, expected",
+        [
+            ([3, 1, 1, 2, 2, 3], True),
+            ([2, 2, 2, 2], True),
+            ([1, 1], True),
+            ([1, 2], False),          # odd total
+            ([3, 1, 1, 1], False),    # partition exists but unbalanced sizes
+            ([6, 1, 1, 1, 1, 2], False),  # only the unbalanced {6} vs rest works
+            ([4, 3, 1, 2, 2, 2], True),
+        ],
+    )
+    def test_matches_equal_cardinality_partition(self, a, expected):
+        assert (equal_cardinality_partition(a) is not None) == expected
+        inst = build_instance(a)
+        assert decide(inst) == expected
+
+    def test_exhaustive_small_instances(self):
+        """FORK-SCHED(reduction instance) <=> balanced partition, checked
+        against the exact scheduler for every tiny instance."""
+        from itertools import product
+
+        for a in product([1, 2, 3], repeat=4):
+            inst = build_instance(list(a))
+            exact, _ = optimal_fork_makespan(
+                inst.parent_weight, inst.child_weights, inst.child_data
+            )
+            has_partition = equal_cardinality_partition(list(a)) is not None
+            assert (exact <= inst.deadline + 1e-9) == has_partition, a

@@ -1,0 +1,99 @@
+"""Unit tests for the 2-PARTITION solvers."""
+
+import pytest
+
+from repro.complexity import (
+    equal_cardinality_partition,
+    is_partition,
+    subset_with_sum,
+    two_partition,
+)
+from repro.core import ConfigurationError
+
+
+class TestSubsetSum:
+    def test_finds_subset(self):
+        values = [3, 1, 4, 1, 5]
+        side = subset_with_sum(values, 8)
+        assert side is not None
+        assert sum(values[i] for i in side) == 8
+
+    def test_zero_target(self):
+        assert subset_with_sum([1, 2], 0) == []
+
+    def test_impossible(self):
+        assert subset_with_sum([2, 4, 6], 5) is None
+        assert subset_with_sum([1], -1) is None
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            subset_with_sum([0, 1], 1)
+        with pytest.raises(ConfigurationError):
+            subset_with_sum([1.5], 1)
+
+
+class TestTwoPartition:
+    def test_simple_yes(self):
+        values = [1, 5, 11, 5]
+        side = two_partition(values)
+        assert side is not None
+        assert is_partition(values, side)
+
+    def test_odd_total_no(self):
+        assert two_partition([1, 2]) is None
+
+    def test_even_total_but_impossible(self):
+        assert two_partition([2, 4, 100]) is None
+
+    def test_singletons(self):
+        assert two_partition([7]) is None
+        side = two_partition([7, 7])
+        assert side is not None and len(side) == 1
+
+    @pytest.mark.parametrize(
+        "values",
+        [[3, 1, 1, 2, 2, 3], [10, 10], [1, 1, 1, 1], [8, 7, 6, 5, 4, 2]],
+    )
+    def test_yes_instances(self, values):
+        side = two_partition(values)
+        assert side is not None
+        assert is_partition(values, side)
+
+
+class TestEqualCardinality:
+    def test_needs_even_count(self):
+        assert equal_cardinality_partition([2, 1, 1]) is None
+
+    def test_finds_balanced_sides(self):
+        values = [3, 1, 1, 2, 2, 3]
+        side = equal_cardinality_partition(values)
+        assert side is not None
+        assert len(side) == 3
+        assert sum(values[i] for i in side) == 6
+
+    def test_plain_yes_but_cardinality_no(self):
+        """{3} vs {1,1,1} is a 2-PARTITION but sides have sizes 1 and 3."""
+        values = [3, 1, 1, 1]
+        assert two_partition(values) is not None
+        assert equal_cardinality_partition(values) is None
+
+    def test_exhaustive_cross_check(self):
+        """DP agrees with brute force on every small instance."""
+        from itertools import combinations, product
+
+        for values in product([1, 2, 3], repeat=4):
+            values = list(values)
+            half = sum(values) / 2
+            expected = any(
+                sum(values[i] for i in combo) == half
+                for combo in combinations(range(4), 2)
+            )
+            assert (equal_cardinality_partition(values) is not None) == expected
+
+
+class TestIsPartition:
+    def test_validates_indices(self):
+        assert not is_partition([2, 2], [0, 0])  # duplicate index
+        assert not is_partition([2, 2], [5])  # out of range
+        assert is_partition([2, 2], [0])
+        assert not is_partition([2, 4], [0])

@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper platform and a menagerie of small graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform
+from repro.graphs import (
+    figure1_example,
+    fork_join_graph,
+    laplace_graph,
+    layered_random,
+    lu_graph,
+    stencil_graph,
+    toy_graph,
+)
+
+
+@pytest.fixture
+def paper_platform() -> Platform:
+    """Section 5.2: 5x t=6, 3x t=10, 2x t=15 on a unit network."""
+    return Platform.from_groups([(5, 6), (3, 10), (2, 15)])
+
+
+@pytest.fixture
+def two_identical() -> Platform:
+    """The toy example's platform: two unit processors, unit links."""
+    return Platform.homogeneous(2, cycle_time=1.0, link=1.0)
+
+
+@pytest.fixture
+def five_identical() -> Platform:
+    """The Figure 1 example's platform."""
+    return Platform.homogeneous(5, cycle_time=1.0, link=1.0)
+
+
+@pytest.fixture
+def small_graphs() -> list:
+    """A small cross-section of every generator family."""
+    return [
+        figure1_example(),
+        toy_graph(),
+        fork_join_graph(8),
+        lu_graph(5),
+        laplace_graph(4),
+        stencil_graph(4),
+        layered_random(4, 4, density=0.6, seed=7),
+    ]

@@ -1,0 +1,67 @@
+"""Unit tests for the makespan lower bounds."""
+
+import pytest
+
+from repro.core import (
+    Platform,
+    TaskGraph,
+    critical_path_lower_bound,
+    makespan_lower_bound,
+    work_lower_bound,
+)
+from repro.graphs import fork_join_graph, lu_graph
+
+
+class TestWorkBound:
+    def test_single_processor(self):
+        g = lu_graph(5)
+        plat = Platform([2.0])
+        assert work_lower_bound(g, plat) == pytest.approx(g.total_weight() * 2.0)
+
+    def test_scales_with_processors(self):
+        g = lu_graph(5)
+        one = work_lower_bound(g, Platform([1.0]))
+        four = work_lower_bound(g, Platform.homogeneous(4))
+        assert four == pytest.approx(one / 4)
+
+    def test_paper_speedup_ceiling(self):
+        """speedup = seq / work_bound = min(t) * sum(1/t) = 7.6."""
+        g = fork_join_graph(100)
+        plat = Platform.from_groups([(5, 6), (3, 10), (2, 15)])
+        ceiling = plat.sequential_time(g.total_weight()) / work_lower_bound(g, plat)
+        assert ceiling == pytest.approx(7.6)
+
+
+class TestCriticalPathBound:
+    def test_chain_is_fully_sequential(self):
+        g = TaskGraph()
+        g.add_task("a", 2.0)
+        g.add_task("b", 3.0)
+        g.add_dependency("a", "b", 100.0)  # comm is free in the bound
+        plat = Platform([2.0, 4.0])
+        assert critical_path_lower_bound(g, plat) == pytest.approx(10.0)
+
+    def test_independent_tasks(self):
+        g = TaskGraph()
+        g.add_task("a", 2.0)
+        g.add_task("b", 5.0)
+        plat = Platform.homogeneous(2)
+        assert critical_path_lower_bound(g, plat) == pytest.approx(5.0)
+
+
+class TestCombinedBound:
+    def test_is_max_of_both(self):
+        g = lu_graph(6)
+        plat = Platform.from_groups([(5, 6), (3, 10), (2, 15)])
+        assert makespan_lower_bound(g, plat) == pytest.approx(
+            max(work_lower_bound(g, plat), critical_path_lower_bound(g, plat))
+        )
+
+    def test_no_heuristic_beats_it(self, paper_platform):
+        from repro import HEFT, ILHA
+
+        for graph in (lu_graph(8), fork_join_graph(20)):
+            lb = makespan_lower_bound(graph, paper_platform)
+            for scheduler in (HEFT(), ILHA(b=4)):
+                sched = scheduler.run(graph, paper_platform, "one-port")
+                assert sched.makespan() >= lb - 1e-9

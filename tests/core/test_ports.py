@@ -1,0 +1,97 @@
+"""Unit tests for PortSet / PortSetOverlay: the one-port primitives."""
+
+import pytest
+
+from repro.core import PortSet, PortSetOverlay, TimelineError
+
+
+class TestPortSet:
+    def test_needs_processor(self):
+        with pytest.raises(TimelineError):
+            PortSet(0)
+
+    def test_local_transfer_free(self):
+        ports = PortSet(3)
+        assert ports.earliest_transfer(1, 1, 5.0, 100.0) == 5.0
+        ports.reserve_transfer(1, 1, 5.0, 100.0)  # no-op
+        assert ports.send[1].is_empty()
+        assert ports.recv[1].is_empty()
+
+    def test_transfer_books_both_ports(self):
+        ports = PortSet(3)
+        start = ports.earliest_transfer(0, 1, 2.0, 3.0)
+        assert start == 2.0
+        ports.reserve_transfer(0, 1, start, 3.0, tag="m")
+        assert ports.send[0].intervals() == [(2.0, 5.0, "m")]
+        assert ports.recv[1].intervals() == [(2.0, 5.0, "m")]
+        assert ports.send[1].is_empty()
+        assert ports.recv[0].is_empty()
+
+    def test_sender_serialization(self):
+        """One sender to two receivers: messages serialize on the send port."""
+        ports = PortSet(3)
+        ports.reserve_transfer(0, 1, 0.0, 4.0)
+        start = ports.earliest_transfer(0, 2, 0.0, 4.0)
+        assert start == 4.0
+
+    def test_receiver_serialization(self):
+        """Two senders to one receiver: messages serialize on the recv port."""
+        ports = PortSet(3)
+        ports.reserve_transfer(0, 2, 0.0, 4.0)
+        start = ports.earliest_transfer(1, 2, 0.0, 4.0)
+        assert start == 4.0
+
+    def test_disjoint_pairs_parallel(self):
+        """The paper: 'several communications can occur in parallel,
+        provided that they involve disjoint pairs'."""
+        ports = PortSet(4)
+        ports.reserve_transfer(0, 1, 0.0, 4.0)
+        assert ports.earliest_transfer(2, 3, 0.0, 4.0) == 0.0
+
+    def test_bidirectional_overlap(self):
+        """Send and receive ports are independent: P0 can send to P1 while
+        receiving from P1 (bi-directional one-port)."""
+        ports = PortSet(2)
+        ports.reserve_transfer(0, 1, 0.0, 4.0)
+        assert ports.earliest_transfer(1, 0, 0.0, 4.0) == 0.0
+
+    def test_copy_independent(self):
+        ports = PortSet(2)
+        ports.reserve_transfer(0, 1, 0.0, 1.0)
+        dup = ports.copy()
+        dup.reserve_transfer(0, 1, 1.0, 1.0)
+        assert len(ports.send[0]) == 1
+        assert len(dup.send[0]) == 2
+
+
+class TestPortSetOverlay:
+    def test_tentative_does_not_touch_base(self):
+        base = PortSet(2)
+        ov = PortSetOverlay(base)
+        start = ov.earliest_transfer(0, 1, 0.0, 2.0)
+        ov.reserve_transfer(0, 1, start, 2.0)
+        assert base.send[0].is_empty()
+        # but the overlay sees its own reservation
+        assert ov.earliest_transfer(0, 1, 0.0, 2.0) == 2.0
+
+    def test_commit_replays(self):
+        base = PortSet(2)
+        ov = PortSetOverlay(base)
+        ov.reserve_transfer(0, 1, 0.0, 2.0, tag="m")
+        ov.commit()
+        assert base.send[0].intervals() == [(0.0, 2.0, "m")]
+        assert base.recv[1].intervals() == [(0.0, 2.0, "m")]
+
+    def test_sees_base_reservations(self):
+        base = PortSet(2)
+        base.reserve_transfer(0, 1, 0.0, 3.0)
+        ov = PortSetOverlay(base)
+        assert ov.earliest_transfer(0, 1, 0.0, 1.0) == 3.0
+
+    def test_two_overlays_are_independent_trials(self):
+        base = PortSet(2)
+        ov1 = PortSetOverlay(base)
+        ov2 = PortSetOverlay(base)
+        ov1.reserve_transfer(0, 1, 0.0, 5.0)
+        # ov2 does not see ov1's tentative interval
+        assert ov2.earliest_transfer(0, 1, 0.0, 1.0) == 0.0

@@ -1,0 +1,110 @@
+"""Unit tests for Schedule: recording, lookups, metrics, Gantt output."""
+
+import pytest
+
+from repro.core import Platform, Schedule, SchedulingError, TaskGraph
+
+
+@pytest.fixture
+def chain_graph():
+    g = TaskGraph(name="chain")
+    g.add_task("a", 2.0)
+    g.add_task("b", 3.0)
+    g.add_dependency("a", "b", 4.0)
+    return g
+
+
+@pytest.fixture
+def platform():
+    return Platform.homogeneous(2, cycle_time=1.0, link=1.0)
+
+
+def build(chain_graph, platform):
+    s = Schedule(chain_graph, platform, model="one-port", heuristic="manual")
+    s.place("a", 0, 0.0, 2.0)
+    s.record_comm("a", "b", 0, 1, 2.0, 4.0, 4.0)
+    s.place("b", 1, 6.0, 9.0)
+    return s
+
+
+class TestRecording:
+    def test_place_twice_rejected(self, chain_graph, platform):
+        s = Schedule(chain_graph, platform)
+        s.place("a", 0, 0.0, 2.0)
+        with pytest.raises(SchedulingError):
+            s.place("a", 1, 0.0, 2.0)
+
+    def test_place_unknown_task_rejected(self, chain_graph, platform):
+        s = Schedule(chain_graph, platform)
+        with pytest.raises(SchedulingError):
+            s.place("ghost", 0, 0.0, 1.0)
+
+    def test_completeness(self, chain_graph, platform):
+        s = Schedule(chain_graph, platform)
+        assert not s.is_complete()
+        s.place("a", 0, 0.0, 2.0)
+        s.place("b", 1, 6.0, 9.0)
+        assert s.is_complete()
+
+
+class TestLookups:
+    def test_sigma_and_alloc(self, chain_graph, platform):
+        s = build(chain_graph, platform)
+        assert s.proc_of("b") == 1
+        assert s.start_of("b") == 6.0
+        assert s.finish_of("a") == 2.0
+
+    def test_tasks_on_sorted(self, chain_graph, platform):
+        s = build(chain_graph, platform)
+        assert [p.task for p in s.tasks_on(0)] == ["a"]
+        assert [p.task for p in s.tasks_on(1)] == ["b"]
+
+    def test_comms_between(self, chain_graph, platform):
+        s = build(chain_graph, platform)
+        events = s.comms_between(("a", "b"))
+        assert len(events) == 1
+        assert events[0].duration == 4.0
+        assert s.comms_between(("b", "a")) == []
+
+
+class TestMetrics:
+    def test_makespan(self, chain_graph, platform):
+        assert build(chain_graph, platform).makespan() == 9.0
+
+    def test_empty_makespan(self, chain_graph, platform):
+        assert Schedule(chain_graph, platform).makespan() == 0.0
+
+    def test_sequential_and_speedup(self, chain_graph, platform):
+        s = build(chain_graph, platform)
+        assert s.sequential_time() == 5.0  # (2 + 3) * 1
+        assert s.speedup() == pytest.approx(5.0 / 9.0)
+
+    def test_comm_metrics(self, chain_graph, platform):
+        s = build(chain_graph, platform)
+        assert s.num_comms() == 1
+        assert s.total_comm_time() == 4.0
+
+    def test_busy_and_utilization(self, chain_graph, platform):
+        s = build(chain_graph, platform)
+        assert s.proc_busy_time(0) == 2.0
+        assert s.proc_busy_time(1) == 3.0
+        assert s.utilization() == pytest.approx(5.0 / (2 * 9.0))
+
+    def test_processors_used(self, chain_graph, platform):
+        assert build(chain_graph, platform).processors_used() == {0, 1}
+
+    def test_summary_keys(self, chain_graph, platform):
+        summary = build(chain_graph, platform).summary()
+        for key in ("heuristic", "model", "makespan", "speedup", "num_comms"):
+            assert key in summary
+
+
+class TestGantt:
+    def test_contains_processor_rows(self, chain_graph, platform):
+        text = build(chain_graph, platform).gantt(width=40)
+        assert "P0" in text and "P1" in text
+        assert "0->1" in text
+        assert "makespan = 9" in text
+
+    def test_empty_schedule(self, chain_graph, platform):
+        assert Schedule(chain_graph, platform).gantt() == "(empty schedule)"

@@ -1,0 +1,68 @@
+"""Unit tests for schedule JSON round-trips."""
+
+import pytest
+
+from repro import HEFT, ILHA, validate_schedule
+from repro.core import SchedulingError
+from repro.core.serialization import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.graphs import lu_graph, toy_graph
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, paper_platform):
+        g = lu_graph(6)
+        original = HEFT().run(g, paper_platform, "one-port")
+        back = schedule_from_dict(schedule_to_dict(original), g, paper_platform)
+        validate_schedule(back)
+        assert back.makespan() == original.makespan()
+        assert back.heuristic == original.heuristic
+        assert back.model == original.model
+        for t in g.tasks():
+            assert back.proc_of(t) == original.proc_of(t)
+            assert back.start_of(t) == original.start_of(t)
+        assert back.num_comms() == original.num_comms()
+
+    def test_tuple_task_ids_resolved(self, paper_platform):
+        """LU's tuple ids survive the repr round-trip."""
+        g = lu_graph(4)
+        original = ILHA(b=4).run(g, paper_platform, "one-port")
+        back = schedule_from_dict(schedule_to_dict(original), g, paper_platform)
+        assert back.proc_of(("p", 1)) == original.proc_of(("p", 1))
+
+    def test_file_roundtrip(self, paper_platform, tmp_path):
+        g = toy_graph()
+        original = HEFT().run(g, paper_platform, "one-port")
+        path = save_schedule(original, tmp_path / "sched.json")
+        back = load_schedule(path, g, paper_platform)
+        validate_schedule(back)
+        assert back.makespan() == original.makespan()
+
+    def test_hops_preserved(self, paper_platform):
+        g = toy_graph()
+        original = HEFT().run(g, paper_platform, "one-port")
+        payload = schedule_to_dict(original)
+        back = schedule_from_dict(payload, g, paper_platform)
+        originals = sorted((e.start, e.finish) for e in original.comm_events)
+        rebuilt = sorted((e.start, e.finish) for e in back.comm_events)
+        assert originals == rebuilt
+
+
+class TestErrors:
+    def test_unknown_task_rejected(self, paper_platform):
+        g = toy_graph()
+        payload = schedule_to_dict(HEFT().run(g, paper_platform, "one-port"))
+        payload["placements"][0]["task"] = "'ghost'"
+        with pytest.raises(SchedulingError, match="unknown task"):
+            schedule_from_dict(payload, g, paper_platform)
+
+    def test_wrong_graph_rejected(self, paper_platform):
+        g = toy_graph()
+        payload = schedule_to_dict(HEFT().run(g, paper_platform, "one-port"))
+        other = lu_graph(4)
+        with pytest.raises(SchedulingError, match="unknown task"):
+            schedule_from_dict(payload, other, paper_platform)

@@ -1,0 +1,198 @@
+"""Unit tests for the TaskGraph substrate."""
+
+import networkx as nx
+import pytest
+
+from repro.core import GraphError, TaskGraph
+
+
+def diamond() -> TaskGraph:
+    g = TaskGraph(name="diamond")
+    for v, w in [("a", 1.0), ("b", 2.0), ("c", 3.0), ("d", 4.0)]:
+        g.add_task(v, w)
+    g.add_dependency("a", "b", 10.0)
+    g.add_dependency("a", "c", 20.0)
+    g.add_dependency("b", "d", 30.0)
+    g.add_dependency("c", "d", 40.0)
+    return g
+
+
+class TestConstruction:
+    def test_add_task_and_weight(self):
+        g = TaskGraph()
+        g.add_task("x", 2.5)
+        assert g.weight("x") == 2.5
+        assert "x" in g
+        assert len(g) == 1
+
+    def test_default_weight_is_one(self):
+        g = TaskGraph()
+        g.add_task("x")
+        assert g.weight("x") == 1.0
+
+    def test_zero_weight_allowed(self):
+        g = TaskGraph()
+        g.add_task("x", 0.0)
+        assert g.weight("x") == 0.0
+
+    def test_negative_weight_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(GraphError):
+            g.add_task("x", -1.0)
+
+    def test_nan_and_inf_weight_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(GraphError):
+            g.add_task("x", float("nan"))
+        with pytest.raises(GraphError):
+            g.add_task("y", float("inf"))
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        g.add_task("x")
+        with pytest.raises(GraphError):
+            g.add_task("x")
+
+    def test_edge_requires_known_tasks(self):
+        g = TaskGraph()
+        g.add_task("x")
+        with pytest.raises(GraphError):
+            g.add_dependency("x", "ghost", 1.0)
+
+    def test_self_loop_rejected(self):
+        g = TaskGraph()
+        g.add_task("x")
+        with pytest.raises(GraphError):
+            g.add_dependency("x", "x")
+
+    def test_duplicate_edge_rejected(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.add_dependency("a", "b", 5.0)
+
+    def test_negative_data_rejected(self):
+        g = TaskGraph()
+        g.add_task("x")
+        g.add_task("y")
+        with pytest.raises(GraphError):
+            g.add_dependency("x", "y", -1.0)
+
+    def test_from_specs_roundtrip(self):
+        g = TaskGraph.from_specs(
+            [("a", 1.0), ("b", 2.0)], [("a", "b", 3.0)], name="spec"
+        )
+        assert g.name == "spec"
+        assert g.data("a", "b") == 3.0
+
+    def test_from_networkx(self):
+        nxg = nx.DiGraph()
+        nxg.add_node("u", weight=5.0)
+        nxg.add_node("v", weight=6.0)
+        nxg.add_edge("u", "v", data=7.0)
+        g = TaskGraph(nxg)
+        assert g.weight("u") == 5.0
+        assert g.data("u", "v") == 7.0
+
+
+class TestQueries:
+    def test_counts(self):
+        g = diamond()
+        assert g.num_tasks == 4
+        assert g.num_edges == 4
+
+    def test_entry_exit(self):
+        g = diamond()
+        assert g.entry_tasks() == ["a"]
+        assert g.exit_tasks() == ["d"]
+
+    def test_neighbours(self):
+        g = diamond()
+        assert sorted(g.successors("a")) == ["b", "c"]
+        assert sorted(g.predecessors("d")) == ["b", "c"]
+        assert g.in_degree("d") == 2
+        assert g.out_degree("a") == 2
+
+    def test_totals(self):
+        g = diamond()
+        assert g.total_weight() == 10.0
+        assert g.total_data() == 100.0
+
+    def test_unknown_task_raises(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.weight("ghost")
+        with pytest.raises(GraphError):
+            g.predecessors("ghost")
+        with pytest.raises(GraphError):
+            g.data("a", "d")
+
+    def test_set_weight_and_data(self):
+        g = diamond()
+        g.set_weight("a", 9.0)
+        g.set_data("a", "b", 99.0)
+        assert g.weight("a") == 9.0
+        assert g.data("a", "b") == 99.0
+
+    def test_scale_data(self):
+        g = diamond()
+        g.scale_data(0.5)
+        assert g.data("a", "b") == 5.0
+        assert g.total_data() == 50.0
+
+
+class TestTraversal:
+    def test_topological_order_is_topological(self):
+        g = diamond()
+        order = g.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_topological_order_deterministic(self):
+        assert diamond().topological_order() == diamond().topological_order()
+
+    def test_cycle_detected(self):
+        g = TaskGraph()
+        g.add_task("x")
+        g.add_task("y")
+        g.add_dependency("x", "y")
+        g.add_dependency("y", "x")
+        with pytest.raises(GraphError):
+            g.validate()
+        with pytest.raises(GraphError):
+            g.topological_order()
+
+    def test_levels(self):
+        g = diamond()
+        assert g.levels() == [["a"], ["b", "c"], ["d"]]
+
+    def test_levels_empty_graph(self):
+        assert TaskGraph().levels() == []
+
+    def test_as_maps_consistent(self):
+        g = diamond()
+        maps = g.as_maps()
+        assert maps.weight == {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+        assert maps.preds["d"] == ("b", "c")
+        assert maps.succs["a"] == ("b", "c")
+        assert maps.data[("c", "d")] == 40.0
+
+    def test_as_maps_invalidated_on_mutation(self):
+        g = diamond()
+        _ = g.as_maps()
+        g.add_task("e", 5.0)
+        assert "e" in g.as_maps().weight
+
+
+class TestSerialization:
+    def test_to_dict(self):
+        d = diamond().to_dict()
+        assert d["name"] == "diamond"
+        assert len(d["tasks"]) == 4
+        assert len(d["edges"]) == 4
+
+    def test_to_networkx_is_copy(self):
+        g = diamond()
+        nxg = g.to_networkx()
+        nxg.add_node("zzz")
+        assert "zzz" not in g

@@ -1,0 +1,223 @@
+"""Unit tests for Timeline, TimelineOverlay, and joint-fit search."""
+
+import pytest
+
+from repro.core import Timeline, TimelineError, TimelineOverlay, earliest_joint_fit
+
+
+class TestTimelineBasics:
+    def test_empty(self):
+        t = Timeline()
+        assert t.is_empty()
+        assert t.last_end() == 0.0
+        assert t.next_fit(5.0, 3.0) == 5.0
+
+    def test_reserve_and_query(self):
+        t = Timeline()
+        t.reserve(1.0, 3.0, "a")
+        assert len(t) == 1
+        assert t.intervals() == [(1.0, 3.0, "a")]
+        assert t.busy_time() == 2.0
+        assert t.last_end() == 3.0
+
+    def test_overlap_rejected(self):
+        t = Timeline()
+        t.reserve(1.0, 3.0)
+        with pytest.raises(TimelineError):
+            t.reserve(2.0, 4.0)
+        with pytest.raises(TimelineError):
+            t.reserve(0.0, 1.5)
+        with pytest.raises(TimelineError):
+            t.reserve(1.5, 2.5)
+
+    def test_touching_endpoints_allowed(self):
+        t = Timeline()
+        t.reserve(1.0, 3.0)
+        t.reserve(3.0, 5.0)
+        t.reserve(0.0, 1.0)
+        assert len(t) == 3
+
+    def test_invalid_reservation(self):
+        t = Timeline()
+        with pytest.raises(TimelineError):
+            t.reserve(3.0, 1.0)
+        with pytest.raises(TimelineError):
+            t.reserve(float("nan"), 1.0)
+
+    def test_is_free(self):
+        t = Timeline()
+        t.reserve(2.0, 4.0)
+        assert t.is_free(0.0, 2.0)
+        assert t.is_free(4.0, 10.0)
+        assert not t.is_free(1.0, 3.0)
+        assert not t.is_free(3.0, 3.5)
+
+
+class TestNextFit:
+    def test_before_first_interval(self):
+        t = Timeline()
+        t.reserve(5.0, 8.0)
+        assert t.next_fit(0.0, 3.0) == 0.0
+
+    def test_gap_too_small_skips(self):
+        t = Timeline()
+        t.reserve(2.0, 4.0)
+        t.reserve(5.0, 8.0)
+        assert t.next_fit(0.0, 2.0) == 0.0  # fits before
+        assert t.next_fit(2.0, 2.0) == 8.0  # [4,5) gap is too small
+        assert t.next_fit(2.0, 1.0) == 4.0  # fits exactly in the gap
+
+    def test_ready_inside_interval(self):
+        t = Timeline()
+        t.reserve(2.0, 6.0)
+        assert t.next_fit(3.0, 1.0) == 6.0
+
+    def test_ready_at_interval_end(self):
+        t = Timeline()
+        t.reserve(2.0, 6.0)
+        assert t.next_fit(6.0, 1.0) == 6.0
+
+    def test_zero_duration_conflicts_with_nothing(self):
+        t = Timeline()
+        t.reserve(2.0, 6.0)
+        # zero-length windows are instants: they fit anywhere, even at an
+        # instant covered by a reservation (zero-weight tasks occupy no
+        # time-step), and reserving them stores nothing
+        assert t.next_fit(0.0, 0.0) == 0.0
+        assert t.next_fit(3.0, 0.0) == 3.0
+        t.reserve(3.0, 3.0, "instant")
+        assert len(t) == 1
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TimelineError):
+            Timeline().next_fit(0.0, -1.0)
+
+    def test_next_after_last(self):
+        t = Timeline()
+        t.reserve(2.0, 6.0)
+        assert t.next_after_last(0.0) == 6.0
+        assert t.next_after_last(9.0) == 9.0
+
+    def test_chain_of_many_intervals(self):
+        t = Timeline()
+        for i in range(10):
+            t.reserve(2 * i, 2 * i + 1, i)
+        # every odd-unit gap fits a 1-duration window
+        assert t.next_fit(0.5, 1.0) == 1.0
+        assert t.next_fit(0.0, 1.5) == 19.0  # nothing fits until after the last
+
+    def test_gaps(self):
+        t = Timeline()
+        t.reserve(2.0, 4.0)
+        t.reserve(6.0, 7.0)
+        assert t.gaps(10.0) == [(0.0, 2.0), (4.0, 6.0), (7.0, 10.0)]
+        assert t.gaps(3.0) == [(0.0, 2.0)]
+
+    def test_copy_is_independent(self):
+        t = Timeline()
+        t.reserve(0.0, 1.0)
+        c = t.copy()
+        c.reserve(1.0, 2.0)
+        assert len(t) == 1
+        assert len(c) == 2
+
+
+class TestOverlay:
+    def test_sees_base_and_local(self):
+        base = Timeline()
+        base.reserve(0.0, 2.0)
+        ov = TimelineOverlay(base)
+        assert ov.next_fit(0.0, 1.0) == 2.0
+        ov.reserve(2.0, 3.0, "tentative")
+        assert ov.next_fit(0.0, 1.0) == 3.0
+        # base untouched
+        assert base.next_fit(0.0, 1.0) == 2.0
+
+    def test_overlap_with_base_rejected(self):
+        base = Timeline()
+        base.reserve(0.0, 2.0)
+        ov = TimelineOverlay(base)
+        with pytest.raises(TimelineError):
+            ov.reserve(1.0, 3.0)
+
+    def test_overlap_with_local_rejected(self):
+        ov = TimelineOverlay(Timeline())
+        ov.reserve(0.0, 2.0)
+        with pytest.raises(TimelineError):
+            ov.reserve(1.0, 3.0)
+
+    def test_commit_replays_to_base(self):
+        base = Timeline()
+        ov = TimelineOverlay(base)
+        ov.reserve(0.0, 1.0, "x")
+        ov.reserve(2.0, 3.0, "y")
+        ov.commit()
+        assert base.intervals() == [(0.0, 1.0, "x"), (2.0, 3.0, "y")]
+        assert ov.added() == []
+
+    def test_discard_leaves_base_untouched(self):
+        base = Timeline()
+        ov = TimelineOverlay(base)
+        ov.reserve(0.0, 1.0)
+        del ov
+        assert base.is_empty()
+
+    def test_interleaved_base_local_search(self):
+        base = Timeline()
+        base.reserve(0.0, 1.0)
+        base.reserve(4.0, 5.0)
+        ov = TimelineOverlay(base)
+        ov.reserve(1.0, 2.0)
+        # free: [2,4) and [5,inf)
+        assert ov.next_fit(0.0, 2.0) == 2.0
+        assert ov.next_fit(0.0, 3.0) == 5.0
+
+    def test_next_after_last_mixed(self):
+        base = Timeline()
+        base.reserve(0.0, 4.0)
+        ov = TimelineOverlay(base)
+        assert ov.next_after_last(0.0) == 4.0
+        ov.reserve(5.0, 6.0)
+        assert ov.next_after_last(0.0) == 6.0
+        assert ov.last_end() == 6.0
+
+
+class TestJointFit:
+    def test_requires_views(self):
+        with pytest.raises(TimelineError):
+            earliest_joint_fit([], 0.0, 1.0)
+
+    def test_two_disjoint_busy_sets(self):
+        a = Timeline()
+        a.reserve(0.0, 2.0)
+        b = Timeline()
+        b.reserve(3.0, 5.0)
+        # joint free window of 1: [2,3) works
+        assert earliest_joint_fit([a, b], 0.0, 1.0) == 2.0
+        # window of 2 must go after both
+        assert earliest_joint_fit([a, b], 0.0, 2.0) == 5.0
+
+    def test_alternating_conflicts_converge(self):
+        a = Timeline()
+        b = Timeline()
+        for i in range(5):
+            a.reserve(2 * i, 2 * i + 1)
+            b.reserve(2 * i + 1, 2 * i + 2)
+        # a free on odd units, b free on even units: first joint window is 10
+        assert earliest_joint_fit([a, b], 0.0, 1.0) == 10.0
+
+    def test_three_views(self):
+        a, b, c = Timeline(), Timeline(), Timeline()
+        a.reserve(0.0, 1.0)
+        b.reserve(1.0, 2.0)
+        c.reserve(2.0, 3.0)
+        assert earliest_joint_fit([a, b, c], 0.0, 1.0) == 3.0
+
+    def test_with_overlays(self):
+        base = Timeline()
+        base.reserve(0.0, 1.0)
+        ov = TimelineOverlay(base)
+        ov.reserve(1.0, 2.0)
+        other = Timeline()
+        other.reserve(2.0, 3.0)
+        assert earliest_joint_fit([ov, other], 0.0, 1.0) == 3.0

@@ -1,0 +1,86 @@
+"""Unit tests for the ablation experiment functions."""
+
+import pytest
+
+from repro.experiments import (
+    b_sensitivity,
+    baseline_comparison,
+    comm_ratio_sweep,
+    ilha_variant_ablation,
+    insertion_ablation,
+    model_comparison,
+)
+from repro.graphs import laplace_graph, lu_graph
+
+
+class TestBSensitivity:
+    def test_one_cell_per_b(self):
+        cells = b_sensitivity(lu_graph(6), [2, 4, 8])
+        assert [c.size for c in cells] == [2, 4, 8]
+        assert all(c.figure == "ablation-b" for c in cells)
+
+    def test_kwargs_forwarded(self):
+        cells = b_sensitivity(lu_graph(6), [4], single_comm_scan=True)
+        assert len(cells) == 1
+
+
+class TestVariantAblation:
+    def test_four_variants(self):
+        cells = ilha_variant_ablation(lu_graph(6), b=4)
+        labels = [c.heuristic for c in cells]
+        assert labels == ["ilha-plain", "ilha-scan", "ilha-resched", "ilha-scan+resched"]
+
+
+class TestModelComparison:
+    def test_all_models_and_heuristics(self):
+        cells = model_comparison(lu_graph(6), b=4)
+        assert len(cells) == 8
+        labels = {c.heuristic for c in cells}
+        assert "heft/macro-dataflow" in labels
+        assert "heft/no-overlap" in labels
+
+    def test_macro_not_slower_than_restricted_models(self):
+        """Macro relaxes every other model; for min-EFT greedy heuristics
+        on this graph the ordering holds measurably."""
+        cells = model_comparison(laplace_graph(5), b=10)
+        by_label = {c.heuristic: c.makespan for c in cells}
+        assert by_label["heft/macro-dataflow"] <= by_label["heft/no-overlap"] + 1e-9
+
+
+class TestCommRatioSweep:
+    def test_rows_per_ratio(self):
+        cells = comm_ratio_sweep(
+            lambda c: lu_graph(6, comm_ratio=c), [0.0, 5.0, 10.0], b=4
+        )
+        assert len(cells) == 6
+
+    def test_zero_ratio_reaches_higher_speedup(self):
+        cells = comm_ratio_sweep(
+            lambda c: lu_graph(10, comm_ratio=c), [0.0, 20.0], b=4
+        )
+        heft = {c.size: c.speedup for c in cells if c.heuristic == "heft"}
+        assert heft[0] > heft[20]
+
+
+class TestInsertionAblation:
+    def test_two_rows(self):
+        cells = insertion_ablation(lu_graph(6))
+        assert [c.heuristic for c in cells] == ["heft-insertion", "heft-append"]
+
+    def test_insertion_not_worse_on_lu(self):
+        cells = insertion_ablation(lu_graph(10))
+        by = {c.heuristic: c.makespan for c in cells}
+        # not a theorem, but holds on the triangular testbeds we ship
+        assert by["heft-insertion"] <= by["heft-append"] + 1e-9
+
+
+class TestBaselineComparison:
+    def test_all_baselines_present(self):
+        cells = baseline_comparison(lu_graph(5), model="one-port", b=4)
+        names = {c.heuristic for c in cells}
+        assert {"pct", "bil", "cpop", "gdl", "min-min", "heft"} <= names
+
+    def test_every_cell_validated_and_bounded(self):
+        cells = baseline_comparison(lu_graph(5), model="one-port")
+        for c in cells:
+            assert c.makespan >= c.lower_bound - 1e-9

@@ -1,0 +1,128 @@
+"""Unit tests for the experiment harness, figures, report, and I/O."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.experiments import (
+    FIGURES,
+    PAPER_BEST_B,
+    PAPER_PERFECT_BALANCE,
+    PAPER_SPEEDUP_BOUND,
+    available_figures,
+    format_cells,
+    format_comparison,
+    format_run,
+    paper_platform,
+    read_csv,
+    read_json,
+    run_cell,
+    run_figure,
+    write_csv,
+    write_json,
+)
+from repro.graphs import fork_join_graph
+from repro.heuristics import HEFT
+
+
+class TestConfig:
+    def test_platform_matches_section_5_2(self):
+        plat = paper_platform()
+        assert plat.num_processors == 10
+        assert sorted(plat.cycle_times) == [6.0] * 5 + [10.0] * 3 + [15.0] * 2
+        assert plat.speedup_bound() == pytest.approx(PAPER_SPEEDUP_BOUND)
+        assert plat.perfect_balance_count() == PAPER_PERFECT_BALANCE
+
+    def test_best_b_covers_all_testbeds(self):
+        assert set(PAPER_BEST_B) == {
+            "fork-join", "lu", "laplace", "ldmt", "doolittle", "stencil",
+        }
+
+
+class TestHarness:
+    def test_run_cell_records_metrics(self):
+        plat = paper_platform()
+        graph = fork_join_graph(10)
+        cell, sched = run_cell(
+            "figX", "fork-join", 10, graph, HEFT(), "heft", plat, "one-port"
+        )
+        assert cell.num_tasks == 12
+        assert cell.makespan == pytest.approx(sched.makespan())
+        assert cell.speedup == pytest.approx(sched.speedup())
+        assert cell.lower_bound <= cell.makespan + 1e-9
+        assert cell.runtime_s >= 0.0
+
+    def test_validation_enabled_by_default(self):
+        # run_cell validates; a correct scheduler passes silently
+        plat = paper_platform()
+        run_cell("f", "t", 5, fork_join_graph(5), HEFT(), "heft", plat)
+
+
+class TestFigures:
+    def test_all_six_defined(self):
+        assert available_figures() == [
+            "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+        ]
+
+    def test_specs_reference_paper_b(self):
+        for fig, spec in FIGURES.items():
+            assert spec.paper_b == PAPER_BEST_B[spec.testbed]
+            assert len(spec.default_sizes) == 5
+            assert spec.paper_outcome
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_figure("fig99")
+
+    def test_run_figure_small(self):
+        run = run_figure("fig07", sizes=[6, 10])
+        assert run.sizes() == [6, 10]
+        assert set(run.heuristics()) == {"heft", "ilha(B=38)"}
+        assert len(run.cells) == 4
+        series = run.series("heft")
+        assert [size for size, _ in series] == [6, 10]
+
+    def test_run_figure_tuned_adds_series(self):
+        run = run_figure("fig07", sizes=[6], tuned=True)
+        assert "ilha-tuned" in run.heuristics()
+
+    def test_progress_callback_invoked(self):
+        messages = []
+        run_figure("fig07", sizes=[5], progress=messages.append)
+        assert len(messages) == 2  # one per heuristic
+
+
+class TestReport:
+    @pytest.fixture
+    def run(self):
+        return run_figure("fig07", sizes=[6, 10])
+
+    def test_format_run_contains_series(self, run):
+        text = format_run(run)
+        assert "heft" in text
+        assert "ilha(B=38)" in text
+        assert "    10" in text
+
+    def test_format_comparison_has_gain_column(self, run):
+        text = format_comparison(run)
+        assert "gain%" in text
+
+    def test_format_cells_flat_dump(self, run):
+        text = format_cells(run.cells)
+        assert "fig07" in text
+        assert len(text.splitlines()) == len(run.cells) + 1
+
+
+class TestIO:
+    @pytest.fixture
+    def cells(self):
+        return run_figure("fig07", sizes=[5, 8]).cells
+
+    def test_csv_roundtrip(self, cells, tmp_path):
+        path = write_csv(cells, tmp_path / "cells.csv")
+        back = read_csv(path)
+        assert back == cells
+
+    def test_json_roundtrip(self, cells, tmp_path):
+        path = write_json(cells, tmp_path / "cells.json")
+        back = read_json(path)
+        assert back == cells

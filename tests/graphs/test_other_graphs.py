@@ -1,0 +1,111 @@
+"""Unit tests for fork graphs, the toy example, and random DAGs."""
+
+import pytest
+
+from repro.core import GraphError
+from repro.graphs import (
+    PAPER_CHILD_ORDER,
+    figure1_example,
+    fork_graph,
+    layered_random,
+    random_dag,
+    toy_graph,
+    toy_priority_key,
+    uniform_fork,
+)
+
+
+class TestFork:
+    def test_explicit_weights_and_data(self):
+        g = fork_graph([2.0, 3.0], [5.0, 7.0], parent_weight=1.0)
+        assert g.weight("v0") == 1.0
+        assert g.weight("v1") == 2.0
+        assert g.data("v0", "v2") == 7.0
+
+    def test_data_defaults_to_weights(self):
+        g = fork_graph([2.0, 3.0])
+        assert g.data("v0", "v1") == 2.0
+        assert g.data("v0", "v2") == 3.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            fork_graph([1.0], [1.0, 2.0])
+
+    def test_uniform_fork(self):
+        g = uniform_fork(4, weight=2.0, data=3.0)
+        assert g.num_tasks == 5
+        assert all(g.data("v0", f"v{i}") == 3.0 for i in range(1, 5))
+
+    def test_figure1_shape(self):
+        g = figure1_example()
+        assert g.num_tasks == 7
+        assert g.out_degree("v0") == 6
+        assert all(g.weight(v) == 1.0 for v in g.tasks())
+
+
+class TestToy:
+    def test_shape(self):
+        g = toy_graph()
+        assert g.num_tasks == 10
+        assert g.out_degree("a0") == 5
+        assert g.out_degree("b0") == 5
+        assert sorted(g.predecessors("ab1")) == ["a0", "b0"]
+
+    def test_priority_key_matches_paper_order(self):
+        children = sorted(PAPER_CHILD_ORDER, key=toy_priority_key)
+        assert list(children) == list(PAPER_CHILD_ORDER)
+
+    def test_roots_come_first(self):
+        tasks = sorted(toy_graph().tasks(), key=toy_priority_key)
+        assert tasks[:2] == ["a0", "b0"]
+
+
+class TestLayeredRandom:
+    def test_deterministic_by_seed(self):
+        a = layered_random(4, 5, seed=11)
+        b = layered_random(4, 5, seed=11)
+        assert list(a.tasks()) == list(b.tasks())
+        assert list(a.edges()) == list(b.edges())
+
+    def test_every_non_entry_has_parent(self):
+        g = layered_random(6, 4, density=0.1, seed=3)
+        entries = set(g.entry_tasks())
+        for v in g.tasks():
+            if v not in entries:
+                assert g.in_degree(v) >= 1
+
+    def test_entries_all_in_layer_zero(self):
+        g = layered_random(5, 3, density=0.9, seed=5)
+        for v in g.entry_tasks():
+            assert v[0] == 0
+
+    def test_acyclic(self):
+        layered_random(8, 6, seed=2).validate()
+
+    def test_bad_params(self):
+        with pytest.raises(GraphError):
+            layered_random(0, 3)
+        with pytest.raises(GraphError):
+            layered_random(3, 3, density=1.5)
+
+
+class TestRandomDag:
+    def test_deterministic_by_seed(self):
+        a = random_dag(10, seed=4)
+        b = random_dag(10, seed=4)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_edge_prob_extremes(self):
+        none = random_dag(6, edge_prob=0.0, seed=1)
+        full = random_dag(6, edge_prob=1.0, seed=1)
+        assert none.num_edges == 0
+        assert full.num_edges == 15  # 6 choose 2
+
+    def test_acyclic(self):
+        random_dag(12, edge_prob=0.5, seed=9).validate()
+
+    def test_bad_params(self):
+        with pytest.raises(GraphError):
+            random_dag(0)
+        with pytest.raises(GraphError):
+            random_dag(5, edge_prob=-0.1)

@@ -1,0 +1,185 @@
+"""Unit tests for the six paper testbeds: structure, weights, comms."""
+
+import pytest
+
+from repro.core import GraphError
+from repro.graphs import (
+    PAPER_COMM_RATIO,
+    available_testbeds,
+    doolittle_graph,
+    fork_join_graph,
+    laplace_graph,
+    ldmt_graph,
+    lu_graph,
+    lu_task_count,
+    make_testbed,
+    stencil_graph,
+    stencil_grid,
+)
+
+
+def assert_source_proportional(graph, ratio=PAPER_COMM_RATIO):
+    """Section 5.2: comm cost of every edge = c * weight of the source."""
+    for u, v in graph.edges():
+        assert graph.data(u, v) == pytest.approx(ratio * graph.weight(u))
+
+
+class TestRegistry:
+    def test_all_six_registered(self):
+        assert set(available_testbeds()) == {
+            "fork-join",
+            "lu",
+            "laplace",
+            "ldmt",
+            "doolittle",
+            "stencil",
+        }
+
+    def test_make_testbed_dispatch(self):
+        g = make_testbed("lu", 5)
+        assert g.name == "lu-5"
+        with pytest.raises(Exception):
+            make_testbed("nonexistent", 5)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        g = fork_join_graph(5)
+        assert g.num_tasks == 7
+        assert g.num_edges == 10
+        assert len(g.entry_tasks()) == 1
+        assert len(g.exit_tasks()) == 1
+
+    def test_unit_weights(self):
+        g = fork_join_graph(5)
+        assert all(g.weight(v) == 1.0 for v in g.tasks())
+
+    def test_comm_policy(self):
+        assert_source_proportional(fork_join_graph(6))
+
+    def test_depth_is_three_levels(self):
+        assert [len(level) for level in fork_join_graph(4).levels()] == [1, 4, 1]
+
+    def test_needs_one_interior(self):
+        with pytest.raises(GraphError):
+            fork_join_graph(0)
+
+
+class TestLU:
+    def test_task_count_closed_form(self):
+        for n in (2, 3, 5, 10):
+            assert lu_graph(n).num_tasks == lu_task_count(n)
+
+    def test_level_weights_are_n_minus_k(self):
+        n = 6
+        g = lu_graph(n)
+        for k in range(1, n):
+            assert g.weight(("p", k)) == n - k
+            for j in range(k + 1, n + 1):
+                assert g.weight(("u", k, j)) == n - k
+
+    def test_pivot_feeds_all_updates(self):
+        g = lu_graph(5)
+        for j in range(2, 6):
+            assert g.has_edge(("p", 1), ("u", 1, j))
+
+    def test_column_chains(self):
+        g = lu_graph(5)
+        assert g.has_edge(("u", 1, 3), ("u", 2, 3))
+        assert g.has_edge(("u", 1, 2), ("p", 2))
+
+    def test_acyclic_and_connected_levels(self):
+        g = lu_graph(7)
+        g.validate()
+        assert len(g.entry_tasks()) == 1  # only p(1)
+
+    def test_comm_policy(self):
+        assert_source_proportional(lu_graph(5))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            lu_graph(1)
+
+
+class TestLaplace:
+    def test_grid_size(self):
+        g = laplace_graph(4)
+        assert g.num_tasks == 16
+        # edges: 2 * m * (m-1)
+        assert g.num_edges == 24
+
+    def test_all_paths_equal_length(self):
+        """Every node on a critical path — the property the paper cites."""
+        g = laplace_graph(5, comm_ratio=0.0)
+        depth = {}
+        for v in g.topological_order():
+            preds = g.predecessors(v)
+            depth[v] = 0 if not preds else 1 + max(depth[p] for p in preds)
+        height = {}
+        for v in reversed(g.topological_order()):
+            succs = g.successors(v)
+            height[v] = 0 if not succs else 1 + max(height[s] for s in succs)
+        assert len({depth[v] + height[v] for v in g.tasks()}) == 1
+
+    def test_unit_weights_and_comm(self):
+        g = laplace_graph(4)
+        assert all(g.weight(v) == 1.0 for v in g.tasks())
+        assert_source_proportional(g)
+
+
+class TestStencil:
+    def test_interior_has_three_parents(self):
+        g = stencil_graph(5)
+        assert sorted(g.predecessors((2, 2))) == [(1, 1), (1, 2), (1, 3)]
+
+    def test_border_has_two_parents(self):
+        g = stencil_graph(5)
+        assert sorted(g.predecessors((1, 0))) == [(0, 0), (0, 1)]
+
+    def test_rectangle(self):
+        g = stencil_grid(7, 3)
+        assert g.num_tasks == 21
+        assert len(g.levels()) == 3
+
+    def test_comm_policy(self):
+        assert_source_proportional(stencil_graph(4))
+
+
+class TestDoolittleAndLDMt:
+    def test_doolittle_weights_grow_with_level(self):
+        n = 6
+        g = doolittle_graph(n)
+        for k in range(1, n):
+            assert g.weight(("p", k)) == k
+
+    def test_ldmt_weights_grow_with_level(self):
+        n = 5
+        g = ldmt_graph(n)
+        for k in range(1, n):
+            assert g.weight(("d", k)) == k
+            for j in range(k + 1, n + 1):
+                assert g.weight(("l", k, j)) == k
+                assert g.weight(("m", k, j)) == k
+
+    def test_ldmt_roughly_twice_doolittle(self):
+        n = 8
+        doo = doolittle_graph(n).num_tasks
+        ldm = ldmt_graph(n).num_tasks
+        assert ldm >= 1.7 * doo
+
+    def test_ldmt_two_families_independent(self):
+        g = ldmt_graph(5)
+        # l and m chains never cross except through the diagonal tasks
+        for u, v in g.edges():
+            if u[0] == "l":
+                assert v[0] in ("l", "d")
+            if u[0] == "m":
+                assert v[0] in ("m", "d")
+
+    def test_comm_policy(self):
+        assert_source_proportional(doolittle_graph(5))
+        assert_source_proportional(ldmt_graph(5))
+
+    def test_validate_acyclic(self):
+        doolittle_graph(7).validate()
+        ldmt_graph(7).validate()

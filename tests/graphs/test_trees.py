@@ -1,0 +1,89 @@
+"""Unit tests for the tree-family generators."""
+
+import pytest
+
+from repro import HEFT, validate_schedule
+from repro.core import GraphError
+from repro.graphs.trees import diamond_chain, in_tree, out_tree
+
+
+class TestOutTree:
+    def test_node_count(self):
+        # depth 3 binary tree: 1 + 2 + 4 + 8 = 15
+        assert out_tree(3, 2).num_tasks == 15
+
+    def test_single_root(self):
+        g = out_tree(3, 2)
+        assert g.entry_tasks() == [(0, 0)]
+        assert len(g.exit_tasks()) == 8
+
+    def test_every_internal_node_has_arity_children(self):
+        g = out_tree(2, 3)
+        assert g.out_degree((0, 0)) == 3
+        assert g.out_degree((1, 1)) == 3
+        assert g.out_degree((2, 5)) == 0
+
+    def test_depth_zero(self):
+        assert out_tree(0, 5).num_tasks == 1
+
+    def test_bad_params(self):
+        with pytest.raises(GraphError):
+            out_tree(-1, 2)
+        with pytest.raises(GraphError):
+            out_tree(2, 0)
+
+
+class TestInTree:
+    def test_node_count(self):
+        assert in_tree(3, 2).num_tasks == 15
+
+    def test_single_sink(self):
+        g = in_tree(3, 2)
+        assert g.exit_tasks() == [(3, 0)]
+        assert len(g.entry_tasks()) == 8
+
+    def test_reduction_in_degree(self):
+        g = in_tree(2, 4)
+        assert g.in_degree((2, 0)) == 4
+        assert g.in_degree((0, 3)) == 0
+
+    def test_mirror_of_out_tree(self):
+        assert in_tree(3, 2).num_tasks == out_tree(3, 2).num_tasks
+        assert in_tree(3, 2).num_edges == out_tree(3, 2).num_edges
+
+
+class TestDiamondChain:
+    def test_node_count(self):
+        # stages * width parallel + stages+1 syncs
+        assert diamond_chain(3, 4).num_tasks == 3 * 4 + 4
+
+    def test_level_structure(self):
+        g = diamond_chain(2, 3)
+        widths = [len(level) for level in g.levels()]
+        assert widths == [1, 3, 1, 3, 1]
+
+    def test_bad_params(self):
+        with pytest.raises(GraphError):
+            diamond_chain(0, 3)
+
+
+class TestSchedulingTrees:
+    """Trees are one-port stress tests: hot ports at every internal node."""
+
+    def test_schedules_validate(self, paper_platform):
+        for g in (out_tree(3, 3), in_tree(3, 3), diamond_chain(3, 8)):
+            sched = HEFT().run(g, paper_platform, "one-port")
+            validate_schedule(sched)
+            assert sched.is_complete()
+
+    def test_broadcast_serializes_on_root_port(self, five_identical):
+        """All remote children of the root queue on one send port."""
+        g = out_tree(1, 4, weight=1.0, comm_ratio=2.0)
+        sched = HEFT().run(g, five_identical, "one-port")
+        validate_schedule(sched)
+        root_sends = sorted(
+            (e for e in sched.comm_events if e.src_task == (0, 0)),
+            key=lambda e: e.start,
+        )
+        for a, b in zip(root_sends, root_sends[1:]):
+            assert b.start >= a.finish - 1e-9

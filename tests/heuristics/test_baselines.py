@@ -1,0 +1,145 @@
+"""Unit tests for the baseline schedulers (CPOP, GDL, BIL, PCT, min-min,
+max-min, serial, random, fixed-allocation)."""
+
+import pytest
+
+from repro import (
+    BIL,
+    CPOP,
+    GDL,
+    PCT,
+    FixedAllocation,
+    MaxMin,
+    MinMin,
+    Platform,
+    RandomMapper,
+    Serial,
+    validate_schedule,
+)
+from repro.core import SchedulingError, TaskGraph
+from repro.core.bounds import makespan_lower_bound
+from repro.graphs import figure1_example, lu_graph
+from repro.heuristics import best_imaginary_levels
+
+ALL_BASELINES = [CPOP(), GDL(), BIL(), PCT(), MinMin(), MaxMin()]
+
+
+class TestAllBaselines:
+    @pytest.mark.parametrize("scheduler", ALL_BASELINES, ids=lambda s: s.name)
+    @pytest.mark.parametrize("model", ["one-port", "macro-dataflow"])
+    def test_valid_and_complete(self, scheduler, model, small_graphs, paper_platform):
+        for graph in small_graphs:
+            sched = scheduler.run(graph, paper_platform, model)
+            validate_schedule(sched)
+            assert sched.is_complete()
+
+    @pytest.mark.parametrize("scheduler", ALL_BASELINES, ids=lambda s: s.name)
+    def test_respects_lower_bound(self, scheduler, paper_platform):
+        g = lu_graph(6)
+        sched = scheduler.run(g, paper_platform, "one-port")
+        assert sched.makespan() >= makespan_lower_bound(g, paper_platform) - 1e-9
+
+    @pytest.mark.parametrize("scheduler", ALL_BASELINES, ids=lambda s: s.name)
+    def test_deterministic(self, scheduler, paper_platform):
+        g = lu_graph(5)
+        a = scheduler.run(g, paper_platform, "one-port")
+        b = scheduler.run(g, paper_platform, "one-port")
+        assert a.makespan() == b.makespan()
+
+
+class TestSerial:
+    def test_speedup_is_one_on_fastest(self, paper_platform):
+        g = lu_graph(5)
+        sched = Serial().run(g, paper_platform, "one-port")
+        validate_schedule(sched)
+        assert sched.speedup() == pytest.approx(1.0)
+        assert sched.num_comms() == 0
+
+    def test_explicit_processor(self, paper_platform):
+        g = lu_graph(4)
+        sched = Serial(proc=9).run(g, paper_platform, "one-port")
+        assert sched.processors_used() == {9}
+        # t=15 processor: 2.5x slower than the fastest
+        assert sched.speedup() == pytest.approx(6.0 / 15.0)
+
+
+class TestRandomMapper:
+    def test_seeded_reproducible(self, paper_platform):
+        g = lu_graph(5)
+        a = RandomMapper(seed=42).run(g, paper_platform, "one-port")
+        b = RandomMapper(seed=42).run(g, paper_platform, "one-port")
+        assert a.makespan() == b.makespan()
+
+    def test_different_seeds_differ(self, paper_platform):
+        g = lu_graph(6)
+        spans = {
+            RandomMapper(seed=s).run(g, paper_platform, "one-port").makespan()
+            for s in range(5)
+        }
+        assert len(spans) > 1
+
+    def test_always_valid(self, paper_platform, small_graphs):
+        for seed, graph in enumerate(small_graphs):
+            sched = RandomMapper(seed=seed).run(graph, paper_platform, "one-port")
+            validate_schedule(sched)
+
+
+class TestFixedAllocation:
+    def test_reproduces_figure1_numbers(self, five_identical):
+        graph = figure1_example()
+        alloc = {"v0": 0, "v1": 0, "v2": 0, "v3": 1, "v4": 2, "v5": 3, "v6": 4}
+        macro = FixedAllocation(alloc).run(graph, five_identical, "macro-dataflow")
+        oneport = FixedAllocation(alloc).run(graph, five_identical, "one-port")
+        validate_schedule(macro)
+        validate_schedule(oneport)
+        assert macro.makespan() == pytest.approx(3.0)
+        assert oneport.makespan() == pytest.approx(6.0)
+
+    def test_missing_task_rejected(self, five_identical):
+        with pytest.raises(SchedulingError, match="missing task"):
+            FixedAllocation({"v0": 0}).run(figure1_example(), five_identical)
+
+    def test_explicit_order(self, two_identical):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 1.0)
+        sched = FixedAllocation({"a": 0, "b": 0}, order=["b", "a"]).run(
+            g, two_identical, "one-port"
+        )
+        assert sched.start_of("b") < sched.start_of("a")
+
+    def test_incomplete_order_rejected(self, two_identical):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 1.0)
+        with pytest.raises(SchedulingError, match="order must cover"):
+            FixedAllocation({"a": 0, "b": 0}, order=["a"]).run(g, two_identical)
+
+
+class TestCPOP:
+    def test_critical_path_on_one_processor(self, paper_platform):
+        g = lu_graph(6)
+        sched = CPOP().run(g, paper_platform, "one-port")
+        from repro.core import critical_path
+
+        path = critical_path(g, paper_platform)
+        procs = {sched.proc_of(v) for v in path}
+        assert len(procs) == 1
+
+
+class TestBILTable:
+    def test_exit_task_bil_is_exec_time(self, paper_platform):
+        g = TaskGraph()
+        g.add_task("exit", 3.0)
+        bil = best_imaginary_levels(g, paper_platform)
+        for p in paper_platform.processors:
+            assert bil[("exit", p)] == pytest.approx(3.0 * paper_platform.cycle_time(p))
+
+    def test_bil_monotone_along_chain(self, paper_platform):
+        g = TaskGraph()
+        g.add_task("u", 1.0)
+        g.add_task("v", 1.0)
+        g.add_dependency("u", "v", 2.0)
+        bil = best_imaginary_levels(g, paper_platform)
+        for p in paper_platform.processors:
+            assert bil[("u", p)] > bil[("v", p)]

@@ -1,0 +1,121 @@
+"""Unit tests for HEFT under both communication models."""
+
+import pytest
+
+from repro import HEFT, Platform, validate_schedule
+from repro.core import TaskGraph
+from repro.graphs import (
+    figure1_example,
+    fork_join_graph,
+    lu_graph,
+    toy_graph,
+    toy_priority_key,
+)
+
+
+class TestBasics:
+    def test_single_task_on_fastest(self):
+        g = TaskGraph()
+        g.add_task("only", 4.0)
+        plat = Platform([10.0, 2.0, 5.0])
+        sched = HEFT().run(g, plat, "one-port")
+        assert sched.proc_of("only") == 1
+        assert sched.makespan() == 8.0
+
+    def test_empty_ready_queue_terminates(self):
+        g = TaskGraph()
+        plat = Platform.homogeneous(2)
+        sched = HEFT().run(g, plat)
+        assert sched.makespan() == 0.0
+
+    def test_chain_stays_local_when_comm_expensive(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 1.0)
+        g.add_dependency("a", "b", 100.0)
+        plat = Platform.homogeneous(2, link=1.0)
+        sched = HEFT().run(g, plat, "one-port")
+        assert sched.proc_of("a") == sched.proc_of("b")
+        assert sched.makespan() == 2.0
+
+    def test_parallel_when_comm_free(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 1.0)
+        plat = Platform.homogeneous(2)
+        sched = HEFT().run(g, plat, "one-port")
+        assert sched.proc_of("a") != sched.proc_of("b")
+        assert sched.makespan() == 1.0
+
+    @pytest.mark.parametrize("model", ["one-port", "macro-dataflow"])
+    def test_valid_on_every_small_graph(self, model, small_graphs, paper_platform):
+        for graph in small_graphs:
+            sched = HEFT().run(graph, paper_platform, model)
+            validate_schedule(sched)
+            assert sched.is_complete()
+
+    def test_deterministic(self, paper_platform):
+        g = lu_graph(8)
+        s1 = HEFT().run(g, paper_platform)
+        s2 = HEFT().run(g, paper_platform)
+        assert s1.makespan() == s2.makespan()
+        assert {t: s1.proc_of(t) for t in g.tasks()} == {
+            t: s2.proc_of(t) for t in g.tasks()
+        }
+
+
+class TestOnePortSemantics:
+    def test_fork_messages_serialize(self, five_identical):
+        """Figure 1's observation: under one-port the parent's messages
+        queue on its send port, so HEFT keeps several children local."""
+        sched = HEFT().run(figure1_example(), five_identical, "one-port")
+        validate_schedule(sched)
+        sends = [e for e in sched.comm_events]
+        sends.sort(key=lambda e: e.start)
+        for a, b in zip(sends, sends[1:]):
+            if a.src_proc == b.src_proc:
+                assert b.start >= a.finish - 1e-9
+
+    def test_one_port_never_beats_macro_for_fixed_order(self, paper_platform):
+        """Macro-dataflow relaxes one-port constraints, so HEFT's macro
+        makespan is a lower bound for the one-port makespan on the same
+        inputs (both greedy, same priorities, non-insertion)."""
+        for graph in (fork_join_graph(12), lu_graph(6)):
+            macro = HEFT(insertion=False).run(graph, paper_platform, "macro-dataflow")
+            oneport = HEFT(insertion=False).run(graph, paper_platform, "one-port")
+            assert macro.makespan() <= oneport.makespan() + 1e-9
+
+
+class TestToyExample:
+    def test_paper_makespan_without_insertion(self, two_identical):
+        sched = HEFT(insertion=False, priority_key=toy_priority_key).run(
+            toy_graph(), two_identical, "one-port"
+        )
+        validate_schedule(sched)
+        assert sched.makespan() == pytest.approx(6.0)
+
+    def test_insertion_improves_toy(self, two_identical):
+        sched = HEFT(priority_key=toy_priority_key).run(
+            toy_graph(), two_identical, "one-port"
+        )
+        validate_schedule(sched)
+        assert sched.makespan() == pytest.approx(5.0)
+
+    def test_roots_split_across_processors(self, two_identical):
+        sched = HEFT(priority_key=toy_priority_key).run(
+            toy_graph(), two_identical, "one-port"
+        )
+        assert sched.proc_of("a0") != sched.proc_of("b0")
+
+
+class TestPriorityKey:
+    def test_custom_order_is_respected(self, two_identical):
+        g = TaskGraph()
+        for v in ("x", "y"):
+            g.add_task(v, 1.0)
+        # force y first: it grabs P0 (ties go to the lowest index)
+        sched = HEFT(priority_key=lambda v: (0 if v == "y" else 1,)).run(
+            g, two_identical, "one-port"
+        )
+        assert sched.proc_of("y") == 0
+        assert sched.proc_of("x") == 1

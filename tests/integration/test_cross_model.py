@@ -1,0 +1,103 @@
+"""Cross-model and cross-heuristic integration checks."""
+
+import pytest
+
+from repro import HEFT, ILHA, FixedAllocation, Platform, validate_schedule
+from repro.core import ValidationError, makespan_lower_bound, validate_schedule as vs
+from repro.graphs import layered_random, lu_graph
+from repro.heuristics import available_schedulers, get_scheduler
+
+
+class TestFixedAllocationRelaxation:
+    """For a fixed allocation + order + non-insertion slots, removing the
+    one-port constraints (macro model) can only shrink the makespan —
+    an exact dominance the trial engine must preserve."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_macro_dominates_one_port(self, seed, paper_platform):
+        g = layered_random(5, 5, density=0.5, seed=seed)
+        alloc = {
+            v: hash((seed, i)) % paper_platform.num_processors
+            for i, v in enumerate(g.tasks())
+        }
+        order = list(g.topological_order())
+        macro = FixedAllocation(alloc, order=order, insertion=False).run(
+            g, paper_platform, "macro-dataflow"
+        )
+        oneport = FixedAllocation(alloc, order=order, insertion=False).run(
+            g, paper_platform, "one-port"
+        )
+        validate_schedule(macro)
+        validate_schedule(oneport)
+        assert macro.makespan() <= oneport.makespan() + 1e-9
+
+
+class TestMacroSchedulesViolateOnePort:
+    """The Figure 1 lesson: macro-dataflow schedules are generally
+    *invalid* under the one-port rules."""
+
+    def test_fork_macro_schedule_fails_one_port_check(self, five_identical):
+        from repro.graphs import uniform_fork
+
+        g = uniform_fork(6)
+        macro = HEFT().run(g, five_identical, "macro-dataflow")
+        validate_schedule(macro)  # fine under its own model
+        if len({e.start for e in macro.comm_events}) < macro.num_comms():
+            with pytest.raises(ValidationError):
+                vs(macro, model="one-port")
+
+
+class TestEveryRegisteredScheduler:
+    """The registry is the public entry point: every scheduler must
+    produce a valid, complete, lower-bound-respecting schedule."""
+
+    @pytest.mark.parametrize("name", [n for n in available_schedulers() if n != "fixed"])
+    def test_schedules_lu_validly(self, name, paper_platform):
+        scheduler = get_scheduler(name)
+        g = lu_graph(6)
+        sched = scheduler.run(g, paper_platform, "one-port")
+        validate_schedule(sched)
+        assert sched.is_complete()
+        assert sched.makespan() >= makespan_lower_bound(g, paper_platform) - 1e-9
+
+    def test_heuristics_beat_random_on_average(self, paper_platform):
+        from repro.heuristics import RandomMapper
+
+        g = lu_graph(10)
+        random_spans = [
+            RandomMapper(seed=s).run(g, paper_platform, "one-port").makespan()
+            for s in range(5)
+        ]
+        heft = HEFT().run(g, paper_platform, "one-port").makespan()
+        ilha = ILHA(b=4).run(g, paper_platform, "one-port").makespan()
+        avg_random = sum(random_spans) / len(random_spans)
+        assert heft < avg_random
+        assert ilha < avg_random
+
+
+class TestHeterogeneousSpeeds:
+    def test_fast_processor_preferred_for_serial_chain(self):
+        from repro.core import TaskGraph
+
+        g = TaskGraph()
+        prev = None
+        for i in range(5):
+            g.add_task(i, 1.0)
+            if prev is not None:
+                g.add_dependency(prev, i, 10.0)
+            prev = i
+        plat = Platform([1.0, 5.0, 5.0])
+        sched = HEFT().run(g, plat, "one-port")
+        # chain with heavy comms: everything on the fast processor
+        assert sched.processors_used() == {0}
+        assert sched.makespan() == pytest.approx(5.0)
+
+    def test_speed_ratio_respected(self):
+        from repro.core import TaskGraph
+
+        g = TaskGraph()
+        g.add_task("t", 7.0)
+        plat = Platform([3.0, 2.0])
+        sched = HEFT().run(g, plat, "one-port")
+        assert sched.proc_of("t") == 1
+        assert sched.makespan() == pytest.approx(14.0)

@@ -1,0 +1,157 @@
+"""Integration tests pinning the paper's concrete claims.
+
+Each test reproduces a number or qualitative statement from the paper
+text and fails if the library stops reproducing it.  These are the
+headline results; EXPERIMENTS.md documents the full figure sweeps.
+"""
+
+import pytest
+
+from repro import (
+    HEFT,
+    ILHA,
+    FixedAllocation,
+    Platform,
+    Serial,
+    validate_schedule,
+)
+from repro.complexity import optimal_fork_makespan
+from repro.experiments import paper_platform
+from repro.graphs import (
+    figure1_example,
+    fork_join_graph,
+    fork_join_speedup_bound,
+    laplace_graph,
+    lu_graph,
+    toy_graph,
+    toy_priority_key,
+)
+
+
+class TestFigure1Example:
+    """Section 2.3: macro = 3, same allocation one-port >= 6, optimum 5."""
+
+    ALLOC = {"v0": 0, "v1": 0, "v2": 0, "v3": 1, "v4": 2, "v5": 3, "v6": 4}
+
+    def test_macro_dataflow_makespan_3(self, five_identical):
+        sched = FixedAllocation(self.ALLOC).run(
+            figure1_example(), five_identical, "macro-dataflow"
+        )
+        validate_schedule(sched)
+        assert sched.makespan() == pytest.approx(3.0)
+
+    def test_same_allocation_one_port_makespan_6(self, five_identical):
+        sched = FixedAllocation(self.ALLOC).run(
+            figure1_example(), five_identical, "one-port"
+        )
+        validate_schedule(sched)
+        assert sched.makespan() == pytest.approx(6.0)
+
+    def test_one_port_optimum_is_5(self):
+        optimum, local = optimal_fork_makespan(1.0, [1.0] * 6, [1.0] * 6)
+        assert optimum == pytest.approx(5.0)
+        # at most 4 remote children -> fits the 5-processor platform
+        assert 6 - len(local) <= 4
+
+    def test_heft_one_port_close_to_optimum(self, five_identical):
+        sched = HEFT().run(figure1_example(), five_identical, "one-port")
+        validate_schedule(sched)
+        assert sched.makespan() <= 6.0  # never worse than the naive allocation
+        assert sched.makespan() >= 5.0  # never better than the optimum
+
+
+class TestToyExample:
+    """Section 4.4 / Figure 4: HEFT 6 vs ILHA 5 with far fewer messages."""
+
+    def test_heft_paper_convention_6(self, two_identical):
+        sched = HEFT(insertion=False, priority_key=toy_priority_key).run(
+            toy_graph(), two_identical, "one-port"
+        )
+        assert sched.makespan() == pytest.approx(6.0)
+
+    def test_ilha_5_with_two_messages(self, two_identical):
+        sched = ILHA(b=8, priority_key=toy_priority_key).run(
+            toy_graph(), two_identical, "one-port"
+        )
+        assert sched.makespan() == pytest.approx(5.0)
+        assert sched.num_comms() == 2
+
+    def test_ilha_beats_heft_on_both_metrics(self, two_identical):
+        heft = HEFT(insertion=False, priority_key=toy_priority_key).run(
+            toy_graph(), two_identical, "one-port"
+        )
+        ilha = ILHA(b=8, priority_key=toy_priority_key).run(
+            toy_graph(), two_identical, "one-port"
+        )
+        assert ilha.makespan() < heft.makespan()
+        assert ilha.num_comms() < heft.num_comms()
+
+
+class TestSection52Constants:
+    def test_speedup_bound_7_6(self):
+        assert paper_platform().speedup_bound() == pytest.approx(7.6)
+
+    def test_perfect_balance_38(self):
+        assert paper_platform().perfect_balance_count() == 38
+
+    def test_serial_reference(self):
+        """38 unit tasks sequentially on a fastest processor: 228."""
+        plat = paper_platform()
+        assert plat.sequential_time(38.0) == pytest.approx(228.0)
+
+
+class TestForkJoinBound:
+    """Section 5.3's analytic speedup bound for FORK-JOIN: 1.6."""
+
+    def test_bound_value(self):
+        assert fork_join_speedup_bound(1.0, 6.0, 10.0) == pytest.approx(1.6)
+
+    def test_heuristics_stay_under_bound_and_close(self):
+        plat = paper_platform()
+        g = fork_join_graph(300)
+        for scheduler in (HEFT(), ILHA(b=38)):
+            sched = scheduler.run(g, plat, "one-port")
+            validate_schedule(sched)
+            assert sched.speedup() <= 1.6 + 1e-6
+            assert sched.speedup() >= 1.45  # the paper measures 1.53-1.58
+
+    def test_heft_and_ilha_agree_on_fork_join(self):
+        """Figure 7: 'HEFT and ILHA lead to the same scheduling'."""
+        plat = paper_platform()
+        g = fork_join_graph(200)
+        heft = HEFT().run(g, plat, "one-port")
+        ilha = ILHA(b=38).run(g, plat, "one-port")
+        assert ilha.makespan() == pytest.approx(heft.makespan(), rel=0.02)
+
+
+class TestQualitativeClaims:
+    def test_ilha_beats_heft_on_laplace(self):
+        """Figure 9's direction: ILHA(B=38) above HEFT on LAPLACE."""
+        plat = paper_platform()
+        g = laplace_graph(18)
+        heft = HEFT().run(g, plat, "one-port")
+        ilha = ILHA(b=38).run(g, plat, "one-port")
+        assert ilha.speedup() > heft.speedup()
+
+    def test_speedups_below_ceiling(self):
+        plat = paper_platform()
+        for g in (lu_graph(20), laplace_graph(10)):
+            for scheduler in (HEFT(), ILHA(b=4)):
+                sched = scheduler.run(g, plat, "one-port")
+                assert sched.speedup() <= plat.speedup_bound() + 1e-9
+
+    def test_serial_speedup_exactly_one(self):
+        plat = paper_platform()
+        sched = Serial().run(lu_graph(10), plat, "one-port")
+        assert sched.speedup() == pytest.approx(1.0)
+
+    def test_one_port_needs_more_time_than_macro_on_forks(self, five_identical):
+        """Communication serialization can only hurt: for the fork family
+        the one-port HEFT makespan is at least the macro one."""
+        for n in (4, 8, 16):
+            from repro.graphs import uniform_fork
+
+            g = uniform_fork(n)
+            macro = HEFT(insertion=False).run(g, five_identical, "macro-dataflow")
+            oneport = HEFT(insertion=False).run(g, five_identical, "one-port")
+            assert oneport.makespan() >= macro.makespan() - 1e-9

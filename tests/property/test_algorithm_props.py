@@ -1,0 +1,146 @@
+"""Property-based tests for load balancing, ranking, and exact solvers."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.complexity import (
+    jackson_remote_makespan,
+    optimal_fork_makespan,
+    two_partition,
+)
+from repro.complexity.exact_fork import remote_makespan_for_order
+from repro.core import (
+    Platform,
+    bottom_levels,
+    distribution_makespan,
+    optimal_distribution,
+    top_levels,
+    weight_shares,
+)
+from repro.graphs import layered_random
+
+cycle_time_lists = st.lists(
+    st.sampled_from([1.0, 2.0, 3.0, 5.0, 6.0, 10.0, 15.0]), min_size=1, max_size=4
+)
+
+
+class TestLoadBalanceProps:
+    @given(cycle_time_lists)
+    def test_shares_sum_to_one(self, cts):
+        assert abs(sum(weight_shares(cts)) - 1.0) < 1e-9
+
+    @given(cycle_time_lists, st.integers(min_value=0, max_value=12))
+    def test_distribution_total(self, cts, n):
+        assert sum(optimal_distribution(n, cts)) == n
+
+    @given(
+        st.lists(st.sampled_from([1.0, 2.0, 3.0]), min_size=2, max_size=3),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50)
+    def test_distribution_minimizes_makespan(self, cts, n):
+        greedy = distribution_makespan(optimal_distribution(n, cts), cts)
+        best = min(
+            distribution_makespan(counts, cts)
+            for counts in itertools.product(range(n + 1), repeat=len(cts))
+            if sum(counts) == n
+        )
+        assert abs(greedy - best) < 1e-9
+
+    @given(cycle_time_lists, st.integers(min_value=1, max_value=20))
+    def test_faster_processors_never_get_less(self, cts, n):
+        counts = optimal_distribution(n, cts)
+        for i in range(len(cts)):
+            for j in range(len(cts)):
+                if cts[i] < cts[j]:
+                    assert counts[i] >= counts[j]
+
+
+class TestRankingProps:
+    graph_params = st.tuples(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=500),
+    )
+
+    @given(graph_params)
+    @settings(max_examples=60)
+    def test_bottom_level_decreases_along_edges(self, gp):
+        layers, width, seed = gp
+        g = layered_random(layers, width, density=0.6, seed=seed)
+        plat = Platform([6.0, 10.0, 15.0])
+        bl = bottom_levels(g, plat)
+        for u, v in g.edges():
+            assert bl[u] > bl[v] - 1e-9
+
+    @given(graph_params)
+    @settings(max_examples=60)
+    def test_top_plus_bottom_bounded_by_cp(self, gp):
+        layers, width, seed = gp
+        g = layered_random(layers, width, density=0.6, seed=seed)
+        plat = Platform([6.0, 10.0, 15.0])
+        bl = bottom_levels(g, plat)
+        tl = top_levels(g, plat)
+        cp = max(bl.values())
+        for v in g.tasks():
+            assert tl[v] + bl[v] <= cp + 1e-6
+
+
+class TestExactForkProps:
+    jobs = st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=8),
+            st.integers(min_value=1, max_value=8),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+
+    @given(jobs)
+    @settings(max_examples=80)
+    def test_jackson_is_optimal_order(self, jobs):
+        jobs = [(float(s), float(t)) for s, t in jobs]
+        best = min(
+            remote_makespan_for_order(jobs, order)
+            for order in itertools.permutations(range(len(jobs)))
+        )
+        assert abs(jackson_remote_makespan(jobs) - best) < 1e-9
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=5),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=60)
+    def test_optimum_no_worse_than_any_subset(self, weights, w0):
+        w = [float(x) for x in weights]
+        exact, _ = optimal_fork_makespan(float(w0), w, w)
+        # spot-check a few specific subsets
+        from repro.complexity import fork_makespan_for_subset
+
+        for mask in range(min(1 << len(w), 16)):
+            local = {i for i in range(len(w)) if mask >> i & 1}
+            assert exact <= fork_makespan_for_subset(float(w0), w, w, local) + 1e-9
+
+
+class TestPartitionProps:
+    @given(st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=10))
+    @settings(max_examples=100)
+    def test_two_partition_sound(self, values):
+        side = two_partition(values)
+        if side is not None:
+            assert 2 * sum(values[i] for i in side) == sum(values)
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=8))
+    @settings(max_examples=80)
+    def test_two_partition_complete(self, values):
+        """If brute force finds a partition, the DP must too."""
+        total = sum(values)
+        brute = False
+        if total % 2 == 0:
+            for mask in range(1 << len(values)):
+                if sum(values[i] for i in range(len(values)) if mask >> i & 1) == total // 2:
+                    brute = True
+                    break
+        assert (two_partition(values) is not None) == brute

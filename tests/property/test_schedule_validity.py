@@ -1,0 +1,125 @@
+"""The central property: every heuristic emits valid schedules.
+
+Hypothesis generates random layered DAGs and random heterogeneous
+platforms; every registered scheduler must produce a schedule that the
+independent validator accepts, that is complete, and whose makespan
+respects the work/critical-path lower bounds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HEFT, ILHA, Platform, validate_schedule
+from repro.core import makespan_lower_bound
+from repro.graphs import layered_random
+from repro.heuristics import BIL, CPOP, GDL, PCT, MaxMin, MinMin, RandomMapper
+
+# keep graphs small: validity is about structure, not scale
+graph_params = st.tuples(
+    st.integers(min_value=1, max_value=5),   # layers
+    st.integers(min_value=1, max_value=4),   # width
+    st.floats(min_value=0.0, max_value=1.0), # density
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+platform_params = st.tuples(
+    st.integers(min_value=1, max_value=5),               # processors
+    st.lists(st.sampled_from([1.0, 2.0, 3.0, 6.0, 10.0]), min_size=5, max_size=5),
+    st.sampled_from([0.5, 1.0, 4.0]),                    # link cost
+)
+
+
+def make_platform(params) -> Platform:
+    p, speeds, link = params
+    return Platform(speeds[:p], link)
+
+
+def make_graph(params):
+    layers, width, density, seed = params
+    return layered_random(layers, width, density=density, seed=seed)
+
+
+SCHEDULERS = [
+    HEFT(),
+    HEFT(insertion=False),
+    ILHA(b=3),
+    ILHA(b=8, single_comm_scan=True),
+    ILHA(b=5, reschedule=True),
+    ILHA(b=4, budget="weights"),
+    CPOP(),
+    GDL(),
+    BIL(),
+    PCT(),
+    MinMin(),
+    MaxMin(),
+    RandomMapper(seed=13),
+]
+
+
+@given(graph_params, platform_params, st.sampled_from(range(len(SCHEDULERS))))
+@settings(max_examples=120, deadline=None)
+def test_one_port_schedules_always_valid(gp, pp, scheduler_idx):
+    graph = make_graph(gp)
+    platform = make_platform(pp)
+    scheduler = SCHEDULERS[scheduler_idx]
+    sched = scheduler.run(graph, platform, "one-port")
+    validate_schedule(sched)
+    assert sched.is_complete()
+    assert sched.makespan() >= makespan_lower_bound(graph, platform) - 1e-6
+
+
+@given(graph_params, platform_params, st.sampled_from(range(len(SCHEDULERS))))
+@settings(max_examples=60, deadline=None)
+def test_macro_schedules_always_valid(gp, pp, scheduler_idx):
+    graph = make_graph(gp)
+    platform = make_platform(pp)
+    scheduler = SCHEDULERS[scheduler_idx]
+    sched = scheduler.run(graph, platform, "macro-dataflow")
+    validate_schedule(sched)
+    assert sched.is_complete()
+    assert sched.makespan() >= makespan_lower_bound(graph, platform) - 1e-6
+
+
+@given(graph_params, platform_params)
+@settings(max_examples=40, deadline=None)
+def test_heuristics_deterministic(gp, pp):
+    graph = make_graph(gp)
+    platform = make_platform(pp)
+    a = HEFT().run(graph, platform, "one-port")
+    b = HEFT().run(graph, platform, "one-port")
+    assert a.makespan() == b.makespan()
+    assert {t: a.proc_of(t) for t in graph.tasks()} == {
+        t: b.proc_of(t) for t in graph.tasks()
+    }
+
+
+@given(graph_params, platform_params, st.sampled_from(range(len(SCHEDULERS))))
+@settings(max_examples=60, deadline=None)
+def test_replay_reconstruction_no_worse(gp, pp, scheduler_idx):
+    """Independent timing reconstruction: replaying any heuristic's
+    decisions yields a valid schedule with makespan <= the original."""
+    from repro.simulate import replay_schedule
+
+    graph = make_graph(gp)
+    platform = make_platform(pp)
+    original = SCHEDULERS[scheduler_idx].run(graph, platform, "one-port")
+    replayed = replay_schedule(original)
+    validate_schedule(replayed)
+    assert replayed.makespan() <= original.makespan() + 1e-6
+    for t in graph.tasks():
+        assert replayed.proc_of(t) == original.proc_of(t)
+
+
+@given(graph_params, platform_params)
+@settings(max_examples=40, deadline=None)
+def test_one_port_events_cover_every_remote_edge(gp, pp):
+    graph = make_graph(gp)
+    platform = make_platform(pp)
+    sched = ILHA(b=4).run(graph, platform, "one-port")
+    for u, v in graph.edges():
+        events = sched.comms_between((u, v))
+        if sched.proc_of(u) == sched.proc_of(v):
+            assert events == []
+        else:
+            assert len(events) == 1
+            assert events[0].data == graph.data(u, v)

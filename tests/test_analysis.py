@@ -1,0 +1,100 @@
+"""Unit tests for the analysis package (stats + bottleneck attribution)."""
+
+import pytest
+
+from repro import HEFT, ILHA, Platform, Serial
+from repro.analysis import (
+    bottleneck_report,
+    comm_matrix,
+    compare_schedules,
+    idle_profile,
+    port_busy_times,
+    processor_profile,
+    scheduled_critical_path,
+)
+from repro.graphs import lu_graph, stencil_graph, uniform_fork
+
+
+@pytest.fixture
+def lu_schedule(paper_platform):
+    return HEFT().run(lu_graph(8), paper_platform, "one-port")
+
+
+class TestStats:
+    def test_processor_profile_consistent(self, lu_schedule):
+        profile = processor_profile(lu_schedule)
+        ms = lu_schedule.makespan()
+        for proc, row in profile.items():
+            assert row["busy"] + row["idle"] == pytest.approx(ms)
+            assert row["busy"] == pytest.approx(lu_schedule.proc_busy_time(proc))
+
+    def test_idle_profile_bounds(self, lu_schedule):
+        prof = idle_profile(lu_schedule)
+        assert 0.0 <= prof["min_utilization"] <= prof["mean_utilization"]
+        assert prof["mean_utilization"] <= prof["max_utilization"] <= 1.0
+
+    def test_port_busy_totals(self, lu_schedule):
+        ports = port_busy_times(lu_schedule)
+        total_send = sum(row["send"] for row in ports.values())
+        total_recv = sum(row["recv"] for row in ports.values())
+        assert total_send == pytest.approx(lu_schedule.total_comm_time())
+        assert total_recv == pytest.approx(lu_schedule.total_comm_time())
+
+    def test_comm_matrix_diagonal_zero(self, lu_schedule):
+        mat = comm_matrix(lu_schedule)
+        assert mat.shape == (10, 10)
+        assert mat.diagonal().sum() == 0.0
+        assert mat.sum() == pytest.approx(lu_schedule.total_comm_time())
+
+    def test_compare_schedules_renders(self, paper_platform):
+        g = lu_graph(6)
+        table = compare_schedules(
+            [HEFT().run(g, paper_platform), ILHA(b=4).run(g, paper_platform)]
+        )
+        assert "heft" in table
+        assert "ilha" in table
+        assert len(table.splitlines()) == 4
+
+
+class TestBottleneck:
+    def test_chain_covers_makespan_for_serial(self, paper_platform):
+        """A serial schedule's chain is pure back-to-back computation."""
+        sched = Serial().run(lu_graph(5), paper_platform, "one-port")
+        report = bottleneck_report(sched)
+        assert report["comm"] == 0.0
+        assert report["compute"] == pytest.approx(sched.makespan())
+        assert report["gap"] == pytest.approx(0.0)
+
+    def test_chain_ends_at_makespan(self, lu_schedule):
+        chain = scheduled_critical_path(lu_schedule)
+        assert chain[-1].finish == pytest.approx(lu_schedule.makespan())
+
+    def test_chain_is_time_ordered_and_tight(self, lu_schedule):
+        chain = scheduled_critical_path(lu_schedule)
+        for a, b in zip(chain, chain[1:]):
+            assert a.finish == pytest.approx(b.start, abs=1e-6)
+
+    def test_fork_chain_shows_serialized_sends(self, five_identical):
+        """With every child remote, the chain is the send-port queue."""
+        from repro import FixedAllocation
+
+        alloc = {"v0": 0} | {f"v{i}": 1 + (i - 1) % 4 for i in range(1, 7)}
+        sched = FixedAllocation(alloc).run(uniform_fork(6), five_identical, "one-port")
+        chain = scheduled_critical_path(sched)
+        comm_nodes = [n for n in chain if n.kind == "comm"]
+        assert comm_nodes, "fork schedules are communication-bound"
+        assert any("send port" in n.released_by or "arrival" in n.released_by
+                   for n in chain)
+
+    def test_stencil_is_comm_bound(self, paper_platform):
+        """The paper's Figure 12 diagnosis, quantified: most of the
+        stencil critical chain is communication."""
+        sched = HEFT().run(stencil_graph(8), paper_platform, "one-port")
+        report = bottleneck_report(sched)
+        assert report["comm_fraction"] > 0.5
+
+    def test_empty_schedule(self, paper_platform):
+        from repro.core import Schedule, TaskGraph
+
+        sched = Schedule(TaskGraph(), paper_platform)
+        assert scheduled_critical_path(sched) == []

@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup bound     : 7.60" in out
+        assert "perfect balance B : 38" in out
+
+
+class TestSchedule:
+    def test_default(self, capsys):
+        assert main(["schedule", "--testbed", "lu", "--size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "speedup" in out
+
+    def test_with_gantt(self, capsys):
+        assert main([
+            "schedule", "--testbed", "fork-join", "--size", "5",
+            "--heuristic", "heft", "--gantt", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "P0" in out
+
+    def test_ilha_b_flag(self, capsys):
+        assert main([
+            "schedule", "--testbed", "lu", "--size", "6",
+            "--heuristic", "ilha", "--b", "4",
+        ]) == 0
+
+    def test_macro_model(self, capsys):
+        assert main([
+            "schedule", "--testbed", "laplace", "--size", "4",
+            "--model", "macro-dataflow",
+        ]) == 0
+        assert "macro-dataflow" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_single_figure_small(self, capsys):
+        assert main(["figures", "--figures", "fig07", "--sizes", "5", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "== fig07 ==" in out
+        assert "gain%" in out
+
+
+class TestCompare:
+    def test_baselines_table(self, capsys):
+        assert main(["compare", "--testbed", "lu", "--size", "6"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pct", "cpop", "heft"):
+            assert name in out
+
+
+class TestBottleneck:
+    def test_chain_printed(self, capsys):
+        assert main([
+            "bottleneck", "--testbed", "stencil", "--size", "6",
+            "--heuristic", "heft",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical chain" in out
+        assert "comm fraction" in out
+
+    def test_bad_args_exit(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--testbed", "not-a-testbed"])

@@ -1,0 +1,156 @@
+"""Tests for the replay simulator — independent timing reconstruction."""
+
+import pytest
+
+from repro import HEFT, ILHA, Platform, validate_schedule
+from repro.core import SchedulingError
+from repro.graphs import laplace_graph, layered_random, lu_graph, toy_graph
+from repro.heuristics import CPOP, RandomMapper
+from repro.simulate import extract_decisions, replay, replay_schedule
+
+
+class TestExtractDecisions:
+    def test_orders_cover_everything(self, paper_platform):
+        sched = HEFT().run(lu_graph(6), paper_platform, "one-port")
+        dec = extract_decisions(sched)
+        assert set(dec.alloc) == set(sched.graph.tasks())
+        placed = sum(len(v) for v in dec.proc_order.values())
+        assert placed == sched.graph.num_tasks
+        assert len(dec.hops) == sched.num_comms()
+
+    def test_orders_sorted_by_time(self, paper_platform):
+        sched = HEFT().run(lu_graph(6), paper_platform, "one-port")
+        dec = extract_decisions(sched)
+        for proc, tasks in dec.proc_order.items():
+            starts = [sched.start_of(t) for t in tasks]
+            assert starts == sorted(starts)
+
+
+class TestReplayCrossCheck:
+    """The central property: replaying any heuristic's decisions yields a
+    valid schedule that is no worse."""
+
+    SCHEDULERS = [
+        HEFT(),
+        HEFT(insertion=False),
+        ILHA(b=4),
+        ILHA(b=10, single_comm_scan=True),
+        CPOP(),
+        RandomMapper(seed=5),
+    ]
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS, ids=lambda s: f"{s.name}")
+    @pytest.mark.parametrize(
+        "graph",
+        [lu_graph(6), laplace_graph(5), toy_graph(), layered_random(4, 4, seed=9)],
+        ids=["lu", "laplace", "toy", "random"],
+    )
+    def test_replay_valid_and_no_worse(self, scheduler, graph, paper_platform):
+        original = scheduler.run(graph, paper_platform, "one-port")
+        replayed = replay_schedule(original)
+        validate_schedule(replayed)
+        assert replayed.is_complete()
+        assert replayed.makespan() <= original.makespan() + 1e-6
+
+    def test_replay_preserves_decisions(self, paper_platform):
+        g = lu_graph(6)
+        original = HEFT().run(g, paper_platform, "one-port")
+        replayed = replay_schedule(original)
+        for t in g.tasks():
+            assert replayed.proc_of(t) == original.proc_of(t)
+        assert replayed.num_comms() == original.num_comms()
+
+    def test_replay_starts_never_later(self, paper_platform):
+        g = laplace_graph(5)
+        original = ILHA(b=6).run(g, paper_platform, "one-port")
+        replayed = replay_schedule(original)
+        for t in g.tasks():
+            assert replayed.start_of(t) <= original.start_of(t) + 1e-6
+
+    def test_replay_idempotent(self, paper_platform):
+        g = lu_graph(5)
+        once = replay_schedule(HEFT().run(g, paper_platform, "one-port"))
+        twice = replay_schedule(once)
+        for t in g.tasks():
+            assert twice.start_of(t) == pytest.approx(once.start_of(t))
+        assert twice.makespan() == pytest.approx(once.makespan())
+
+    def test_heft_is_already_tight_on_chains(self, paper_platform):
+        """On a pure chain there is no slack for the replay to recover."""
+        from repro.core import TaskGraph
+
+        g = TaskGraph()
+        prev = None
+        for i in range(6):
+            g.add_task(i, 2.0)
+            if prev is not None:
+                g.add_dependency(prev, i, 1.0)
+            prev = i
+        original = HEFT().run(g, paper_platform, "one-port")
+        replayed = replay_schedule(original)
+        assert replayed.makespan() == pytest.approx(original.makespan())
+
+
+class TestReplayErrors:
+    def test_missing_task_rejected(self, paper_platform):
+        sched = HEFT().run(lu_graph(4), paper_platform, "one-port")
+        dec = extract_decisions(sched)
+        del dec.alloc[("p", 1)]
+        with pytest.raises(SchedulingError, match="missing task"):
+            replay(sched.graph, paper_platform, dec)
+
+    def test_local_edge_with_transfer_rejected(self):
+        from repro.core import TaskGraph
+        from repro.simulate import ReplayDecisions
+
+        g = TaskGraph()
+        g.add_task("u", 1.0)
+        g.add_task("v", 1.0)
+        g.add_dependency("u", "v", 2.0)
+        plat = Platform.homogeneous(2)
+        dec = ReplayDecisions(
+            alloc={"u": 0, "v": 0},
+            proc_order={0: ["u", "v"], 1: []},
+            send_order={0: [("u", "v", 0)], 1: []},
+            recv_order={0: [], 1: [("u", "v", 0)]},
+            hops={("u", "v", 0): (0, 1)},
+        )
+        with pytest.raises(SchedulingError, match="local but has transfers"):
+            replay(g, plat, dec)
+
+    def test_remote_edge_without_transfer_rejected(self):
+        from repro.core import TaskGraph
+        from repro.simulate import ReplayDecisions
+
+        g = TaskGraph()
+        g.add_task("u", 1.0)
+        g.add_task("v", 1.0)
+        g.add_dependency("u", "v", 2.0)
+        plat = Platform.homogeneous(2)
+        dec = ReplayDecisions(
+            alloc={"u": 0, "v": 1},
+            proc_order={0: ["u"], 1: ["v"]},
+            send_order={0: [], 1: []},
+            recv_order={0: [], 1: []},
+        )
+        with pytest.raises(SchedulingError, match="no transfer"):
+            replay(g, plat, dec)
+
+    def test_inconsistent_orders_rejected(self):
+        """Circular resource orders must be detected, not looped over."""
+        from repro.core import TaskGraph
+        from repro.simulate import ReplayDecisions
+
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 1.0)
+        g.add_dependency("a", "b", 0.0)
+        plat = Platform.homogeneous(1)
+        dec = ReplayDecisions(
+            alloc={"a": 0, "b": 0},
+            proc_order={0: ["b", "a"]},  # contradicts the precedence a->b
+            send_order={0: []},
+            recv_order={0: []},
+        )
+        with pytest.raises(SchedulingError, match="cycle"):
+            replay(g, plat, dec)
