@@ -4,6 +4,11 @@ Paper outcome: both heuristics identical, speedup ~1.53-1.58 (flat),
 just under the analytic bound w*t_min/c + 1 = 1.6.  This figure uses the
 paper's own size axis (100..500 interior tasks) since FORK-JOIN is
 linear in the problem size.
+
+The sweep drives through the campaign engine — the five sizes x two
+heuristics are independent cells, so ``BENCH_WORKERS=4`` fans them over
+a process pool (the default stays serial: on small machines a pool only
+adds overhead to the measured wall-clock).
 """
 
 from repro.graphs import fork_join_speedup_bound

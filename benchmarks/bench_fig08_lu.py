@@ -6,6 +6,10 @@ top); best B = 4.  The size axis here is scaled (30..110, i.e. up to
 ~6100 tasks) — see DESIGN.md; on our reconstruction the HEFT growth
 trend reproduces cleanly while the ILHA-vs-HEFT gap fluctuates with
 size (EXPERIMENTS.md discusses the deviation).
+
+This is the most expensive figure, so the sweep drives through the
+campaign engine (one cell per size x heuristic); set ``BENCH_WORKERS=4``
+to fan the cells over a process pool on a machine with real cores.
 """
 
 

@@ -7,6 +7,13 @@ microbenchmarks), prints the same speedup series the paper plots, and
 stores the series in ``benchmark.extra_info`` so it survives in the
 JSON output.
 
+Figure sweeps execute on the campaign engine; pass ``workers`` to fan
+the cells over a process pool, or set ``BENCH_WORKERS`` in the
+environment to parallelize every figure benchmark at once.  Exports
+``BENCH_CACHE_DIR`` to reuse a warm content-addressed cache across
+benchmark invocations (cells then measure cache latency, not
+scheduling!).
+
 Run with output visible::
 
     pytest benchmarks/ --benchmark-only -s
@@ -14,18 +21,39 @@ Run with output visible::
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import format_comparison, format_run, run_figure
 from repro.experiments.harness import ExperimentRun
 
 
-def run_figure_benchmark(benchmark, figure: str, sizes=None, tuned: bool = False) -> ExperimentRun:
-    """Execute one figure sweep once, print + stash the series."""
+def _default_workers() -> int:
+    return int(os.environ.get("BENCH_WORKERS", "1"))
+
+
+def _default_cache_dir() -> str | None:
+    return os.environ.get("BENCH_CACHE_DIR") or None
+
+
+def run_figure_benchmark(
+    benchmark,
+    figure: str,
+    sizes=None,
+    tuned: bool = False,
+    workers: int | None = None,
+    cache_dir: str | None = None,
+) -> ExperimentRun:
+    """Execute one figure sweep once on the engine, print + stash the series."""
     result: dict[str, ExperimentRun] = {}
+    workers = workers if workers is not None else _default_workers()
+    cache_dir = cache_dir if cache_dir is not None else _default_cache_dir()
 
     def sweep():
-        result["run"] = run_figure(figure, sizes=sizes, tuned=tuned)
+        result["run"] = run_figure(
+            figure, sizes=sizes, tuned=tuned, workers=workers, cache=cache_dir
+        )
         return result["run"]
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -33,6 +61,7 @@ def run_figure_benchmark(benchmark, figure: str, sizes=None, tuned: bool = False
     report = format_run(run) + "\n\n" + format_comparison(run)
     print(f"\n{report}")
     benchmark.extra_info["figure"] = figure
+    benchmark.extra_info["workers"] = workers
     for heuristic in run.heuristics():
         benchmark.extra_info[heuristic] = [
             (size, round(speedup, 3)) for size, speedup in run.series(heuristic)
@@ -44,7 +73,13 @@ def run_figure_benchmark(benchmark, figure: str, sizes=None, tuned: bool = False
 def figure_bench(benchmark):
     """Fixture form of :func:`run_figure_benchmark`."""
 
-    def runner(figure: str, sizes=None, tuned: bool = False) -> ExperimentRun:
-        return run_figure_benchmark(benchmark, figure, sizes, tuned)
+    def runner(
+        figure: str,
+        sizes=None,
+        tuned: bool = False,
+        workers: int | None = None,
+        cache_dir: str | None = None,
+    ) -> ExperimentRun:
+        return run_figure_benchmark(benchmark, figure, sizes, tuned, workers, cache_dir)
 
     return runner

@@ -15,6 +15,13 @@ One figure, custom sizes, with the tuned-ILHA series and CSV output::
 The default sizes keep each figure to seconds of pure-Python scheduling;
 the paper's own axes (problem size 100-500, up to ~125k tasks per cell
 for LU) work too if you have the patience — the code is the same.
+
+Sweeps drive through the campaign engine: ``--workers N`` fans the
+(size x heuristic) cells over a process pool, and ``--cache-dir DIR``
+makes repeated regenerations incremental (only never-seen cells are
+scheduled; see ``repro.campaign`` for the content-hash scheme)::
+
+    python examples/reproduce_paper.py --workers 4 --cache-dir .repro-cache
 """
 
 import argparse
@@ -55,12 +62,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="campaign-engine process-pool size (default: run in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result cache; re-runs only schedule new cells",
+    )
     args = parser.parse_args(argv)
 
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
     all_cells = []
     for fig in args.figures:
-        run = run_figure(fig, sizes=args.sizes, tuned=args.tuned, progress=progress)
+        run = run_figure(
+            fig,
+            sizes=args.sizes,
+            tuned=args.tuned,
+            progress=progress,
+            workers=args.workers,
+            cache=args.cache_dir,
+        )
         all_cells.extend(run.cells)
         print()
         print(f"== {fig} ==")

@@ -1,0 +1,80 @@
+"""Parallel, resumable, content-addressed experiment campaigns.
+
+A campaign is a declarative grid — testbeds × sizes × platforms ×
+models × heuristics × seeds (:class:`CampaignSpec`) — expanded into
+independent cells, executed by a :mod:`multiprocessing` worker pool
+(:func:`run_campaign`), memoized in an append-only JSONL cache
+(:class:`ResultCache`), and reduced back into the same
+``ExperimentRun`` series the figure pipeline consumes
+(:func:`experiment_runs`).  The CLI front end is
+``python -m repro campaign {run,status,export}``.
+
+Cell-key hashing scheme
+-----------------------
+Every cell is identified by the SHA-256 hex digest of the canonical
+JSON (sorted keys, fixed separators — see
+:func:`repro.core.serialization.stable_digest`) of this payload::
+
+    {
+      "v": 1,                      # KEY_SCHEMA_VERSION; bump to invalidate
+      "graph": {                   # declarative graph spec
+        "testbed": "lu",           #   registry name
+        "size": 30,                #   natural size parameter
+        "comm_ratio": 10.0,        #   source-proportional comm ratio
+        "params": {"seed": 1}      #   extra generator kwargs; ``seed``
+      },                           #   only for seeded generators
+      "platform": {                # resolved content, not labels:
+        "cycle_times": [6.0, ...], #   two differently-labelled specs of
+        "link": 1.0                #   the same machine share entries
+      },
+      "model": "one-port",         # communication model name
+      "heuristic": {               # registry name + constructor kwargs
+        "name": "ilha",
+        "kwargs": {"b": 4}
+      }
+    }
+
+The key covers exactly the inputs that determine a cell's metrics and
+nothing presentational: campaign names, series labels, worker counts,
+and the ``validate`` flag do not perturb it.  Scheduling is
+deterministic given these inputs, so equal keys imply equal metrics —
+which is what makes the cache safe to share across campaigns, figures,
+and benchmark runs.  Keys are stable across processes and Python
+versions (no ``hash()`` randomization); any change to the payload
+layout must bump :data:`~repro.campaign.spec.KEY_SCHEMA_VERSION`.
+"""
+
+from .aggregate import (
+    cached_cells,
+    campaign_status,
+    experiment_runs,
+    format_status,
+    mean_series,
+)
+from .cache import ResultCache
+from .runner import CampaignRunResult, CellOutcome, execute_task, run_campaign
+from .spec import (
+    KEY_SCHEMA_VERSION,
+    CampaignCell,
+    CampaignSpec,
+    HeuristicSpec,
+    PlatformSpec,
+)
+
+__all__ = [
+    "KEY_SCHEMA_VERSION",
+    "CampaignCell",
+    "CampaignRunResult",
+    "CampaignSpec",
+    "CellOutcome",
+    "HeuristicSpec",
+    "PlatformSpec",
+    "ResultCache",
+    "cached_cells",
+    "campaign_status",
+    "execute_task",
+    "experiment_runs",
+    "format_status",
+    "mean_series",
+    "run_campaign",
+]

@@ -1,0 +1,136 @@
+"""Reduction of campaign outcomes back into experiment-level series.
+
+:func:`experiment_runs` folds a :class:`~repro.campaign.runner.CampaignRunResult`
+into one :class:`~repro.experiments.harness.ExperimentRun` per
+(testbed, platform, model) combination, so everything written for the
+figure pipeline — ``format_run``, ``format_comparison``, CSV/JSON
+export — consumes campaign output unchanged.  :func:`mean_series`
+averages a seed sweep's points per size.  :func:`campaign_status`
+answers "how much of this grid is already in the cache" without
+executing anything.
+"""
+
+from __future__ import annotations
+
+from ..experiments.harness import CellResult, ExperimentRun
+from .cache import ResultCache
+from .runner import CampaignRunResult
+from .spec import CampaignSpec
+
+
+def experiment_runs(result: CampaignRunResult) -> list[ExperimentRun]:
+    """One ``ExperimentRun`` per (testbed, platform, model), expansion order.
+
+    The run's ``figure`` is the campaign name, suffixed with whichever
+    of testbed / platform / model actually vary so single-combination
+    campaigns keep clean labels.
+    """
+    spec = result.spec
+    multi_testbed = len(spec.testbeds) > 1
+    multi_platform = len(spec.platforms) > 1
+    multi_model = len(spec.models) > 1
+
+    runs: dict[tuple, ExperimentRun] = {}
+    for outcome in result.outcomes:
+        cell = outcome.cell
+        # group by platform *content*, not label: two distinct machines
+        # sharing a label must not be merged into one mixed series
+        group = (cell.testbed, cell.platform.content_key, cell.model)
+        run = runs.get(group)
+        if run is None:
+            parts = [spec.name]
+            if multi_testbed:
+                parts.append(cell.testbed)
+            if multi_platform:
+                parts.append(cell.platform.label)
+            if multi_model:
+                parts.append(cell.model)
+            figure = "/".join(parts)
+            taken = {r.figure for r in runs.values()}
+            if figure in taken:  # distinct platforms under one label
+                n = 2
+                while f"{figure}#{n}" in taken:
+                    n += 1
+                figure = f"{figure}#{n}"
+            run = ExperimentRun(
+                figure=figure,
+                description=(
+                    f"campaign {spec.name}: {cell.testbed} on "
+                    f"{cell.platform.label} under {cell.model}"
+                ),
+                platform=cell.platform.build(),
+            )
+            runs[group] = run
+        run.cells.append(outcome.result)
+    return list(runs.values())
+
+
+def mean_series(run: ExperimentRun, heuristic: str) -> list[tuple[int, float]]:
+    """Per-size mean speedup of one heuristic (collapses seed sweeps)."""
+    by_size: dict[int, list[float]] = {}
+    for cell in run.cells:
+        if cell.heuristic == heuristic:
+            by_size.setdefault(cell.size, []).append(cell.speedup)
+    return [(size, sum(v) / len(v)) for size, v in sorted(by_size.items())]
+
+
+def campaign_status(spec: CampaignSpec, cache: ResultCache | None) -> dict:
+    """Cache coverage of a spec's grid: totals plus per-testbed breakdown."""
+    cells = spec.expand()
+    unique: dict[str, object] = {}
+    for cell in cells:
+        unique.setdefault(cell.key, cell)
+    cached = {key for key in unique if cache is not None and key in cache}
+    by_testbed: dict[str, dict[str, int]] = {}
+    for key, cell in unique.items():
+        row = by_testbed.setdefault(cell.testbed, {"total": 0, "cached": 0})
+        row["total"] += 1
+        if key in cached:
+            row["cached"] += 1
+    return {
+        "campaign": spec.name,
+        "cells": len(cells),
+        "unique": len(unique),
+        "cached": len(cached),
+        "missing": len(unique) - len(cached),
+        "by_testbed": by_testbed,
+    }
+
+
+def format_status(status: dict) -> str:
+    """Human-readable summary of :func:`campaign_status`."""
+    lines = [
+        f"campaign {status['campaign']}: {status['cells']} cells "
+        f"({status['unique']} unique), {status['cached']} cached, "
+        f"{status['missing']} to run",
+    ]
+    for testbed, row in sorted(status["by_testbed"].items()):
+        lines.append(f"  {testbed:>12}: {row['cached']}/{row['total']} cached")
+    return "\n".join(lines)
+
+
+def cached_cells(spec: CampaignSpec, cache: ResultCache) -> list[CellResult]:
+    """Cells of the grid already present in the cache, expansion order.
+
+    Like the runner, this restamps the presentational fields (figure,
+    series label) from the *requesting* spec: the shared cache may have
+    been filled by a differently-named campaign.
+    """
+    out: list[CellResult] = []
+    seen: set[str] = set()
+    for cell in spec.expand():
+        if cell.key in seen:
+            continue
+        seen.add(cell.key)
+        hit = cache.get(cell.key)
+        if hit is not None:
+            out.append(
+                CellResult(
+                    **{
+                        **hit,
+                        "figure": cell.campaign,
+                        "heuristic": cell.heuristic.display,
+                    }
+                )
+            )
+    return out

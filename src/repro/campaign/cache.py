@@ -1,0 +1,91 @@
+"""Content-addressed result cache persisted as append-only JSONL.
+
+One record per line::
+
+    {"key": "<sha256>", "cell": {...CellResult fields...}, "payload": {...}}
+
+The ``payload`` copy of the hashed content makes the artifact
+self-describing — a cache can be audited or re-aggregated without the
+spec that produced it.  Records are appended as cells complete, so an
+interrupted campaign resumes from exactly the cells it finished; on
+load, a torn final line (crash mid-write) is skipped and later rewrites
+of a key win (last-writer-wins lets ``--refresh`` supersede old rows
+without compaction).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+CACHE_FILENAME = "cells.jsonl"
+
+
+class ResultCache:
+    """Keyed store of completed cell metrics under one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._path = self._root / CACHE_FILENAME
+        self._cells: dict[str, dict] = {}
+        self._needs_newline = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        raw = self._path.read_bytes()
+        # a torn tail (crash mid-append) has no trailing newline; the
+        # next append must not glue a fresh record onto the torn line
+        self._needs_newline = bool(raw) and not raw.endswith(b"\n")
+        with self._path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from an interrupted run
+                key = record.get("key")
+                cell = record.get("cell")
+                if isinstance(key, str) and isinstance(cell, dict):
+                    self._cells[key] = cell
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cells
+
+    def keys(self) -> set[str]:
+        return set(self._cells)
+
+    def get(self, key: str) -> dict | None:
+        """CellResult fields stored for ``key``, or ``None``."""
+        return self._cells.get(key)
+
+    def put(self, key: str, cell: dict, payload: dict | None = None) -> None:
+        """Record one completed cell (appends + flushes immediately)."""
+        record = {"key": key, "cell": cell}
+        if payload is not None:
+            record["payload"] = payload
+        with self._path.open("a") as fh:
+            if self._needs_newline:
+                fh.write("\n")
+                self._needs_newline = False
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._cells[key] = cell
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self._path)!r}, {len(self._cells)} cells)"

@@ -1,0 +1,224 @@
+"""Campaign execution: cache triage, worker pool, deterministic reassembly.
+
+:func:`run_campaign` expands a spec, serves every cell it can from the
+:class:`~repro.campaign.cache.ResultCache`, executes the rest — inline
+for ``workers=1``, on a :mod:`multiprocessing` pool otherwise — and
+reassembles the outcomes in expansion order, so the aggregated result is
+byte-identical whatever the worker count or cache temperature (only the
+measured ``runtime_s`` of each fresh cell varies).
+
+Workers receive pure-JSON task payloads and rebuild graph, platform,
+scheduler, and model themselves (:func:`execute_task` is the module-level
+entry point so it pickles under both fork and spawn).  Results stream
+back to the parent, which is the cache's only writer — completed cells
+are persisted as they arrive, so killing a campaign loses at most the
+cells in flight.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..core.serialization import canonical_json, platform_from_dict
+from ..experiments.harness import CellResult, run_cell
+from ..graphs import make_testbed
+from ..heuristics import get_scheduler
+from .cache import ResultCache
+from .spec import CampaignCell, CampaignSpec
+
+ProgressFn = Callable[[str], None]
+
+
+#: Per-process memo of built graphs: consecutive cells of one campaign
+#: typically share a graph across heuristics/models, and rebuilding a
+#:  several-thousand-task testbed per cell dominates serial sweeps.
+_GRAPH_MEMO: dict[str, object] = {}
+_GRAPH_MEMO_LIMIT = 16
+
+
+def _build_graph(graph_spec: dict):
+    memo_key = canonical_json(graph_spec)
+    graph = _GRAPH_MEMO.get(memo_key)
+    if graph is None:
+        graph = make_testbed(
+            graph_spec["testbed"],
+            graph_spec["size"],
+            comm_ratio=graph_spec["comm_ratio"],
+            **graph_spec["params"],
+        )
+        while len(_GRAPH_MEMO) >= _GRAPH_MEMO_LIMIT:
+            _GRAPH_MEMO.pop(next(iter(_GRAPH_MEMO)))
+        _GRAPH_MEMO[memo_key] = graph
+    return graph
+
+
+def execute_task(task: dict) -> tuple[str, dict]:
+    """Execute one cell from its JSON payload; returns ``(key, cell dict)``.
+
+    This is the worker entry point: everything is rebuilt from the
+    payload (per-worker scheduler instantiation, memoized graph
+    construction), nothing is shared with the parent, and the returned
+    dict is JSON-able for the cache.
+    """
+    graph_spec = task["graph"]
+    graph = _build_graph(graph_spec)
+    platform = platform_from_dict(task["platform"])
+    heuristic = task["heuristic"]
+    scheduler = get_scheduler(heuristic["name"], **heuristic["kwargs"])
+    cell, _ = run_cell(
+        figure=task["campaign"],
+        testbed=graph_spec["testbed"],
+        size=graph_spec["size"],
+        graph=graph,
+        scheduler=scheduler,
+        label=task["label"],
+        platform=platform,
+        model=task["model"],
+        validate=task["validate"],
+    )
+    return task["key"], cell.as_dict()
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One expanded cell with its metrics and provenance."""
+
+    cell: CampaignCell
+    result: CellResult
+    from_cache: bool
+
+
+@dataclass
+class CampaignRunResult:
+    """Everything one :func:`run_campaign` invocation produced."""
+
+    spec: CampaignSpec
+    outcomes: list[CellOutcome]
+    workers: int
+    elapsed_s: float
+
+    @property
+    def cells(self) -> list[CellResult]:
+        return [o.result for o in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.from_cache)
+
+    @property
+    def executed(self) -> int:
+        return len({o.cell.key for o in self.outcomes if not o.from_cache})
+
+    def runs(self):
+        """Aggregate back into ``ExperimentRun``-compatible series."""
+        from .aggregate import experiment_runs
+
+        return experiment_runs(self)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, inherits imports), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    cache: ResultCache | str | None = None,
+    progress: ProgressFn | None = None,
+    refresh: bool = False,
+) -> CampaignRunResult:
+    """Run every cell of ``spec``, reusing and feeding ``cache``.
+
+    Parameters
+    ----------
+    workers:
+        Pool size for the cells that miss the cache; ``1`` executes
+        inline in this process.
+    cache:
+        A :class:`ResultCache` or a directory path for one; ``None``
+        disables persistence (cells are still deduplicated by key within
+        the run).
+    progress:
+        Optional callback receiving one human-readable line per settled
+        cell (cached or freshly computed).
+    refresh:
+        Recompute every cell even on a cache hit, overwriting the
+        cached rows.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+        cache = ResultCache(cache)
+    t0 = time.perf_counter()
+
+    cells = spec.expand()
+    by_key: dict[str, CampaignCell] = {}
+    for cell in cells:
+        by_key.setdefault(cell.key, cell)
+    total = len(by_key)
+
+    results: dict[str, dict] = {}
+    cached_keys: set[str] = set()
+    if cache is not None and not refresh:
+        for key, cell in by_key.items():
+            hit = cache.get(key)
+            if hit is not None:
+                results[key] = hit
+                cached_keys.add(key)
+                if progress is not None:
+                    progress(_line(cell, hit, len(results), total, cached=True))
+
+    pending = [cell for key, cell in by_key.items() if key not in results]
+
+    def settle(key: str, cell_dict: dict) -> None:
+        results[key] = cell_dict
+        if cache is not None:
+            cache.put(key, cell_dict, by_key[key].key_payload())
+        if progress is not None:
+            progress(_line(by_key[key], cell_dict, len(results), total, cached=False))
+
+    if pending:
+        tasks = [cell.task_payload() for cell in pending]
+        if workers > 1 and len(tasks) > 1:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+                for key, cell_dict in pool.imap_unordered(execute_task, tasks, chunksize=1):
+                    settle(key, cell_dict)
+        else:
+            for task in tasks:
+                key, cell_dict = execute_task(task)
+                settle(key, cell_dict)
+
+    outcomes = []
+    for cell in cells:
+        # The key deliberately excludes presentation (campaign name,
+        # series label), so a cache hit may carry another campaign's
+        # figure/heuristic strings: restamp them from THIS spec's cell
+        # or warm-cache aggregation would file series under stale labels.
+        row = {
+            **results[cell.key],
+            "figure": cell.campaign,
+            "heuristic": cell.heuristic.display,
+        }
+        outcomes.append(CellOutcome(cell, CellResult(**row), cell.key in cached_keys))
+    return CampaignRunResult(
+        spec=spec,
+        outcomes=outcomes,
+        workers=workers,
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+def _line(cell: CampaignCell, result: dict, done: int, total: int, cached: bool) -> str:
+    seed = f" seed={cell.seed}" if cell.seed is not None else ""
+    suffix = " [cached]" if cached else f" ({result['runtime_s']:.2f}s)"
+    return (
+        f"[{done}/{total}] {cell.testbed} size={cell.size}{seed} "
+        f"{cell.heuristic.display} {cell.model}: "
+        f"speedup={result['speedup']:.2f} msgs={result['num_comms']}{suffix}"
+    )

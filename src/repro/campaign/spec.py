@@ -1,0 +1,341 @@
+"""Declarative campaign grids and their expansion into cells.
+
+A :class:`CampaignSpec` names a full cartesian sweep — testbeds ×
+sizes × platforms × models × heuristics × seeds — without building any
+graph or scheduler.  :meth:`CampaignSpec.expand` materializes the grid
+as :class:`CampaignCell` values, each carrying exactly the JSON-able
+payload a worker process needs to reconstruct and execute the cell, and
+each identified by a content-addressed key (see the package docstring
+for the hashing scheme).
+
+Seeds only multiply cells of testbeds whose generator actually accepts
+a ``seed`` parameter (the random families); the deterministic paper
+testbeds are emitted once per (size, platform, model, heuristic) so a
+seed sweep never schedules identical graphs under distinct keys.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+
+from ..core.exceptions import ConfigurationError
+from ..core.platform import Platform
+from ..core.serialization import platform_from_dict, platform_to_dict, stable_digest
+from ..experiments.config import PAPER_PROCESSOR_GROUPS
+from ..graphs import available_testbeds, generator_params
+from ..graphs.base import PAPER_COMM_RATIO
+from ..heuristics import available_schedulers
+
+#: Version of the cell-key payload schema; bump to invalidate old caches
+#: when the payload layout changes.
+KEY_SCHEMA_VERSION = 1
+
+#: The paper's Section 5.2 processor groups (``paper`` platform shorthand).
+PAPER_GROUPS = tuple(tuple(g) for g in PAPER_PROCESSOR_GROUPS)
+
+#: The paper's communication-to-computation ratio.
+DEFAULT_COMM_RATIO = PAPER_COMM_RATIO
+
+#: Communication-model names :func:`repro.heuristics.base.make_model` accepts.
+KNOWN_MODELS = ("one-port", "macro-dataflow")
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A platform as data: ``(count, cycle_time)`` groups + link cost."""
+
+    label: str = "paper"
+    groups: tuple[tuple[int, float], ...] = PAPER_GROUPS
+    link: float = 1.0
+
+    def build(self) -> Platform:
+        return Platform.from_groups(self.groups, self.link)
+
+    @cached_property
+    def _content(self) -> dict:
+        # cached_property writes to __dict__ directly, which a frozen
+        # dataclass permits; every cell of a grid shares this instance,
+        # so the Platform is built once, not once per key access
+        return platform_to_dict(self.build())
+
+    def payload(self) -> dict:
+        """Content payload for hashing: resolved cycle times, not labels.
+
+        Two specs that describe the same processors under different
+        labels or group orderings share cache entries.  The returned
+        dict is cached and shared — treat it as read-only.
+        """
+        return self._content
+
+    @cached_property
+    def content_key(self) -> str:
+        """Canonical-JSON text of :meth:`payload` (cheap group key)."""
+        from ..core.serialization import canonical_json
+
+        return canonical_json(self.payload())
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "groups": [list(g) for g in self.groups],
+            "link": self.link,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict | str) -> "PlatformSpec":
+        if isinstance(payload, str):
+            if payload != "paper":
+                raise ConfigurationError(
+                    f"unknown platform shorthand {payload!r}; only 'paper' is built in"
+                )
+            return cls()
+        groups = payload.get("groups")
+        return cls(
+            label=payload.get("label", "custom" if groups else "paper"),
+            groups=tuple(tuple(g) for g in groups) if groups else PAPER_GROUPS,
+            link=payload.get("link", 1.0),
+        )
+
+
+@dataclass(frozen=True)
+class HeuristicSpec:
+    """A scheduler as data: registry name + JSON-able constructor kwargs."""
+
+    name: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+    label: str | None = None
+
+    @classmethod
+    def of(cls, name: str, kwargs: dict | None = None, label: str | None = None):
+        return cls(name, tuple(sorted((kwargs or {}).items())), label)
+
+    @property
+    def display(self) -> str:
+        """Series label: explicit label, else name plus non-default kwargs."""
+        if self.label:
+            return self.label
+        if not self.kwargs:
+            return self.name
+        args = ",".join(f"{k}={v}" for k, v in self.kwargs)
+        return f"{self.name}({args})"
+
+    def payload(self) -> dict:
+        return {"name": self.name, "kwargs": dict(self.kwargs)}
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name}
+        if self.kwargs:
+            out["kwargs"] = dict(self.kwargs)
+        if self.label:
+            out["label"] = self.label
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict | str) -> "HeuristicSpec":
+        if isinstance(payload, str):
+            return cls.of(payload)
+        return cls.of(payload["name"], payload.get("kwargs"), payload.get("label"))
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One fully specified unit of work: graph × platform × model × heuristic."""
+
+    campaign: str
+    testbed: str
+    size: int
+    seed: int | None
+    params: tuple[tuple[str, object], ...]
+    comm_ratio: float
+    platform: PlatformSpec
+    model: str
+    heuristic: HeuristicSpec
+    validate: bool = True
+
+    def graph_payload(self) -> dict:
+        params = dict(self.params)
+        if self.seed is not None:
+            params["seed"] = self.seed
+        return {
+            "testbed": self.testbed,
+            "size": self.size,
+            "comm_ratio": self.comm_ratio,
+            "params": params,
+        }
+
+    def key_payload(self) -> dict:
+        """The hashed content — everything that determines the metrics."""
+        return {
+            "v": KEY_SCHEMA_VERSION,
+            "graph": self.graph_payload(),
+            "platform": self.platform.payload(),
+            "model": self.model,
+            "heuristic": self.heuristic.payload(),
+        }
+
+    @cached_property
+    def key(self) -> str:
+        # accessed several times per cell (dedup, task payload, outcome
+        # reassembly); hash once per cell, not per access
+        return stable_digest(self.key_payload())
+
+    def task_payload(self) -> dict:
+        """Everything a worker needs: the key payload plus presentation."""
+        return {
+            "key": self.key,
+            "campaign": self.campaign,
+            "label": self.heuristic.display,
+            "validate": self.validate,
+            **self.key_payload(),
+        }
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative grid of scheduling experiments."""
+
+    name: str
+    testbeds: list[str]
+    sizes: list[int]
+    heuristics: list[HeuristicSpec]
+    models: list[str] = field(default_factory=lambda: ["one-port"])
+    platforms: list[PlatformSpec] = field(default_factory=lambda: [PlatformSpec()])
+    seeds: list[int] = field(default_factory=lambda: [0])
+    comm_ratio: float = DEFAULT_COMM_RATIO
+    graph_params: dict[str, dict] = field(default_factory=dict)
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a campaign needs a name")
+        for req, what in (
+            (self.testbeds, "testbeds"),
+            (self.sizes, "sizes"),
+            (self.heuristics, "heuristics"),
+            (self.models, "models"),
+            (self.platforms, "platforms"),
+            (self.seeds, "seeds"),
+        ):
+            if not req:
+                raise ConfigurationError(f"campaign {self.name!r}: empty {what}")
+        known = set(available_testbeds())
+        for t in self.testbeds:
+            if t not in known:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: unknown testbed {t!r}; "
+                    f"available: {sorted(known)}"
+                )
+        # fail fast here rather than mid-campaign inside a worker pool
+        schedulers = set(available_schedulers())
+        for h in self.heuristics:
+            if h.name not in schedulers:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: unknown heuristic {h.name!r}; "
+                    f"available: {sorted(schedulers)}"
+                )
+        for m in self.models:
+            if m not in KNOWN_MODELS:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: unknown model {m!r}; "
+                    f"available: {list(KNOWN_MODELS)}"
+                )
+        for t, params in self.graph_params.items():
+            accepted = generator_params(t)
+            unknown = set(params) - accepted
+            if unknown:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: testbed {t!r} does not accept "
+                    f"{sorted(unknown)}; accepted: {sorted(accepted)}"
+                )
+            if "seed" in params:
+                # expand() would silently clobber it with the seeds axis
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: set seeds for {t!r} via the "
+                    f"'seeds' axis, not graph_params"
+                )
+
+    # ------------------------------------------------------------------
+    # expansion
+    # ------------------------------------------------------------------
+    def expand(self) -> list[CampaignCell]:
+        """Materialize the grid in deterministic order.
+
+        Order: testbed, size, seed, platform, model, heuristic — the
+        same nesting a handwritten sweep loop would use, so progress
+        output reads naturally.
+        """
+        cells: list[CampaignCell] = []
+        for testbed in self.testbeds:
+            seeded = "seed" in generator_params(testbed)
+            seeds: list[int | None] = list(self.seeds) if seeded else [None]
+            params = tuple(sorted(self.graph_params.get(testbed, {}).items()))
+            for size in self.sizes:
+                for seed in seeds:
+                    for platform in self.platforms:
+                        for model in self.models:
+                            for heuristic in self.heuristics:
+                                cells.append(
+                                    CampaignCell(
+                                        campaign=self.name,
+                                        testbed=testbed,
+                                        size=size,
+                                        seed=seed,
+                                        params=params,
+                                        comm_ratio=self.comm_ratio,
+                                        platform=platform,
+                                        model=model,
+                                        heuristic=heuristic,
+                                        validate=self.validate,
+                                    )
+                                )
+        return cells
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "testbeds": list(self.testbeds),
+            "sizes": list(self.sizes),
+            "heuristics": [h.to_dict() for h in self.heuristics],
+            "models": list(self.models),
+            "platforms": [p.to_dict() for p in self.platforms],
+            "seeds": list(self.seeds),
+            "comm_ratio": self.comm_ratio,
+            "graph_params": {k: dict(v) for k, v in self.graph_params.items()},
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignSpec":
+        try:
+            return cls(
+                name=payload["name"],
+                testbeds=list(payload["testbeds"]),
+                sizes=[int(s) for s in payload["sizes"]],
+                heuristics=[HeuristicSpec.from_dict(h) for h in payload["heuristics"]],
+                models=list(payload.get("models", ["one-port"])),
+                platforms=[
+                    PlatformSpec.from_dict(p)
+                    for p in payload.get("platforms", ["paper"])
+                ],
+                seeds=[int(s) for s in payload.get("seeds", [0])],
+                comm_ratio=float(payload.get("comm_ratio", DEFAULT_COMM_RATIO)),
+                graph_params=dict(payload.get("graph_params", {})),
+                validate=bool(payload.get("validate", True)),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(f"campaign spec missing field {exc}") from None
+
+    def to_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "CampaignSpec":
+        return cls.from_dict(json.loads(Path(path).read_text()))

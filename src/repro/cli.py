@@ -15,14 +15,29 @@ Subcommands
 ``bottleneck``
     Print the scheduled critical chain of a heuristic's schedule — what
     the makespan was waiting on, activity by activity.
+``campaign``
+    Declarative experiment grids on the parallel campaign engine:
+    ``campaign run`` executes (worker pool + content-addressed cache),
+    ``campaign status`` reports cache coverage, ``campaign export``
+    writes cached cells as CSV/JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 
 from .analysis import bottleneck_report, compare_schedules, scheduled_critical_path
+from .campaign import (
+    CampaignSpec,
+    HeuristicSpec,
+    ResultCache,
+    cached_cells,
+    campaign_status,
+    format_status,
+    run_campaign,
+)
 from .core import validate_schedule
 from .core.loadbalance import optimal_distribution, weight_shares
 from .experiments import (
@@ -112,6 +127,100 @@ def _cmd_bottleneck(args) -> int:
     return 0
 
 
+def _parse_heuristic(text: str) -> HeuristicSpec:
+    """Parse ``name`` or ``name:key=val,key=val`` into a HeuristicSpec.
+
+    Values go through ``ast.literal_eval`` so ``b=4`` is an int and
+    ``single_comm_scan=True`` a bool; unparsable values stay strings.
+    """
+    name, _, rest = text.partition(":")
+    kwargs = {}
+    if rest:
+        for pair in rest.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise SystemExit(f"bad heuristic kwarg {pair!r} in {text!r} (want key=value)")
+            try:
+                kwargs[key] = ast.literal_eval(value)
+            except (ValueError, SyntaxError):
+                kwargs[key] = value
+    return HeuristicSpec.of(name, kwargs)
+
+
+def _campaign_spec(args) -> CampaignSpec:
+    """Build a spec from ``--spec FILE`` or the inline grid flags."""
+    if args.spec is not None:
+        return CampaignSpec.from_json(args.spec)
+    return CampaignSpec(
+        name=args.name,
+        testbeds=args.testbeds,
+        sizes=args.sizes,
+        heuristics=[_parse_heuristic(h) for h in args.heuristics],
+        models=args.models,
+        seeds=args.seeds,
+        comm_ratio=args.comm_ratio,
+    )
+
+
+def _campaign_cache(args) -> ResultCache | None:
+    return None if args.no_cache else ResultCache(args.cache_dir)
+
+
+def _cmd_campaign_run(args) -> int:
+    from .experiments import format_comparison, format_run, write_csv, write_json
+
+    spec = _campaign_spec(args)
+    cache = _campaign_cache(args)
+    progress = None if args.quiet else print
+    result = run_campaign(
+        spec,
+        workers=args.workers,
+        cache=cache,
+        progress=progress,
+        refresh=args.refresh,
+    )
+    print(
+        f"\ncampaign {spec.name}: {len(result.outcomes)} cells "
+        f"({result.cache_hits} cached, {result.executed} executed) "
+        f"in {result.elapsed_s:.1f}s with {result.workers} worker(s)"
+    )
+    for run in result.runs():
+        print(f"\n== {run.figure} ==")
+        print(format_run(run))
+        if len(run.heuristics()) > 1 and "heft" in run.heuristics():
+            print()
+            print(format_comparison(run))
+    if args.export:
+        writer = write_json if args.export.endswith(".json") else write_csv
+        path = writer(result.cells, args.export)
+        print(f"\nexported {len(result.cells)} cells to {path}")
+    return 0
+
+
+def _cmd_campaign_status(args) -> int:
+    spec = _campaign_spec(args)
+    print(format_status(campaign_status(spec, _campaign_cache(args))))
+    return 0
+
+
+def _cmd_campaign_export(args) -> int:
+    from .experiments import write_csv, write_json
+
+    spec = _campaign_spec(args)
+    cache = _campaign_cache(args)
+    if cache is None:
+        print("campaign export needs a cache (remove --no-cache)")
+        return 1
+    cells = cached_cells(spec, cache)
+    status = campaign_status(spec, cache)
+    writer = write_json if args.out.endswith(".json") else write_csv
+    path = writer(cells, args.out)
+    print(f"exported {len(cells)} cached cells to {path}")
+    if status["missing"]:
+        print(f"warning: {status['missing']} cells of the grid are not cached yet")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -149,6 +258,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heuristic", default="heft", choices=available_schedulers())
     p.add_argument("--b", type=int, default=None)
     p.set_defaults(fn=_cmd_bottleneck)
+
+    p = sub.add_parser("campaign", help="parallel cached experiment grids")
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    def add_campaign_args(cp):
+        cp.add_argument("--spec", default=None,
+                        help="JSON CampaignSpec file (overrides the grid flags)")
+        cp.add_argument("--name", default="adhoc", help="campaign name (grid mode)")
+        cp.add_argument("--testbeds", nargs="+", default=["lu"],
+                        choices=available_testbeds())
+        cp.add_argument("--sizes", nargs="+", type=int, default=[10, 20])
+        cp.add_argument("--heuristics", nargs="+", default=["heft", "ilha"],
+                        help="registry names, optionally name:key=val,key=val")
+        cp.add_argument("--models", nargs="+", default=["one-port"],
+                        choices=["one-port", "macro-dataflow"])
+        cp.add_argument("--seeds", nargs="+", type=int, default=[0],
+                        help="seeds for the seeded (random) testbeds")
+        cp.add_argument("--comm-ratio", type=float, default=PAPER_COMM_RATIO)
+        cp.add_argument("--cache-dir", default=".repro-cache",
+                        help="content-addressed result cache directory")
+        cp.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the cache")
+
+    cp = csub.add_parser("run", help="execute the grid (pool + cache)")
+    add_campaign_args(cp)
+    cp.add_argument("--workers", type=int, default=1, help="process-pool size")
+    cp.add_argument("--refresh", action="store_true",
+                    help="recompute cells even on cache hits")
+    cp.add_argument("--export", default=None,
+                    help="also write the cells to this .csv/.json path")
+    cp.add_argument("--quiet", action="store_true", help="no per-cell progress")
+    cp.set_defaults(fn=_cmd_campaign_run)
+
+    cp = csub.add_parser("status", help="cache coverage of the grid")
+    add_campaign_args(cp)
+    cp.set_defaults(fn=_cmd_campaign_status)
+
+    cp = csub.add_parser("export", help="write cached cells as CSV/JSON")
+    add_campaign_args(cp)
+    cp.add_argument("--out", required=True, help="output .csv/.json path")
+    cp.set_defaults(fn=_cmd_campaign_export)
     return parser
 
 

@@ -34,10 +34,16 @@ from .ranking import (
 )
 from .schedule import CommEvent, Schedule, TaskPlacement
 from .serialization import (
+    canonical_json,
+    graph_from_dict,
+    graph_to_dict,
     load_schedule,
+    platform_from_dict,
+    platform_to_dict,
     save_schedule,
     schedule_from_dict,
     schedule_to_dict,
+    stable_digest,
 )
 from .taskgraph import TaskGraph
 from .timeline import Timeline, TimelineOverlay, earliest_joint_fit
@@ -72,11 +78,17 @@ __all__ = [
     "work_lower_bound",
     "distribution_makespan",
     "earliest_joint_fit",
+    "canonical_json",
+    "graph_from_dict",
+    "graph_to_dict",
     "is_valid",
     "load_schedule",
+    "platform_from_dict",
+    "platform_to_dict",
     "save_schedule",
     "schedule_from_dict",
     "schedule_to_dict",
+    "stable_digest",
     "optimal_distribution",
     "perfect_balance_count",
     "priority_order",

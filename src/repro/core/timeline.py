@@ -233,6 +233,8 @@ class TimelineOverlay:
         """Book ``[start, end)`` locally; checks both layers for overlap."""
         if end < start:
             raise TimelineError(f"invalid reservation [{start}, {end})")
+        if start != start or end != end:  # NaN guard
+            raise TimelineError(f"NaN reservation endpoints [{start}, {end})")
         if end == start:
             return
         if self._base.next_fit(start, end - start) > start + EPSILON:

@@ -1,8 +1,14 @@
 """Per-figure experiment definitions (Figures 7–12 of the paper).
 
-Each :class:`FigureSpec` captures one figure: the testbed, the
-problem-size axis, the heuristics compared, and the paper's reported
-outcome for EXPERIMENTS.md cross-referencing.
+Each :class:`FigureSpec` captures one figure declaratively: the testbed
+registry name (plus extra generator parameters), the problem-size axis,
+the heuristics compared, and the paper's reported outcome for
+EXPERIMENTS.md cross-referencing.  :func:`run_figure` compiles the spec
+into a :class:`~repro.campaign.spec.CampaignSpec` and drives it through
+the campaign engine, so figure regeneration gets the engine's worker
+pool and content-addressed cache for free (``workers`` / ``cache``
+arguments) while single-worker, cache-less runs behave exactly as the
+old serial sweep did.
 
 Size scaling
 ------------
@@ -30,21 +36,11 @@ paper's actual methodology of keeping the best over several ``B``
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.exceptions import ConfigurationError
-from ..core.taskgraph import TaskGraph
-from ..graphs import (
-    doolittle_graph,
-    fork_join_graph,
-    laplace_graph,
-    ldmt_graph,
-    lu_graph,
-    stencil_grid,
-)
-from ..heuristics import HEFT, ILHA, Scheduler, TunedILHA
-from .config import PAPER_COMM_RATIO, paper_platform
-from .harness import ExperimentRun, run_sweep
+from .config import PAPER_COMM_RATIO, PAPER_PROCESSOR_GROUPS, paper_platform
+from .harness import ExperimentRun
 
 #: Height of the Figure 12 stencil band (rows); width is the size axis.
 STENCIL_ROWS = 12
@@ -57,21 +53,45 @@ class FigureSpec:
     figure: str
     testbed: str
     description: str
-    graph_factory: Callable[[int], TaskGraph]
     default_sizes: tuple[int, ...]
     paper_b: int
     ilha_kwargs: dict
     paper_outcome: str
+    graph_params: dict = field(default_factory=dict)
 
+    def campaign_spec(
+        self,
+        sizes: Sequence[int] | None = None,
+        tuned: bool = False,
+        model: str = "one-port",
+        validate: bool = True,
+    ):
+        """Compile this figure into a campaign grid."""
+        from ..campaign import CampaignSpec, HeuristicSpec, PlatformSpec
 
-def _spec_schedulers(spec: FigureSpec, tuned: bool) -> list[tuple[str, Scheduler]]:
-    schedulers: list[tuple[str, Scheduler]] = [
-        ("heft", HEFT()),
-        (f"ilha(B={spec.paper_b})", ILHA(b=spec.paper_b, **spec.ilha_kwargs)),
-    ]
-    if tuned:
-        schedulers.append(("ilha-tuned", TunedILHA()))
-    return schedulers
+        heuristics = [
+            HeuristicSpec.of("heft"),
+            HeuristicSpec.of(
+                "ilha",
+                {"b": self.paper_b, **self.ilha_kwargs},
+                label=f"ilha(B={self.paper_b})",
+            ),
+        ]
+        if tuned:
+            heuristics.append(HeuristicSpec.of("ilha-tuned"))
+        return CampaignSpec(
+            name=self.figure,
+            testbeds=[self.testbed],
+            sizes=list(sizes) if sizes is not None else list(self.default_sizes),
+            heuristics=heuristics,
+            models=[model],
+            platforms=[PlatformSpec(label="paper", groups=PAPER_PROCESSOR_GROUPS)],
+            comm_ratio=PAPER_COMM_RATIO,
+            graph_params={self.testbed: dict(self.graph_params)}
+            if self.graph_params
+            else {},
+            validate=validate,
+        )
 
 
 FIGURES: dict[str, FigureSpec] = {
@@ -79,7 +99,6 @@ FIGURES: dict[str, FigureSpec] = {
         figure="fig07",
         testbed="fork-join",
         description="FORK-JOIN, 10 processors, c=10 (paper Figure 7)",
-        graph_factory=lambda n: fork_join_graph(n, PAPER_COMM_RATIO),
         default_sizes=(100, 200, 300, 400, 500),
         paper_b=38,
         ilha_kwargs={},
@@ -92,7 +111,6 @@ FIGURES: dict[str, FigureSpec] = {
         figure="fig08",
         testbed="lu",
         description="LU decomposition, 10 processors, c=10 (paper Figure 8)",
-        graph_factory=lambda n: lu_graph(n, PAPER_COMM_RATIO),
         default_sizes=(30, 50, 70, 90, 110),
         paper_b=4,
         ilha_kwargs={},
@@ -106,7 +124,6 @@ FIGURES: dict[str, FigureSpec] = {
         figure="fig09",
         testbed="laplace",
         description="LAPLACE solver, 10 processors, c=10 (paper Figure 9)",
-        graph_factory=lambda m: laplace_graph(m, PAPER_COMM_RATIO),
         default_sizes=(12, 18, 24, 30, 36),
         paper_b=38,
         ilha_kwargs={},
@@ -119,7 +136,6 @@ FIGURES: dict[str, FigureSpec] = {
         figure="fig10",
         testbed="ldmt",
         description="LDMt decomposition, 10 processors, c=10 (paper Figure 10)",
-        graph_factory=lambda n: ldmt_graph(n, PAPER_COMM_RATIO),
         default_sizes=(22, 30, 38, 46, 54),
         paper_b=20,
         ilha_kwargs={"single_comm_scan": True},
@@ -129,7 +145,6 @@ FIGURES: dict[str, FigureSpec] = {
         figure="fig11",
         testbed="doolittle",
         description="DOOLITTLE reduction, 10 processors, c=10 (paper Figure 11)",
-        graph_factory=lambda n: doolittle_graph(n, PAPER_COMM_RATIO),
         default_sizes=(30, 50, 70, 90, 110),
         paper_b=20,
         ilha_kwargs={"single_comm_scan": True},
@@ -142,7 +157,6 @@ FIGURES: dict[str, FigureSpec] = {
             f"STENCIL ({STENCIL_ROWS} rows, width = size), 10 processors, "
             "c=10 (paper Figure 12)"
         ),
-        graph_factory=lambda w: stencil_grid(w, STENCIL_ROWS, PAPER_COMM_RATIO),
         default_sizes=(40, 80, 120, 160, 200),
         paper_b=38,
         ilha_kwargs={"single_comm_scan": True},
@@ -150,6 +164,7 @@ FIGURES: dict[str, FigureSpec] = {
             "speedups decrease as the graph widens (serialized row-boundary "
             "messages dominate); ILHA ~2.7 vs HEFT ~2.4; best B = 38"
         ),
+        graph_params={"rows": STENCIL_ROWS},
     ),
 }
 
@@ -161,27 +176,33 @@ def run_figure(
     model: str = "one-port",
     validate: bool = True,
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentRun:
-    """Regenerate one figure's series (HEFT vs ILHA speedups over sizes)."""
+    """Regenerate one figure's series (HEFT vs ILHA speedups over sizes).
+
+    ``workers`` and ``cache`` are forwarded to the campaign engine:
+    ``workers > 1`` fans the (size × heuristic) cells over a process
+    pool, and a :class:`~repro.campaign.cache.ResultCache` (or cache
+    directory path) makes repeated regenerations incremental.
+    """
     try:
         spec = FIGURES[figure]
     except KeyError:
         raise ConfigurationError(
             f"unknown figure {figure!r}; available: {sorted(FIGURES)}"
         ) from None
-    platform = paper_platform()
-    return run_sweep(
+    from ..campaign import run_campaign
+
+    campaign = spec.campaign_spec(sizes=sizes, tuned=tuned, model=model, validate=validate)
+    result = run_campaign(campaign, workers=workers, cache=cache, progress=progress)
+    run = ExperimentRun(
         figure=spec.figure,
-        testbed=spec.testbed,
         description=spec.description,
-        graph_factory=spec.graph_factory,
-        sizes=tuple(sizes) if sizes is not None else spec.default_sizes,
-        schedulers=_spec_schedulers(spec, tuned),
-        platform=platform,
-        model=model,
-        validate=validate,
-        progress=progress,
+        platform=paper_platform(),
     )
+    run.cells.extend(result.cells)
+    return run
 
 
 def available_figures() -> list[str]:

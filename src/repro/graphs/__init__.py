@@ -4,6 +4,7 @@ from .base import (
     PAPER_COMM_RATIO,
     apply_source_proportional_comm,
     available_testbeds,
+    generator_params,
     make_testbed,
     register_generator,
 )
@@ -13,7 +14,13 @@ from .forkjoin import fork_join_graph, fork_join_speedup_bound
 from .laplace import laplace_graph
 from .ldmt import ldmt_graph
 from .lu import lu_graph, lu_task_count
-from .random_dags import layered_random, random_dag
+from .random_dags import (
+    irregular_dag,
+    irregular_testbed,
+    layered_random,
+    layered_testbed,
+    random_dag,
+)
 from .stencil import stencil_graph, stencil_grid
 from .toy import PAPER_CHILD_ORDER, toy_graph, toy_priority_key
 from .trees import diamond_chain, in_tree, out_tree
@@ -28,8 +35,12 @@ __all__ = [
     "fork_graph",
     "fork_join_graph",
     "fork_join_speedup_bound",
+    "generator_params",
+    "irregular_dag",
+    "irregular_testbed",
     "laplace_graph",
     "layered_random",
+    "layered_testbed",
     "ldmt_graph",
     "lu_graph",
     "lu_task_count",

@@ -9,6 +9,7 @@ communicate the data that has just been updated"; the paper uses
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable
 
 from ..core.exceptions import ConfigurationError, GraphError
@@ -44,13 +45,18 @@ def register_generator(name: str) -> Callable[[GeneratorFn], GeneratorFn]:
     return wrap
 
 
-def make_testbed(name: str, size: int, comm_ratio: float = PAPER_COMM_RATIO) -> TaskGraph:
+def make_testbed(
+    name: str, size: int, comm_ratio: float = PAPER_COMM_RATIO, **params
+) -> TaskGraph:
     """Build a registered testbed by name.
 
     ``size`` is the testbed's natural size parameter: the number of
     interior tasks for ``fork-join``, the matrix dimension for ``lu`` /
     ``doolittle`` / ``ldmt``, and the grid side for ``laplace`` /
-    ``stencil``.
+    ``stencil``.  Extra keyword ``params`` are passed through to the
+    generator (e.g. ``seed`` for the random families, ``rows`` for the
+    fixed-height stencil band); unknown parameters are rejected up front
+    with the accepted set in the message.
     """
     try:
         fn = _GENERATORS[name]
@@ -58,7 +64,33 @@ def make_testbed(name: str, size: int, comm_ratio: float = PAPER_COMM_RATIO) -> 
         raise ConfigurationError(
             f"unknown testbed {name!r}; available: {sorted(_GENERATORS)}"
         ) from None
-    return fn(size, comm_ratio=comm_ratio)
+    accepted = generator_params(name)
+    unknown = set(params) - accepted
+    if unknown:
+        raise ConfigurationError(
+            f"testbed {name!r} does not accept {sorted(unknown)}; "
+            f"accepted: {sorted(accepted)}"
+        )
+    return fn(size, comm_ratio=comm_ratio, **params)
+
+
+def generator_params(name: str) -> set[str]:
+    """Extra keyword parameters a registered generator accepts.
+
+    The first positional (the size) and ``comm_ratio`` are universal and
+    excluded; what remains is what a campaign's ``graph_params`` may
+    set — campaigns use ``"seed" in generator_params(name)`` to decide
+    whether a testbed participates in seed sweeps.
+    """
+    try:
+        fn = _GENERATORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown testbed {name!r}; available: {sorted(_GENERATORS)}"
+        ) from None
+    sig = inspect.signature(fn)
+    names = list(sig.parameters)
+    return {p for p in names[1:] if p != "comm_ratio"}
 
 
 def available_testbeds() -> list[str]:

@@ -1,6 +1,6 @@
 """Random DAG generators for property-based testing and extra experiments.
 
-Two families:
+Three families:
 
 * :func:`layered_random` — tasks arranged in layers with edges only
   between consecutive layers (the shape of most numerical kernels); the
@@ -9,9 +9,21 @@ Two families:
   "downwards".
 * :func:`random_dag` — Erdős–Rényi over a fixed topological order: edge
   ``i -> j`` (``i < j``) present independently with probability ``p``.
+* :func:`irregular_dag` — skewed fan-out over a topological order: a few
+  hub tasks fan out widely while most tasks have one or two local
+  parents, and weights are drawn from a heavy-tailed range.  This is the
+  "nothing like the six testbeds" shape campaigns use to probe the
+  heuristics off the paper's regular structures.
 
-Both take explicit seeds and draw weights/volumes from user ranges, so
+All take explicit seeds and draw weights/volumes from user ranges, so
 hypothesis-driven tests can shrink failures deterministically.
+
+The :func:`layered_testbed` / :func:`irregular_testbed` wrappers register
+the first and third family in the testbed registry (names ``layered`` /
+``irregular``) with the convention every paper testbed follows — edge
+volume = ``comm_ratio`` × source weight — so campaign grids can sweep
+them by name next to ``lu`` or ``stencil``, with ``seed`` as an extra
+graph parameter.
 """
 
 from __future__ import annotations
@@ -20,6 +32,7 @@ import random
 
 from ..core.exceptions import GraphError
 from ..core.taskgraph import TaskGraph
+from .base import PAPER_COMM_RATIO, apply_source_proportional_comm, register_generator
 
 
 def layered_random(
@@ -80,3 +93,81 @@ def random_dag(
             if rng.random() < edge_prob:
                 g.add_dependency(i, j, rng.uniform(*data_range))
     return g
+
+
+def irregular_dag(
+    n: int,
+    seed: int = 0,
+    hub_prob: float = 0.08,
+    locality: int = 12,
+    weight_range: tuple[float, float] = (1.0, 8.0),
+    hub_weight_scale: float = 4.0,
+    data_range: tuple[float, float] = (0.0, 10.0),
+) -> TaskGraph:
+    """Skewed-degree DAG: rare heavy hubs, mostly local light tasks.
+
+    Tasks are laid out in a topological order.  Each task is a *hub*
+    with probability ``hub_prob``; hubs carry ``hub_weight_scale`` times
+    the base weight and later tasks preferentially attach to the nearest
+    preceding hub.  Every non-entry task draws one or two parents from a
+    ``locality``-sized window behind it, so the graph mixes long hub
+    fan-outs with short local chains — wide and irregular rather than
+    layered.
+    """
+    if n < 1:
+        raise GraphError(f"n must be >= 1, got {n}")
+    if not (0.0 <= hub_prob <= 1.0):
+        raise GraphError(f"hub_prob must be in [0, 1], got {hub_prob}")
+    if locality < 1:
+        raise GraphError(f"locality must be >= 1, got {locality}")
+    rng = random.Random(seed)
+    g = TaskGraph(name=f"irregular-{n}-s{seed}")
+    hubs: list[int] = []
+    for i in range(n):
+        is_hub = rng.random() < hub_prob
+        weight = rng.uniform(*weight_range)
+        if is_hub:
+            weight *= hub_weight_scale
+        g.add_task(i, weight)
+        if i > 0:
+            lo = max(0, i - locality)
+            parents = {rng.randrange(lo, i)}
+            if rng.random() < 0.5:
+                parents.add(rng.randrange(lo, i))
+            if hubs and rng.random() < 0.6:
+                parents.add(hubs[-1])
+            for p in sorted(parents):
+                g.add_dependency(p, i, rng.uniform(*data_range))
+        if is_hub:
+            hubs.append(i)
+    return g
+
+
+@register_generator("layered")
+def layered_testbed(
+    size: int,
+    comm_ratio: float = PAPER_COMM_RATIO,
+    seed: int = 0,
+    width: int = 8,
+    density: float = 0.35,
+) -> TaskGraph:
+    """Seeded layered testbed: ``size`` layers of up to ``width`` tasks.
+
+    Edge volumes follow the paper's source-proportional rule so the
+    communication-to-computation balance matches the six paper testbeds.
+    """
+    g = layered_random(size, width, density=density, seed=seed)
+    return apply_source_proportional_comm(g, comm_ratio)
+
+
+@register_generator("irregular")
+def irregular_testbed(
+    size: int,
+    comm_ratio: float = PAPER_COMM_RATIO,
+    seed: int = 0,
+    hub_prob: float = 0.08,
+    locality: int = 12,
+) -> TaskGraph:
+    """Seeded irregular testbed: ``size`` tasks of :func:`irregular_dag`."""
+    g = irregular_dag(size, seed=seed, hub_prob=hub_prob, locality=locality)
+    return apply_source_proportional_comm(g, comm_ratio)

@@ -41,6 +41,12 @@ def stencil_grid(
 
 
 @register_generator("stencil")
-def stencil_graph(m: int, comm_ratio: float = PAPER_COMM_RATIO) -> TaskGraph:
-    """Square ``m x m`` stencil (problem size = grid side ``m``)."""
-    return stencil_grid(m, m, comm_ratio)
+def stencil_graph(
+    m: int, comm_ratio: float = PAPER_COMM_RATIO, rows: int | None = None
+) -> TaskGraph:
+    """``m``-wide stencil: square by default, ``rows`` high when given.
+
+    ``rows`` exposes the Figure 12 band shape (width = size, fixed
+    height) through the testbed registry so campaigns can sweep it.
+    """
+    return stencil_grid(m, rows if rows is not None else m, comm_ratio)

@@ -1,0 +1,82 @@
+"""ResultCache: JSONL persistence, resume semantics, corruption tolerance."""
+
+import json
+
+from repro.campaign import ResultCache
+
+
+def cell_dict(**overrides) -> dict:
+    base = dict(
+        figure="f",
+        testbed="lu",
+        size=5,
+        num_tasks=15,
+        heuristic="heft",
+        model="one-port",
+        makespan=10.0,
+        speedup=2.0,
+        num_comms=3,
+        total_comm_time=4.0,
+        utilization=0.5,
+        lower_bound=8.0,
+        runtime_s=0.1,
+    )
+    base.update(overrides)
+    return base
+
+
+class TestRoundTrip:
+    def test_put_get_reload(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put("k1", cell_dict(), payload={"graph": "g"})
+        cache.put("k2", cell_dict(speedup=3.0))
+        assert cache.get("k1")["speedup"] == 2.0
+        assert "k2" in cache
+
+        reloaded = ResultCache(tmp_path)
+        assert len(reloaded) == 2
+        assert reloaded.get("k2")["speedup"] == 3.0
+        assert reloaded.keys() == {"k1", "k2"}
+
+    def test_records_are_appended_jsonl(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", cell_dict())
+        cache.put("b", cell_dict())
+        lines = cache.path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert {json.loads(line)["key"] for line in lines} == {"a", "b"}
+
+    def test_last_writer_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", cell_dict(speedup=1.0))
+        cache.put("k", cell_dict(speedup=9.0))
+        assert cache.get("k")["speedup"] == 9.0
+        assert ResultCache(tmp_path).get("k")["speedup"] == 9.0
+
+
+class TestResilience:
+    def test_torn_tail_is_skipped(self, tmp_path):
+        """A crash mid-append leaves a truncated last line: loading must
+        keep every complete record and drop the torn one."""
+        cache = ResultCache(tmp_path)
+        cache.put("good", cell_dict())
+        with cache.path.open("a") as fh:
+            fh.write('{"key": "torn", "cell": {"speedu')  # no newline, no close
+        reloaded = ResultCache(tmp_path)
+        assert reloaded.keys() == {"good"}
+        # and the reloaded cache can still append past the torn tail
+        reloaded.put("next", cell_dict())
+        assert ResultCache(tmp_path).keys() == {"good", "next"}
+
+    def test_non_record_lines_ignored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with cache.path.open("a") as fh:
+            fh.write("\n")
+            fh.write(json.dumps({"not": "a record"}) + "\n")
+            fh.write(json.dumps({"key": 5, "cell": {}}) + "\n")  # bad key type
+        cache.put("k", cell_dict())
+        assert ResultCache(tmp_path).keys() == {"k"}
+
+    def test_missing_key_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("absent") is None

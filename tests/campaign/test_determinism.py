@@ -1,0 +1,205 @@
+"""Campaign determinism: worker count and cache temperature are invisible.
+
+The ISSUE-level contract: the same ``CampaignSpec`` + seed yields
+byte-identical cell keys and identical aggregated series whether run
+with 1 worker, N workers, or from a warm cache.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    HeuristicSpec,
+    ResultCache,
+    campaign_status,
+    mean_series,
+    run_campaign,
+)
+
+
+def spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="det",
+        testbeds=["fork-join", "irregular"],
+        sizes=[6, 10],
+        heuristics=[HeuristicSpec.of("heft"), HeuristicSpec.of("ilha", {"b": 8})],
+        models=["one-port", "macro-dataflow"],
+        seeds=[0, 1],
+    )
+
+
+def series_of(result):
+    """Every aggregated series of every run, as comparable data."""
+    out = {}
+    for run in result.runs():
+        for heuristic in run.heuristics():
+            out[(run.figure, heuristic)] = run.series(heuristic)
+    return out
+
+
+def metrics_of(result):
+    """Order-sensitive metric tuples for every outcome (no runtime_s)."""
+    return [
+        (o.cell.key, o.result.makespan, o.result.speedup, o.result.num_comms)
+        for o in result.outcomes
+    ]
+
+
+class TestDeterminism:
+    def test_keys_are_stable_across_expansions(self):
+        assert [c.key for c in spec().expand()] == [c.key for c in spec().expand()]
+
+    def test_one_worker_vs_pool_vs_warm_cache(self, tmp_path):
+        serial = run_campaign(spec(), workers=1)
+
+        cache = ResultCache(tmp_path)
+        pooled = run_campaign(spec(), workers=4, cache=cache)
+        assert pooled.cache_hits == 0
+
+        warm = run_campaign(spec(), workers=4, cache=ResultCache(tmp_path))
+        assert warm.cache_hits == len(warm.outcomes)
+        assert warm.executed == 0
+
+        assert metrics_of(serial) == metrics_of(pooled) == metrics_of(warm)
+        assert series_of(serial) == series_of(pooled) == series_of(warm)
+
+    def test_resume_after_partial_run(self, tmp_path):
+        """A cache holding a strict subset of the grid (an interrupted
+        campaign) is completed incrementally and agrees with a cold run."""
+        cold = run_campaign(spec(), workers=1)
+
+        # warm only half the grid: a narrower spec shares cell keys
+        narrow = spec()
+        narrow.sizes = [6]
+        cache = ResultCache(tmp_path)
+        run_campaign(narrow, workers=1, cache=cache)
+        warmed = len(cache)
+        assert 0 < warmed < len(cold.outcomes)
+
+        resumed = run_campaign(spec(), workers=2, cache=ResultCache(tmp_path))
+        assert resumed.cache_hits == warmed
+        assert metrics_of(resumed) == metrics_of(cold)
+
+    def test_refresh_recomputes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_campaign(spec(), workers=1, cache=cache)
+        again = run_campaign(spec(), workers=1, cache=cache, refresh=True)
+        assert again.cache_hits == 0
+        assert metrics_of(first) == metrics_of(again)
+
+
+class TestAggregation:
+    def test_runs_group_by_testbed_and_model(self):
+        result = run_campaign(spec(), workers=1)
+        runs = result.runs()
+        assert len(runs) == 4  # 2 testbeds x 2 models
+        assert {r.figure for r in runs} == {
+            "det/fork-join/one-port",
+            "det/fork-join/macro-dataflow",
+            "det/irregular/one-port",
+            "det/irregular/macro-dataflow",
+        }
+        for run in runs:
+            assert set(run.heuristics()) == {"heft", "ilha(b=8)"}
+
+    def test_mean_series_collapses_seeds(self):
+        result = run_campaign(spec(), workers=1)
+        irregular = next(
+            r for r in result.runs() if r.figure == "det/irregular/one-port"
+        )
+        # two seeds -> two cells per (size, heuristic); the mean series
+        # has exactly one point per size
+        assert len(irregular.series("heft")) == 4
+        means = mean_series(irregular, "heft")
+        assert [size for size, _ in means] == [6, 10]
+        by_size = {}
+        for (size, speedup) in irregular.series("heft"):
+            by_size.setdefault(size, []).append(speedup)
+        for size, mean in means:
+            assert mean == pytest.approx(sum(by_size[size]) / len(by_size[size]))
+
+    def test_status_tracks_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        before = campaign_status(spec(), cache)
+        assert before["cached"] == 0
+        assert before["missing"] == before["unique"]
+        run_campaign(spec(), workers=1, cache=cache)
+        after = campaign_status(spec(), cache)
+        assert after["missing"] == 0
+        assert after["cached"] == after["unique"] == before["unique"]
+
+    def test_cache_hits_are_restamped_with_this_specs_labels(self, tmp_path):
+        """Keys exclude presentation, so a hit produced under another
+        campaign/label must be re-labelled for the current spec — else
+        warm-cache aggregation files series under stale names."""
+        producer = spec()
+        producer.name = "producer"
+        cache = ResultCache(tmp_path)
+        run_campaign(producer, workers=1, cache=cache)
+
+        consumer = spec()
+        consumer.name = "consumer"
+        consumer.heuristics = [
+            HeuristicSpec.of("heft", label="HEFT-renamed"),
+            HeuristicSpec.of("ilha", {"b": 8}, label="ILHA-renamed"),
+        ]
+        warm = run_campaign(consumer, workers=1, cache=ResultCache(tmp_path))
+        assert warm.cache_hits == len(warm.outcomes)
+        for run in warm.runs():
+            assert set(run.heuristics()) == {"HEFT-renamed", "ILHA-renamed"}
+            assert run.series("HEFT-renamed")
+        assert all(o.result.figure == "consumer" for o in warm.outcomes)
+
+    def test_platforms_group_by_content_not_label(self):
+        """Two different machines under one label must not merge into a
+        single mixed series."""
+        from repro.campaign import PlatformSpec
+
+        twin = CampaignSpec(
+            name="twin",
+            testbeds=["fork-join"],
+            sizes=[6],
+            heuristics=[HeuristicSpec.of("heft")],
+            platforms=[
+                PlatformSpec(label="custom", groups=((2, 1.0),)),
+                PlatformSpec(label="custom", groups=((4, 1.0),)),
+            ],
+        )
+        result = run_campaign(twin, workers=1)
+        runs = result.runs()
+        assert len(runs) == 2
+        assert {r.figure for r in runs} == {"twin/custom", "twin/custom#2"}
+        assert {r.platform.num_processors for r in runs} == {2, 4}
+        for run in runs:
+            assert len(run.cells) == 1
+
+    def test_cached_cells_export_restamps_labels(self, tmp_path):
+        """The export path must restamp presentation exactly like the
+        runner: a shared cache filled by campaign A, exported under
+        campaign B's spec, files every row under B's names."""
+        from repro.campaign import cached_cells
+
+        producer = spec()
+        producer.name = "producer"
+        cache = ResultCache(tmp_path)
+        run_campaign(producer, workers=1, cache=cache)
+
+        consumer = spec()
+        consumer.name = "consumer"
+        consumer.heuristics = [
+            HeuristicSpec.of("heft", label="H2"),
+            HeuristicSpec.of("ilha", {"b": 8}, label="I2"),
+        ]
+        rows = cached_cells(consumer, ResultCache(tmp_path))
+        assert rows
+        assert {r.figure for r in rows} == {"consumer"}
+        assert {r.heuristic for r in rows} == {"H2", "I2"}
+
+    def test_within_run_key_dedup(self):
+        """Duplicate axis entries share one execution and one result."""
+        dup = spec()
+        dup.testbeds = ["fork-join", "fork-join"]
+        dup.models = ["one-port"]
+        result = run_campaign(dup, workers=1)
+        assert len(result.outcomes) == 2 * len({o.cell.key for o in result.outcomes})
+        assert result.executed == len({o.cell.key for o in result.outcomes})

@@ -1,0 +1,61 @@
+"""Wall-clock behavior of the worker pool (hardware-gated).
+
+Result-equality across worker counts is covered by
+``test_determinism.py``; this module checks the *point* of the pool —
+that fanning cells over processes beats serial execution — which only
+holds when the host actually has spare cores, so the timing assertion
+skips itself on small machines instead of flaking.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, HeuristicSpec, run_campaign
+
+
+def timed_grid() -> CampaignSpec:
+    """A grid whose cells are expensive enough to amortize pool startup."""
+    return CampaignSpec(
+        name="wallclock",
+        testbeds=["lu"],
+        sizes=[36, 44],
+        heuristics=[
+            HeuristicSpec.of("heft"),
+            HeuristicSpec.of("ilha", {"b": 4}),
+            HeuristicSpec.of("cpop"),
+            HeuristicSpec.of("bil"),
+        ],
+        models=["one-port"],
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel wall-clock win needs >= 4 cores (pool is pure overhead on small hosts)",
+)
+def test_four_workers_beat_one_on_multicore():
+    spec = timed_grid()
+    t0 = time.perf_counter()
+    serial = run_campaign(spec, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = run_campaign(spec, workers=4)
+    pooled_s = time.perf_counter() - t0
+
+    assert [c.makespan for c in serial.cells] == [c.makespan for c in pooled.cells]
+    assert pooled_s < serial_s, (
+        f"4 workers took {pooled_s:.2f}s vs {serial_s:.2f}s serial"
+    )
+
+
+def test_pool_size_is_clamped_to_pending_cells():
+    """workers > cells must not spawn idle processes or change results."""
+    spec = timed_grid()
+    spec.sizes = [10]
+    spec.heuristics = spec.heuristics[:2]
+    lean = run_campaign(spec, workers=16)
+    assert len(lean.outcomes) == 2
+    assert lean.executed == 2

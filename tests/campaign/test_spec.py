@@ -1,0 +1,160 @@
+"""CampaignSpec expansion, content-hash keys, and JSON round-trips."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, HeuristicSpec, PlatformSpec
+from repro.core.exceptions import ConfigurationError
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    base = dict(
+        name="t",
+        testbeds=["fork-join"],
+        sizes=[5, 8],
+        heuristics=[HeuristicSpec.of("heft"), HeuristicSpec.of("ilha", {"b": 8})],
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestExpansion:
+    def test_grid_product(self):
+        spec = small_spec(models=["one-port", "macro-dataflow"])
+        cells = spec.expand()
+        assert len(cells) == 2 * 2 * 2  # sizes x models x heuristics
+
+    def test_seeds_only_multiply_seeded_testbeds(self):
+        spec = small_spec(testbeds=["fork-join", "irregular"], seeds=[0, 1, 2])
+        cells = spec.expand()
+        fj = [c for c in cells if c.testbed == "fork-join"]
+        irr = [c for c in cells if c.testbed == "irregular"]
+        assert len(fj) == 2 * 2  # deterministic testbed: seeds collapse
+        assert all(c.seed is None for c in fj)
+        assert len(irr) == 2 * 3 * 2
+        assert {c.seed for c in irr} == {0, 1, 2}
+
+    def test_deterministic_order_and_keys(self):
+        a = [c.key for c in small_spec().expand()]
+        b = [c.key for c in small_spec().expand()]
+        assert a == b
+        assert len(set(a)) == len(a)
+
+    def test_unknown_testbed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(testbeds=["nope"])
+
+    def test_unknown_heuristic_rejected_at_spec_time(self):
+        """Bad heuristic names must fail before any cell executes (a
+        mid-campaign failure inside the worker pool is much worse)."""
+        with pytest.raises(ConfigurationError, match="frobnicate"):
+            small_spec(heuristics=[HeuristicSpec.of("frobnicate")])
+
+    def test_seed_in_graph_params_rejected(self):
+        """A graph_params seed would be silently clobbered by the seeds
+        axis in expand(); refuse it with a pointer to the right knob."""
+        with pytest.raises(ConfigurationError, match="seeds"):
+            small_spec(
+                testbeds=["layered"], graph_params={"layered": {"seed": 7}}
+            )
+
+    def test_unknown_model_rejected_at_spec_time(self):
+        """Typo'd model names in a spec file must fail at load, not
+        mid-campaign (CLI choices= only guard the grid-flag mode)."""
+        with pytest.raises(ConfigurationError, match="one-prot"):
+            small_spec(models=["one-prot"])
+
+    def test_unknown_graph_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(graph_params={"fork-join": {"bogus": 1}})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(sizes=[])
+
+
+class TestKeys:
+    def test_key_is_sha256_hex(self):
+        (cell, *_) = small_spec().expand()
+        assert len(cell.key) == 64
+        int(cell.key, 16)
+
+    def test_key_ignores_presentation(self):
+        """Campaign name, series label, and validate flag are not content."""
+        base = small_spec().expand()
+        renamed = small_spec(name="other", validate=False).expand()
+        relabeled = small_spec(
+            heuristics=[
+                HeuristicSpec.of("heft", label="HEFT!"),
+                HeuristicSpec.of("ilha", {"b": 8}, label="fancy"),
+            ]
+        ).expand()
+        assert [c.key for c in base] == [c.key for c in renamed]
+        assert [c.key for c in base] == [c.key for c in relabeled]
+
+    def test_key_tracks_content(self):
+        base = {c.key for c in small_spec().expand()}
+        assert {
+            c.key for c in small_spec(comm_ratio=5.0).expand()
+        }.isdisjoint(base)
+        assert {
+            c.key
+            for c in small_spec(
+                heuristics=[HeuristicSpec.of("ilha", {"b": 4})]
+            ).expand()
+        }.isdisjoint(base)
+        assert {
+            c.key
+            for c in small_spec(
+                platforms=[PlatformSpec(label="homog", groups=((4, 1.0),))]
+            ).expand()
+        }.isdisjoint(base)
+
+    def test_platform_key_is_content_not_label(self):
+        """Same machine under different labels/group orders shares keys."""
+        a = small_spec(
+            platforms=[PlatformSpec(label="x", groups=((2, 3.0), (1, 5.0)))]
+        ).expand()
+        b = small_spec(
+            platforms=[PlatformSpec(label="y", groups=((2, 3.0), (1, 5.0)))]
+        ).expand()
+        assert [c.key for c in a] == [c.key for c in b]
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_keys(self, tmp_path):
+        spec = CampaignSpec(
+            name="rt",
+            testbeds=["lu", "irregular"],
+            sizes=[6, 9],
+            heuristics=[
+                HeuristicSpec.of("heft"),
+                HeuristicSpec.of("ilha", {"b": 4, "single_comm_scan": True}, "ilha*"),
+            ],
+            models=["one-port", "macro-dataflow"],
+            platforms=[PlatformSpec(label="small", groups=((3, 2.0), (1, 4.0)))],
+            seeds=[0, 7],
+            comm_ratio=3.5,
+            graph_params={"irregular": {"hub_prob": 0.2}},
+        )
+        path = spec.to_json(tmp_path / "spec.json")
+        loaded = CampaignSpec.from_json(path)
+        assert loaded == spec
+        assert [c.key for c in loaded.expand()] == [c.key for c in spec.expand()]
+
+    def test_shorthand_payloads(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "s",
+                "testbeds": ["lu"],
+                "sizes": [5],
+                "heuristics": ["heft", {"name": "ilha", "kwargs": {"b": 4}}],
+                "platforms": ["paper"],
+            }
+        )
+        assert spec.heuristics[0].display == "heft"
+        assert spec.platforms[0].label == "paper"
+        assert spec.platforms[0].build().num_processors == 10
+
+    def test_missing_field_reported(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec.from_dict({"name": "x", "sizes": [1]})

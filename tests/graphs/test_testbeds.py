@@ -25,7 +25,7 @@ def assert_source_proportional(graph, ratio=PAPER_COMM_RATIO):
 
 
 class TestRegistry:
-    def test_all_six_registered(self):
+    def test_all_families_registered(self):
         assert set(available_testbeds()) == {
             "fork-join",
             "lu",
@@ -33,6 +33,8 @@ class TestRegistry:
             "ldmt",
             "doolittle",
             "stencil",
+            "layered",
+            "irregular",
         }
 
     def test_make_testbed_dispatch(self):

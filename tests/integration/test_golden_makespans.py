@@ -1,0 +1,147 @@
+"""Golden regression tests: pinned one-port HEFT/ILHA schedules.
+
+These pin the *exact* makespans, message counts, and placements of two
+small, fully hand-checkable scenarios — the paper's Figure 3/4 toy
+example and a 4-task FORK-JOIN — so any refactor of the EFT hot path
+(timeline search, port booking, tie-breaking, chunk logic) that shifts a
+schedule fails here with a concrete, interpretable diff instead of
+silently changing every figure.
+
+The FORK-JOIN timeline is derived by hand in the comments below.  For
+the toy example, note the paper's Figure 4 reports makespan 6 for *its*
+HEFT variant; this repository's insertion-based one-port HEFT reaches 5
+with 4 messages (see EXPERIMENTS.md / ``tests/heuristics/test_ilha.py``)
+— the value pinned here is the reproduction's, and ILHA's advantage
+shows in the message count (2 vs 4), as Section 4.4 intends.
+"""
+
+import pytest
+
+from repro import HEFT, ILHA, Platform, validate_schedule
+from repro.graphs import fork_join_graph, toy_graph, toy_priority_key
+
+
+@pytest.fixture
+def two_unit() -> Platform:
+    return Platform.homogeneous(2, cycle_time=1.0, link=1.0)
+
+
+class TestToyGolden:
+    """Figure 3 graph, two unit processors, paper child order."""
+
+    def test_heft_golden(self, two_unit):
+        s = HEFT(priority_key=toy_priority_key).run(toy_graph(), two_unit, "one-port")
+        validate_schedule(s)
+        assert s.makespan() == 5.0
+        assert s.num_comms() == 4
+        golden = {
+            "a0": (0, 0.0, 1.0),
+            "b0": (1, 0.0, 1.0),
+            "a1": (0, 1.0, 2.0),
+            "b3": (1, 1.0, 2.0),
+            "a2": (0, 2.0, 3.0),
+            "a3": (1, 2.0, 3.0),
+            "ab1": (0, 3.0, 4.0),
+            "ab2": (1, 3.0, 4.0),
+            "b2": (0, 4.0, 5.0),
+            "b1": (1, 4.0, 5.0),
+        }
+        for task, (proc, start, finish) in golden.items():
+            assert s.proc_of(task) == proc, task
+            assert (s.start_of(task), s.finish_of(task)) == (start, finish), task
+
+    def test_ilha_golden(self, two_unit):
+        """ILHA Step 1 keeps each fork's private children home: only the
+        two shared children ever cross, makespan 5 with 2 messages."""
+        s = ILHA(b=8, priority_key=toy_priority_key).run(
+            toy_graph(), two_unit, "one-port"
+        )
+        validate_schedule(s)
+        assert s.makespan() == 5.0
+        assert s.num_comms() == 2
+        golden = {
+            "a0": (0, 0.0, 1.0),
+            "b0": (1, 0.0, 1.0),
+            "a1": (0, 1.0, 2.0),
+            "a2": (0, 2.0, 3.0),
+            "a3": (0, 3.0, 4.0),
+            "b3": (1, 1.0, 2.0),
+            "b2": (1, 2.0, 3.0),
+            "b1": (1, 3.0, 4.0),
+            "ab1": (0, 4.0, 5.0),
+            "ab2": (1, 4.0, 5.0),
+        }
+        for task, (proc, start, finish) in golden.items():
+            assert s.proc_of(task) == proc, task
+            assert (s.start_of(task), s.finish_of(task)) == (start, finish), task
+        assert {e.dst_task for e in s.comm_events} == {"ab1", "ab2"}
+
+
+class TestForkJoinGolden:
+    """FORK-JOIN(4), unit weights, c = 1, two unit processors.
+
+    Hand derivation (HEFT, bottom levels source=5 > m_i=3 > sink=1,
+    ties by insertion order):
+
+    * source -> P0 [0,1).
+    * m0: P0 finishes at 2 vs P1 msg [1,2) + exec [2,3) -> P0 [1,2).
+    * m1: P0 finish 3 ties P1's msg-then-exec finish 3 -> P0 [2,3).
+    * m2: P0 finish 4 loses to P1: msg [1,2), exec [2,3) -> P1 [2,3).
+    * m3: P1's next send window is [2,3), arrival 3, finish 4 — ties
+      P0's finish 4 -> P0 [3,4).
+    * sink on P0: needs m2's data, P1 send port free at 3 -> msg [3,4),
+      est max(2,3,4,4) = 4 -> P0 [4,5).  On P1 the three P0-resident
+      parents serialize on P0's send port ([2,3),[3,4),[4,5)) -> est 5.
+      P0 wins: makespan 5, exactly 2 messages (source->m2, m2->sink).
+    """
+
+    def test_heft_golden(self, two_unit):
+        g = fork_join_graph(4, comm_ratio=1.0)
+        s = HEFT().run(g, two_unit, "one-port")
+        validate_schedule(s)
+        assert s.makespan() == 5.0
+        assert s.speedup() == pytest.approx(1.2)  # 6 units of work / 5
+        assert s.num_comms() == 2
+        golden = {
+            "source": (0, 0.0, 1.0),
+            "m0": (0, 1.0, 2.0),
+            "m1": (0, 2.0, 3.0),
+            "m2": (1, 2.0, 3.0),
+            "m3": (0, 3.0, 4.0),
+            "sink": (0, 4.0, 5.0),
+        }
+        for task, (proc, start, finish) in golden.items():
+            assert s.proc_of(task) == proc, task
+            assert (s.start_of(task), s.finish_of(task)) == (start, finish), task
+        windows = sorted((e.src_task, e.start, e.finish) for e in s.comm_events)
+        assert windows == [("m2", 3.0, 4.0), ("source", 1.0, 2.0)]
+
+    def test_ilha_matches_heft_here(self, two_unit):
+        """With B=8 >= the task count, ILHA degenerates to the same
+        schedule on this graph — pinned so chunk-logic refactors that
+        accidentally diverge on trivial instances get caught."""
+        g = fork_join_graph(4, comm_ratio=1.0)
+        s = ILHA(b=8).run(g, two_unit, "one-port")
+        validate_schedule(s)
+        assert s.makespan() == 5.0
+        assert s.num_comms() == 2
+        assert s.proc_of("m2") == 1
+        assert (s.start_of("sink"), s.finish_of("sink")) == (4.0, 5.0)
+
+    def test_paper_platform_forkjoin_golden(self):
+        """FORK-JOIN(10) on the paper platform, c = 10.
+
+        Sequential on the fastest processor would be 12 x 6 = 72; both
+        heuristics ship work to exactly one other cycle-time-6 processor
+        (each message costs 10 while local execution costs 6, so wider
+        spreading never pays) and reach the pinned makespan 58 with 6
+        messages — speedup 72/58 ~ 1.24, under the Section 5.3 analytic
+        bound of 1.6."""
+        plat = Platform.from_groups([(5, 6), (3, 10), (2, 15)])
+        g = fork_join_graph(10)  # paper comm ratio 10
+        for sched in (HEFT().run(g, plat, "one-port"), ILHA(b=38).run(g, plat, "one-port")):
+            validate_schedule(sched)
+            assert sched.makespan() == 58.0
+            assert sched.num_comms() == 6
+            assert {sched.proc_of(t) for t in g.tasks()} == {0, 1}
+            assert sched.speedup() == pytest.approx(72.0 / 58.0)

@@ -1,0 +1,203 @@
+"""Timeline substrate vs a brute-force free-list oracle.
+
+The oracle keeps the busy set as a plain list of intervals and answers
+"earliest fit" by scanning every candidate start (the ready time and
+each interval end) — O(n²) and obviously correct.  Every fast-path
+operation (:meth:`Timeline.next_fit`, :meth:`TimelineOverlay.next_fit`,
+:func:`earliest_joint_fit`) must agree with it exactly, under both
+hypothesis-driven cases and longer seeded random fuzz runs; and
+:meth:`TimelineOverlay.commit` must replay its tentative reservations
+onto the base losslessly, tags included.
+"""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Timeline, TimelineOverlay, earliest_joint_fit
+from repro.core.exceptions import TimelineError
+
+# ----------------------------------------------------------------------
+# the oracle
+# ----------------------------------------------------------------------
+
+
+def oracle_next_fit(busy, ready, duration):
+    """Brute-force earliest t >= ready with [t, t+duration) free.
+
+    ``busy`` is any list of (start, end) pairs (need not be sorted or
+    disjoint).  Candidate starts are ``ready`` and every interval end;
+    the earliest candidate that overlaps nothing is the answer (any
+    feasible start can be slid left onto one of these candidates).
+    """
+    if duration == 0:
+        return ready
+    candidates = sorted({ready} | {e for _, e in busy if e > ready})
+    for t in candidates:
+        if all(t + duration <= s or t >= e for s, e in busy):
+            return t
+    raise AssertionError("unreachable: past the last end everything fits")
+
+
+def fill(timeline, reqs):
+    """Reserve each request at its next_fit position (what heuristics do)."""
+    for ready, duration in reqs:
+        start = timeline.next_fit(ready, duration)
+        timeline.reserve(start, start + duration)
+
+
+# Durations are 0 or >= 0.01: a denormal duration d with t + d == t is
+# an *empty* window in float semantics — the oracle accepts it inside a
+# busy interval while the fast path (correctly) skips past, so such
+# degenerate inputs have no well-defined "earliest fit" to agree on.
+durations = st.one_of(
+    st.just(0.0), st.floats(min_value=0.01, max_value=8.0, allow_nan=False)
+)
+requests = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=40.0, allow_nan=False), durations),
+    min_size=0,
+    max_size=20,
+)
+probe = st.tuples(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False), durations
+)
+
+
+# ----------------------------------------------------------------------
+# hypothesis properties
+# ----------------------------------------------------------------------
+
+
+@given(requests, probe)
+def test_timeline_next_fit_matches_oracle(reqs, query):
+    t = Timeline()
+    fill(t, reqs)
+    busy = [(s, e) for s, e, _ in t.intervals()]
+    ready, duration = query
+    assert t.next_fit(ready, duration) == oracle_next_fit(busy, ready, duration)
+
+
+@given(requests, requests, probe)
+def test_overlay_next_fit_matches_oracle(base_reqs, local_reqs, query):
+    base = Timeline()
+    fill(base, base_reqs)
+    ov = TimelineOverlay(base)
+    for ready, duration in local_reqs:
+        start = ov.next_fit(ready, duration)
+        ov.reserve(start, start + duration)
+    busy = [(s, e) for s, e, _ in base.intervals()]
+    busy += [(s, e) for s, e, _ in ov.added()]
+    ready, duration = query
+    assert ov.next_fit(ready, duration) == oracle_next_fit(busy, ready, duration)
+
+
+@given(requests, requests, requests, probe)
+def test_joint_fit_matches_oracle(reqs_a, reqs_b, reqs_c, query):
+    views = []
+    busy = []
+    for reqs in (reqs_a, reqs_b, reqs_c):
+        t = Timeline()
+        fill(t, reqs)
+        views.append(t)
+        busy += [(s, e) for s, e, _ in t.intervals()]
+    ready, duration = query
+    # free on ALL views == free against the union of their busy sets
+    assert earliest_joint_fit(views, ready, duration) == oracle_next_fit(
+        busy, ready, duration
+    )
+
+
+@given(requests, requests)
+def test_commit_replays_overlay_losslessly(base_reqs, local_reqs):
+    """After commit, the base holds exactly base + tentative intervals,
+    tags included, and the overlay is drained."""
+    base = Timeline()
+    for i, (ready, duration) in enumerate(base_reqs):
+        start = base.next_fit(ready, duration)
+        base.reserve(start, start + duration, ("base", i))
+    ov = TimelineOverlay(base)
+    tentative = []
+    for i, (ready, duration) in enumerate(local_reqs):
+        start = ov.next_fit(ready, duration)
+        ov.reserve(start, start + duration, ("ov", i))
+        if duration > 0:
+            tentative.append((start, start + duration, ("ov", i)))
+
+    before = base.intervals()
+    ov.commit()
+    assert ov.added() == []
+    assert sorted(base.intervals()) == sorted(before + tentative)
+    # committing booked real reservations: re-reserving any tentative
+    # window must now fail on the base itself
+    for s, e, _ in tentative:
+        with pytest.raises(TimelineError):
+            base.reserve(s, e)
+
+
+# ----------------------------------------------------------------------
+# seeded random fuzzing: longer mixed op-sequences per seed
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzz_timeline_and_overlay_against_oracle(seed):
+    rng = random.Random(seed)
+    base = Timeline()
+    busy_base = []
+    for _ in range(120):
+        ready = rng.uniform(0, 60)
+        duration = rng.choice([0.0, rng.uniform(0.01, 6), rng.uniform(0.01, 0.5)])
+        got = base.next_fit(ready, duration)
+        assert got == oracle_next_fit(busy_base, ready, duration)
+        if rng.random() < 0.6:
+            base.reserve(got, got + duration)
+            if duration > 0:
+                busy_base.append((got, got + duration))
+
+        # a fresh overlay probe against the union every few steps
+        if rng.random() < 0.25:
+            ov = TimelineOverlay(base)
+            busy_all = list(busy_base)
+            for _ in range(rng.randrange(4)):
+                r = rng.uniform(0, 60)
+                d = rng.uniform(0.01, 4)
+                s = ov.next_fit(r, d)
+                assert s == oracle_next_fit(busy_all, r, d)
+                ov.reserve(s, s + d)
+                if d > 0:
+                    busy_all.append((s, s + d))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_joint_fit_against_union_oracle(seed):
+    rng = random.Random(1000 + seed)
+    views = [Timeline() for _ in range(rng.randrange(1, 5))]
+    busy = []
+    for _ in range(60):
+        view = rng.choice(views)
+        ready = rng.uniform(0, 40)
+        duration = rng.uniform(0.01, 5)
+        start = view.next_fit(ready, duration)
+        view.reserve(start, start + duration)
+        busy.append((start, start + duration))
+        r = rng.uniform(0, 50)
+        d = rng.uniform(0.01, 6)
+        assert earliest_joint_fit(views, r, d) == oracle_next_fit(busy, r, d)
+
+
+def test_overlay_reserve_rejects_nan():
+    """The overlay guards NaN endpoints exactly like the base timeline
+    (a NaN tentative reservation must not corrupt the sorted invariant)."""
+    nan = float("nan")
+    base = Timeline()
+    ov = TimelineOverlay(base)
+    for bad in ((nan, 1.0), (0.0, nan), (nan, nan)):
+        with pytest.raises(TimelineError):
+            ov.reserve(*bad)
+    # the overlay is untouched and still consistent
+    assert ov.added() == []
+    ov.reserve(0.0, 1.0)
+    ov.reserve(2.0, 3.0)
+    assert ov.next_fit(0.0, 1.0) == 1.0

@@ -71,3 +71,69 @@ class TestBottleneck:
     def test_bad_args_exit(self):
         with pytest.raises(SystemExit):
             main(["schedule", "--testbed", "not-a-testbed"])
+
+
+class TestCampaign:
+    GRID = [
+        "--testbeds", "fork-join", "irregular",
+        "--sizes", "5", "8",
+        "--heuristics", "heft", "ilha:b=8",
+        "--seeds", "0", "1",
+    ]
+
+    def test_run_then_warm_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", *self.GRID, "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "0 cached" in out
+        assert "== adhoc/fork-join ==" in out
+        assert "== adhoc/irregular ==" in out
+
+        assert main(["campaign", "run", *self.GRID, "--cache-dir", cache,
+                     "--workers", "2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+
+    def test_status_and_export(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "status", *self.GRID, "--cache-dir", cache]) == 0
+        assert "0 cached" in capsys.readouterr().out
+
+        assert main(["campaign", "run", *self.GRID, "--cache-dir", cache,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", *self.GRID, "--cache-dir", cache]) == 0
+        assert "0 to run" in capsys.readouterr().out
+
+        out_csv = str(tmp_path / "cells.csv")
+        assert main(["campaign", "export", *self.GRID, "--cache-dir", cache,
+                     "--out", out_csv]) == 0
+        assert "exported 12 cached cells" in capsys.readouterr().out
+        from repro.experiments import read_csv
+
+        cells = read_csv(out_csv)
+        assert len(cells) == 12
+        assert {c.testbed for c in cells} == {"fork-join", "irregular"}
+
+    def test_spec_file_round_trip(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec, HeuristicSpec
+
+        spec = CampaignSpec(
+            name="fromfile",
+            testbeds=["lu"],
+            sizes=[5],
+            heuristics=[HeuristicSpec.of("heft")],
+        )
+        path = spec.to_json(tmp_path / "spec.json")
+        assert main(["campaign", "run", "--spec", str(path),
+                     "--cache-dir", str(tmp_path / "c"), "--quiet"]) == 0
+        assert "campaign fromfile: 1 cells" in capsys.readouterr().out
+
+    def test_export_json(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        grid = ["--testbeds", "lu", "--sizes", "5", "--heuristics", "heft"]
+        assert main(["campaign", "run", *grid, "--cache-dir", cache, "--quiet",
+                     "--export", str(tmp_path / "out.json")]) == 0
+        from repro.experiments import read_json
+
+        assert len(read_json(tmp_path / "out.json")) == 1
