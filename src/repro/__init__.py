@@ -37,6 +37,7 @@ from .heuristics import (
     PCT,
     FixedAllocation,
     ILHAClassic,
+    IteratedLocalSearch,
     MaxMin,
     MinMin,
     RandomMapper,
@@ -57,6 +58,7 @@ __all__ = [
     "HEFT",
     "ILHA",
     "ILHAClassic",
+    "IteratedLocalSearch",
     "MACRO_DATAFLOW",
     "MacroDataflowModel",
     "MaxMin",

@@ -36,7 +36,10 @@ JSON (sorted keys, fixed separators — see
 
 The key covers exactly the inputs that determine a cell's metrics and
 nothing presentational: campaign names, series labels, worker counts,
-and the ``validate`` flag do not perturb it.  Scheduling is
+and the ``validate`` flag do not perturb it.  The ``improve`` axis is
+resolved *before* hashing — an improved cell is keyed by its expanded
+``ils`` heuristic payload (base + search parameters), so improved and
+unimproved cells of the same base cache independently.  Scheduling is
 deterministic given these inputs, so equal keys imply equal metrics —
 which is what makes the cache safe to share across campaigns, figures,
 and benchmark runs.  Keys are stable across processes and Python

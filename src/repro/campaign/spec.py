@@ -42,6 +42,11 @@ DEFAULT_COMM_RATIO = PAPER_COMM_RATIO
 #: Communication-model names :func:`repro.heuristics.base.make_model` accepts.
 KNOWN_MODELS = ("one-port", "macro-dataflow")
 
+#: ``ils`` parameters an ``improve`` stage entry may set.
+IMPROVE_PARAMS = frozenset(
+    {"budget", "seed", "kick", "patience", "critical_bias", "sideways"}
+)
+
 
 @dataclass(frozen=True)
 class PlatformSpec:
@@ -195,7 +200,17 @@ class CampaignCell:
 
 @dataclass
 class CampaignSpec:
-    """A declarative grid of scheduling experiments."""
+    """A declarative grid of scheduling experiments.
+
+    The optional ``improve`` axis sweeps local-search post-passes over
+    the heuristic axis: each entry is either ``None`` (keep the base
+    heuristic as-is) or a dict of ``ils`` parameters (``budget``,
+    ``seed``, ...), and every heuristic of the grid is expanded once
+    per entry — wrapped as ``ils(base)`` for dict entries.  Keys hash
+    the *expanded* heuristic payload, so improved and unimproved cells
+    cache independently and base-heuristic × search-budget grids are
+    resumable like any other campaign.
+    """
 
     name: str
     testbeds: list[str]
@@ -206,6 +221,7 @@ class CampaignSpec:
     seeds: list[int] = field(default_factory=lambda: [0])
     comm_ratio: float = DEFAULT_COMM_RATIO
     graph_params: dict[str, dict] = field(default_factory=dict)
+    improve: list[dict | None] = field(default_factory=list)
     validate: bool = True
 
     def __post_init__(self) -> None:
@@ -256,17 +272,77 @@ class CampaignSpec:
                     f"campaign {self.name!r}: set seeds for {t!r} via the "
                     f"'seeds' axis, not graph_params"
                 )
+        for entry in self.improve:
+            if entry is None:
+                continue
+            if not isinstance(entry, dict):
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: improve entries must be None or "
+                    f"a dict of ils parameters, got {entry!r}"
+                )
+            unknown = set(entry) - IMPROVE_PARAMS
+            if unknown:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: improve entry sets {sorted(unknown)}; "
+                    f"accepted: {sorted(IMPROVE_PARAMS)}"
+                )
+            try:
+                # the ils constructor owns the parameter constraints
+                # (budget >= 0, probabilities in [0, 1], ...); fail here,
+                # not mid-campaign inside a worker
+                from ..heuristics import get_scheduler
+
+                get_scheduler("ils", **entry)
+            except (ConfigurationError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: bad improve entry {entry!r}: {exc}"
+                ) from None
+        if any(isinstance(entry, dict) for entry in self.improve):
+            # only dict entries generate ils cells; improve=[None] is a
+            # no-op axis and must not trip the search-specific guards
+            if any(h.name == "ils" for h in self.heuristics):
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: an improve axis cannot wrap 'ils' "
+                    f"heuristics again; list the bases instead"
+                )
+            not_one_port = [m for m in self.models if m != "one-port"]
+            if not_one_port:
+                # ils cells would reject these models at worker run time
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: the improve axis requires the "
+                    f"one-port model, but the grid also sweeps {not_one_port}"
+                )
 
     # ------------------------------------------------------------------
     # expansion
     # ------------------------------------------------------------------
+    def expanded_heuristics(self) -> list[HeuristicSpec]:
+        """The heuristic axis crossed with the ``improve`` axis."""
+        if not self.improve:
+            return list(self.heuristics)
+        from ..search import IteratedLocalSearch
+
+        out = []
+        for heuristic in self.heuristics:
+            for entry in self.improve:
+                if entry is None:
+                    out.append(heuristic)
+                    continue
+                kwargs: dict = {"base": heuristic.name, **entry}
+                if heuristic.kwargs:
+                    kwargs["base_kwargs"] = dict(heuristic.kwargs)
+                label = IteratedLocalSearch.format_label(heuristic.display, **entry)
+                out.append(HeuristicSpec.of("ils", kwargs, label))
+        return out
+
     def expand(self) -> list[CampaignCell]:
         """Materialize the grid in deterministic order.
 
-        Order: testbed, size, seed, platform, model, heuristic — the
-        same nesting a handwritten sweep loop would use, so progress
+        Order: testbed, size, seed, platform, model, heuristic×improve —
+        the same nesting a handwritten sweep loop would use, so progress
         output reads naturally.
         """
+        heuristics = self.expanded_heuristics()
         cells: list[CampaignCell] = []
         for testbed in self.testbeds:
             seeded = "seed" in generator_params(testbed)
@@ -276,7 +352,7 @@ class CampaignSpec:
                 for seed in seeds:
                     for platform in self.platforms:
                         for model in self.models:
-                            for heuristic in self.heuristics:
+                            for heuristic in heuristics:
                                 cells.append(
                                     CampaignCell(
                                         campaign=self.name,
@@ -307,6 +383,7 @@ class CampaignSpec:
             "seeds": list(self.seeds),
             "comm_ratio": self.comm_ratio,
             "graph_params": {k: dict(v) for k, v in self.graph_params.items()},
+            "improve": [None if e is None else dict(e) for e in self.improve],
             "validate": self.validate,
         }
 
@@ -326,6 +403,10 @@ class CampaignSpec:
                 seeds=[int(s) for s in payload.get("seeds", [0])],
                 comm_ratio=float(payload.get("comm_ratio", DEFAULT_COMM_RATIO)),
                 graph_params=dict(payload.get("graph_params", {})),
+                improve=[
+                    None if e is None else dict(e)
+                    for e in payload.get("improve", [])
+                ],
                 validate=bool(payload.get("validate", True)),
             )
         except KeyError as exc:

@@ -15,11 +15,16 @@ Subcommands
 ``bottleneck``
     Print the scheduled critical chain of a heuristic's schedule — what
     the makespan was waiting on, activity by activity.
+``search``
+    Improve a heuristic's schedule with iterated local search over its
+    decisions (``repro.search``): prints base/tightened/final makespans
+    and the search counters.
 ``campaign``
     Declarative experiment grids on the parallel campaign engine:
     ``campaign run`` executes (worker pool + content-addressed cache),
     ``campaign status`` reports cache coverage, ``campaign export``
-    writes cached cells as CSV/JSON.
+    writes cached cells as CSV/JSON.  ``--improve-budgets`` sweeps an
+    ``ils`` post-pass over the heuristic axis.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from .campaign import (
     run_campaign,
 )
 from .core import validate_schedule
+from .core.exceptions import ConfigurationError
 from .core.loadbalance import optimal_distribution, weight_shares
 from .experiments import (
     available_figures,
@@ -108,6 +114,64 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+#: CLI conveniences for testbed names (the registry uses hyphens).
+_TESTBED_ALIASES = {"forkjoin": "fork-join"}
+
+
+def _cmd_search(args) -> int:
+    from .heuristics import IteratedLocalSearch
+
+    testbed = _TESTBED_ALIASES.get(args.testbed, args.testbed)
+    base = _parse_heuristic(args.base)
+    bases = [n for n in available_schedulers() if n != "ils"]
+    if base.name not in bases:
+        raise SystemExit(
+            f"unknown base heuristic {base.name!r}; available: {', '.join(bases)}"
+        )
+    try:
+        # fail on bad base kwargs here, with argparse-style cleanliness,
+        # not with a TypeError traceback mid-search
+        get_scheduler(base.name, **dict(base.kwargs))
+    except (ConfigurationError, TypeError) as exc:
+        raise SystemExit(f"bad base heuristic {args.base!r}: {exc}") from None
+    params = {}
+    if args.graph_seed is not None:
+        from .graphs import generator_params
+
+        if "seed" not in generator_params(testbed):
+            print(f"testbed {testbed!r} is deterministic; --graph-seed ignored")
+        else:
+            params["seed"] = args.graph_seed
+    graph = make_testbed(testbed, args.size, comm_ratio=args.comm_ratio, **params)
+    platform = paper_platform()
+    scheduler = IteratedLocalSearch(
+        base=base.name,
+        base_kwargs=dict(base.kwargs),
+        budget=args.budget,
+        seed=args.search_seed,
+    )
+    sched = scheduler.run(graph, platform, "one-port")
+    validate_schedule(sched)
+    stats = sched.search_stats
+    print(f"{'base':>12}: {stats['base']}  makespan {stats['base_makespan']:.1f}")
+    print(f"{'tightened':>12}: {stats['tightened_makespan']:.1f}")
+    print(
+        f"{'ils':>12}: {stats['final_makespan']:.1f} "
+        f"({stats['improvement_pct']:+.2f}% vs base)"
+    )
+    print(
+        f"{'search':>12}: {stats['evals']} evaluations, "
+        f"{stats['accepted']} accepted, {stats['kicks']} kicks, "
+        f"{stats['rounds']} round(s), budget {stats['budget']}, "
+        f"seed {stats['seed']}"
+    )
+    print(f"{'speedup':>12}: {sched.speedup():.2f}")
+    if args.gantt:
+        print()
+        print(sched.gantt(width=args.gantt))
+    return 0
+
+
 def _cmd_bottleneck(args) -> int:
     graph, platform = _make(args)
     scheduler = get_scheduler(args.heuristic, **({"b": args.b} if args.b else {}))
@@ -151,6 +215,12 @@ def _campaign_spec(args) -> CampaignSpec:
     """Build a spec from ``--spec FILE`` or the inline grid flags."""
     if args.spec is not None:
         return CampaignSpec.from_json(args.spec)
+    improve: list[dict | None] = []
+    for budget in args.improve_budgets or []:
+        if budget == 0:
+            improve.append(None)
+        else:
+            improve.append({"budget": budget, "seed": args.improve_seed})
     return CampaignSpec(
         name=args.name,
         testbeds=args.testbeds,
@@ -159,6 +229,7 @@ def _campaign_spec(args) -> CampaignSpec:
         models=args.models,
         seeds=args.seeds,
         comm_ratio=args.comm_ratio,
+        improve=improve,
     )
 
 
@@ -253,6 +324,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_args(p)
     p.set_defaults(fn=_cmd_compare)
 
+    p = sub.add_parser("search", help="iterated local search over a schedule")
+    p.add_argument("--graph", "--testbed", dest="testbed", default="lu",
+                   choices=sorted([*available_testbeds(), *_TESTBED_ALIASES]),
+                   help="testbed name (accepts 'forkjoin' for 'fork-join')")
+    p.add_argument("--size", type=int, default=20)
+    p.add_argument("--comm-ratio", type=float, default=PAPER_COMM_RATIO)
+    p.add_argument("--graph-seed", type=int, default=None,
+                   help="seed for the seeded (random) testbeds")
+    p.add_argument("--base", default="heft",
+                   help="base heuristic, optionally name:key=val,key=val")
+    p.add_argument("--budget", type=int, default=4000,
+                   help="move-evaluation budget of the search")
+    p.add_argument("--search-seed", type=int, default=0)
+    p.add_argument("--gantt", type=int, nargs="?", const=78, default=None)
+    p.set_defaults(fn=_cmd_search)
+
     p = sub.add_parser("bottleneck", help="critical-chain attribution")
     add_graph_args(p)
     p.add_argument("--heuristic", default="heft", choices=available_schedulers())
@@ -276,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--seeds", nargs="+", type=int, default=[0],
                         help="seeds for the seeded (random) testbeds")
         cp.add_argument("--comm-ratio", type=float, default=PAPER_COMM_RATIO)
+        cp.add_argument("--improve-budgets", nargs="+", type=int, default=None,
+                        help="sweep an ils post-pass per heuristic; 0 = no search")
+        cp.add_argument("--improve-seed", type=int, default=0,
+                        help="search seed for the --improve-budgets entries")
         cp.add_argument("--cache-dir", default=".repro-cache",
                         help="content-addressed result cache directory")
         cp.add_argument("--no-cache", action="store_true",

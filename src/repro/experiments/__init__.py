@@ -7,6 +7,7 @@ from .ablation import (
     ilha_variant_ablation,
     insertion_ablation,
     model_comparison,
+    search_budget_ablation,
 )
 from .config import (
     PAPER_BEST_B,
@@ -38,6 +39,7 @@ __all__ = [
     "ilha_variant_ablation",
     "insertion_ablation",
     "model_comparison",
+    "search_budget_ablation",
     "format_cells",
     "format_comparison",
     "format_run",

@@ -172,6 +172,45 @@ def insertion_ablation(
     return cells
 
 
+def search_budget_ablation(
+    graph: TaskGraph,
+    budgets: Sequence[int],
+    platform: Platform | None = None,
+    base: str = "heft",
+    base_kwargs: dict | None = None,
+    seed: int = 0,
+) -> list[CellResult]:
+    """Makespan of ``ils(base)`` as the move-evaluation budget grows.
+
+    Budget ``0`` is the tightened base heuristic itself, so the first
+    row anchors the curve and later rows show the marginal value of
+    search effort.  One row per budget, size column = budget.
+    """
+    from ..search import IteratedLocalSearch
+
+    platform = platform or paper_platform()
+    cells = []
+    for budget in budgets:
+        scheduler = IteratedLocalSearch(
+            base=base, base_kwargs=base_kwargs, budget=budget, seed=seed
+        )
+        label = IteratedLocalSearch.format_label(
+            base, base_kwargs, budget=budget, seed=seed
+        )
+        cell, _ = run_cell(
+            "ablation-search-budget",
+            graph.name,
+            budget,
+            graph,
+            scheduler,
+            label,
+            platform,
+            "one-port",
+        )
+        cells.append(cell)
+    return cells
+
+
 def baseline_comparison(
     graph: TaskGraph,
     platform: Platform | None = None,

@@ -24,6 +24,10 @@ from .minmin import MaxMin, MinMin
 from .pct import PCT
 from .simple import RandomMapper, Serial
 
+# imported last: repro.search builds on heuristics.base and registers the
+# ``ils`` improvement wrapper as a scheduler
+from ..search.ils import IteratedLocalSearch
+
 __all__ = [
     "BIL",
     "CPOP",
@@ -33,6 +37,7 @@ __all__ = [
     "HEFT",
     "ILHA",
     "ILHAClassic",
+    "IteratedLocalSearch",
     "MaxMin",
     "MinMin",
     "PCT",

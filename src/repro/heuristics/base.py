@@ -57,11 +57,6 @@ class Candidate:
     finish: float
     trial: CommTrial
 
-    @property
-    def est(self) -> float:
-        """Earliest start time found for the task (same as ``start``)."""
-        return self.start
-
 
 class SchedulerState:
     """Mutable state of one scheduling run (see module docstring)."""

@@ -1,0 +1,83 @@
+"""Iterated local search over schedule decisions.
+
+This package adds an *optimization layer* on top of the one-port
+heuristics: instead of building schedules, it improves the **decisions**
+of an existing schedule — the allocation plus the processor/send/receive
+orders — and re-times each variant with the replay recurrence of
+:mod:`repro.simulate.replay`.
+
+Representation
+--------------
+A decision set is represented by a :class:`~repro.search.point.SearchPoint`
+``(alloc, sequence)``: an allocation plus one global topological order
+of all tasks.  Every resource order is derived from the sequence
+(processor orders by restriction, port orders by consumer-first
+``(pos(dst), pos(src))`` keys), which makes every point feasible by
+construction — no move can create a circular resource order, so the
+search never wastes budget on infeasible neighbors.
+
+Move taxonomy
+-------------
+``MoveTask(task, proc)``
+    Reallocate one task to another processor.
+``SwapTasks(a, b)``
+    Exchange the processors of two tasks.
+``AdjacentExchange(kind, proc, index)``
+    Swap two adjacent entries of a processor (``kind="proc"``), send
+    (``"send"``), or receive (``"recv"``) order — realized as the
+    minimal feasible reposition of a task in the global sequence.
+``Reposition(task, before)``
+    The underlying sequence primitive (move a task earlier), exposed
+    for custom neighborhoods.
+
+Incremental-evaluation contract
+-------------------------------
+Each move reports the constraint-DAG nodes it *invalidates* — nodes
+whose duration or predecessor list changes, plus transfers removed
+because their edge became local
+(:meth:`~repro.search.neighborhood.Move.invalidates`).  The
+:class:`~repro.search.evaluate.IncrementalEvaluator` caches the timed
+constraint DAG of the current point and, per move, recomputes
+predecessor lists for exactly the invalidated nodes and re-propagates
+start/finish times only downstream of nodes whose finish changed.  The
+previewed makespan must equal the makespan of a full
+:func:`~repro.simulate.replay.replay` of the new decision set — same
+constraints, same least fixed point, same float operations — and the
+test suite cross-checks this equality on every accepted move.
+
+Entry points
+------------
+:class:`~repro.search.ils.IteratedLocalSearch` (registry name ``ils``)
+wraps any registered heuristic (``ils(heft)``, ``ils(ilha)``) and is
+driven from the CLI (``python -m repro search``) or from campaign grids
+via ``CampaignSpec.improve``.
+"""
+
+from .evaluate import IncrementalEvaluator, MovePreview
+from .ils import IteratedLocalSearch
+from .neighborhood import (
+    AdjacentExchange,
+    Move,
+    MoveTask,
+    Reposition,
+    SwapTasks,
+    invalidated,
+    propose,
+)
+from .point import SearchPoint, comm_node, task_node
+
+__all__ = [
+    "AdjacentExchange",
+    "IncrementalEvaluator",
+    "IteratedLocalSearch",
+    "Move",
+    "MovePreview",
+    "MoveTask",
+    "Reposition",
+    "SearchPoint",
+    "SwapTasks",
+    "comm_node",
+    "invalidated",
+    "propose",
+    "task_node",
+]

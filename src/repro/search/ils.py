@@ -1,0 +1,269 @@
+"""Iterated local search over schedule decisions (registry name ``ils``).
+
+The :class:`IteratedLocalSearch` scheduler wraps any registered base
+heuristic: it runs the base once, tightens its schedule with the
+order-preserving replay, and then improves the *decisions* — allocation
+and resource orders — with a seeded, fully deterministic iterated local
+search in the style of Levine et al. (arXiv:1312.6246):
+
+1. **first-improvement descent** — draw moves from the mixed
+   neighborhood (:func:`repro.search.neighborhood.propose`), biased
+   toward tasks on the scheduled critical chain, preview each on the
+   incremental evaluator, and commit the first strict improvement;
+   equal-makespan moves are accepted with probability ``sideways`` to
+   drift across the wide plateaus of discrete makespans; a descent ends
+   after ``patience`` consecutive non-improving draws;
+2. **acceptance** — a descent that beats the incumbent becomes the new
+   home base, otherwise the search restarts from the incumbent;
+3. **random disruption** — ``kick`` random moves are committed
+   unconditionally before the next descent, to escape the local
+   optimum's basin.
+
+The search is budgeted by move *evaluations* (``budget``) and
+optionally by wall clock (``time_limit_s`` — off by default; enabling
+it trades the determinism guarantee for predictable latency).  The
+returned schedule is never worse than the tightened base schedule, so
+``ils(h)`` dominates ``h`` by construction on every input.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..core.exceptions import ConfigurationError
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+from ..heuristics.base import Scheduler, get_scheduler, make_model, register_scheduler
+from ..models.base import CommunicationModel
+from ..models.one_port import OnePortModel
+from ..simulate.replay import extract_decisions, replay, replay_schedule
+from .evaluate import IncrementalEvaluator
+from .neighborhood import MoveTask, propose
+from .point import SearchPoint
+
+#: Strict-improvement threshold: protects against accepting float noise.
+EPS = 1e-9
+
+
+@register_scheduler
+class IteratedLocalSearch(Scheduler):
+    """``ils(base)`` — improvement wrapper around any registered heuristic.
+
+    Parameters
+    ----------
+    base, base_kwargs:
+        Registry name and constructor kwargs of the wrapped heuristic
+        (``ils(heft)``, ``ils(ilha, {"b": 4})``, ...).
+    budget:
+        Maximum number of move evaluations (previews); ``0`` returns the
+        tightened base schedule untouched.
+    seed:
+        Seed of the search's private RNG; equal seeds give identical
+        schedules on every run and under any campaign worker count.
+    kick:
+        Number of random moves committed unconditionally between
+        descents (the random disruption).
+    patience:
+        Consecutive non-improving draws that end a descent; defaults to
+        ``max(64, 2 * num_tasks)``.
+    critical_bias:
+        Probability of drawing a reallocation of a critical-chain task
+        instead of a uniform move (the makespan can only drop by
+        re-timing the chain that defines it).
+    sideways:
+        Probability of accepting an equal-makespan move during descent.
+    time_limit_s:
+        Optional wall-clock cap; when set, results may vary across
+        machines (the evaluation budget stays the only *deterministic*
+        stop).
+    paranoia:
+        Cross-check the incremental evaluator against a full replay
+        after every accepted move (testing/debugging aid).
+
+    The final schedule carries a ``search_stats`` dict attribute with
+    the base/tightened/final makespans and search counters.
+    """
+
+    name = "ils"
+
+    def __init__(
+        self,
+        base: str = "heft",
+        base_kwargs: dict | None = None,
+        budget: int = 4000,
+        seed: int = 0,
+        kick: int = 4,
+        patience: int | None = None,
+        critical_bias: float = 0.5,
+        sideways: float = 0.3,
+        time_limit_s: float | None = None,
+        paranoia: bool = False,
+    ) -> None:
+        if base == self.name:
+            raise ConfigurationError("ils cannot wrap itself")
+        if budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {budget}")
+        if kick < 0:
+            raise ConfigurationError(f"kick must be >= 0, got {kick}")
+        if patience is not None and patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        for prob, what in ((critical_bias, "critical_bias"), (sideways, "sideways")):
+            if not (0.0 <= prob <= 1.0):
+                raise ConfigurationError(f"{what} must be in [0, 1], got {prob}")
+        self.base = base
+        self.base_kwargs = dict(base_kwargs or {})
+        self.budget = budget
+        self.seed = seed
+        self.kick = kick
+        self.patience = patience
+        self.critical_bias = critical_bias
+        self.sideways = sideways
+        self.time_limit_s = time_limit_s
+        self.paranoia = paranoia
+
+    @staticmethod
+    def base_label(base: str, base_kwargs: dict | None = None) -> str:
+        """Rendered description of a wrapped base: ``ilha(b=4)``."""
+        if base_kwargs:
+            args = ",".join(f"{k}={v}" for k, v in sorted(base_kwargs.items()))
+            return f"{base}({args})"
+        return base
+
+    @classmethod
+    def format_label(cls, base: str, base_kwargs: dict | None = None, **params) -> str:
+        """The one ``ils`` label format every surface shares.
+
+        ``base`` may be a registry name or an already-rendered series
+        label; extra ``params`` (budget, seed, ...) append after a
+        semicolon: ``ils(ilha(b=4);budget=200,seed=0)``.
+        """
+        desc = cls.base_label(base, base_kwargs)
+        if params:
+            tag = ",".join(f"{k}={params[k]}" for k in sorted(params))
+            return f"ils({desc};{tag})"
+        return f"ils({desc})"
+
+    @property
+    def label(self) -> str:
+        return self.format_label(self.base, self.base_kwargs)
+
+    def _draw(self, evaluator, critical, platform, rng):
+        """One move draw: critical-chain reallocation or uniform mix."""
+        if (
+            critical
+            and platform.num_processors > 1
+            and rng.random() < self.critical_bias
+        ):
+            task = critical[rng.randrange(len(critical))]
+            proc = rng.randrange(platform.num_processors - 1)
+            if proc >= evaluator.point.alloc[task]:
+                proc += 1
+            return MoveTask(task, proc)
+        return propose(evaluator.point, platform, rng)
+
+    def run(
+        self,
+        graph: TaskGraph,
+        platform: Platform,
+        model: str | CommunicationModel = "one-port",
+    ) -> Schedule:
+        model_obj = make_model(platform, model)
+        if type(model_obj) is not OnePortModel:
+            raise ConfigurationError(
+                "ils improves one-port schedules via replay; it requires the "
+                f"plain one-port model, not {type(model_obj).__name__}"
+            )
+        if not platform.is_fully_connected():
+            raise ConfigurationError("ils requires a fully connected platform")
+
+        base_sched = get_scheduler(self.base, **self.base_kwargs).run(
+            graph, platform, model_obj
+        )
+        tight = replay_schedule(base_sched)
+        floor = tight.makespan()
+
+        evaluator = IncrementalEvaluator(graph, platform)
+        best_point = SearchPoint.from_schedule(tight)
+        best_ms = evaluator.load(best_point)
+        critical = evaluator.critical_path_tasks()
+        rng = random.Random(self.seed)
+        patience = self.patience or max(64, 2 * graph.num_tasks)
+        deadline = None if self.time_limit_s is None else time.monotonic() + self.time_limit_s
+        evals = accepted = kicks = rounds = 0
+
+        def out_of_time() -> bool:
+            return deadline is not None and time.monotonic() > deadline
+
+        while evals < self.budget and not out_of_time():
+            rounds += 1
+            evals_before = evals
+            stall = 0
+            while stall < patience and evals < self.budget and not out_of_time():
+                move = self._draw(evaluator, critical, platform, rng)
+                if move is None:
+                    stall += 1
+                    continue
+                pv = evaluator.preview(move)
+                evals += 1
+                improving = pv.makespan < evaluator.makespan - EPS
+                drifting = (
+                    not improving
+                    and pv.makespan < evaluator.makespan + EPS
+                    and rng.random() < self.sideways
+                )
+                if improving or drifting:
+                    evaluator.commit(pv)
+                    critical = evaluator.critical_path_tasks()
+                    accepted += 1
+                    if self.paranoia:
+                        evaluator.cross_check()
+                stall = 0 if improving else stall + 1
+            if evaluator.makespan < best_ms - EPS:
+                best_ms, best_point = evaluator.makespan, evaluator.point
+            if evals >= self.budget or out_of_time():
+                break
+            # random disruption, always from the incumbent
+            if evaluator.point is not best_point:
+                evaluator.load(best_point)
+            for _ in range(self.kick):
+                if evals >= self.budget:
+                    break
+                move = propose(evaluator.point, platform, rng)
+                if move is None:
+                    break
+                evaluator.commit(evaluator.preview(move))
+                evals += 1
+                kicks += 1
+            critical = evaluator.critical_path_tasks()
+            if evals == evals_before:
+                break  # no move is applicable (e.g. one processor, chain graph)
+
+        if evaluator.makespan < best_ms - EPS:
+            best_ms, best_point = evaluator.makespan, evaluator.point
+
+        if best_ms < floor - EPS:
+            if evaluator.point is not best_point:
+                evaluator.load(best_point)
+            out = evaluator.schedule(heuristic=self.label)
+        else:
+            out = replay(graph, platform, extract_decisions(tight), heuristic=self.label)
+        out.search_stats = {  # dynamic attribute; see class docstring
+            "base": self.base_label(self.base, self.base_kwargs),
+            "base_makespan": base_sched.makespan(),
+            "tightened_makespan": floor,
+            "final_makespan": out.makespan(),
+            "evals": evals,
+            "accepted": accepted,
+            "kicks": kicks,
+            "rounds": rounds,
+            "budget": self.budget,
+            "seed": self.seed,
+            "improvement_pct": (
+                0.0
+                if base_sched.makespan() == 0
+                else (1.0 - out.makespan() / base_sched.makespan()) * 100.0
+            ),
+        }
+        return out

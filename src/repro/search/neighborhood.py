@@ -1,0 +1,299 @@
+"""Typed moves over decision points, with constraint-DAG invalidation sets.
+
+Move taxonomy
+-------------
+``MoveTask(task, proc)``
+    Reallocate one task; its slot in every derived order follows its
+    unchanged sequence position.
+``SwapTasks(a, b)``
+    Exchange the processors of two tasks allocated to different
+    processors.
+``Reposition(task, before)``
+    Move ``task`` earlier in the global sequence, to just before
+    ``before``.  Only generated when no predecessor of ``task`` lies in
+    the crossed window, so the sequence stays topological.
+``AdjacentExchange(kind, proc, index)``
+    Swap the adjacent entries at ``index``/``index + 1`` of a resource
+    order (``kind`` in ``{"proc", "send", "recv"}``) — realized as the
+    minimal :class:`Reposition` that inverts the two entries' canonical
+    keys.
+
+Every move maps a feasible :class:`~repro.search.point.SearchPoint` to a
+feasible one (see the :mod:`point <repro.search.point>` docstring), and
+:meth:`Move.invalidates` reports exactly which constraint-DAG nodes the
+move touches: the nodes whose duration or predecessor list changes
+(``dirty``) and the transfer nodes that disappear because their edge
+became processor-local (``removed``).  The incremental evaluator
+re-propagates times only downstream of these nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+
+from ..core.exceptions import SchedulingError
+from ..core.platform import Platform
+from .point import Node, SearchPoint, comm_node, task_node
+
+TaskId = Hashable
+
+#: ``(dirty nodes, removed nodes, patched resource lists)``.
+Invalidation = tuple[set[Node], set[Node], dict[tuple, list]]
+
+
+class Move:
+    """A transformation of one decision point into a neighboring one."""
+
+    def apply(self, point: SearchPoint) -> SearchPoint:
+        raise NotImplementedError
+
+    def touched(self, point: SearchPoint) -> tuple[TaskId, ...]:
+        """Tasks whose allocation or relative order this move changes."""
+        raise NotImplementedError
+
+    def invalidates(
+        self, point: SearchPoint, new_point: SearchPoint | None = None
+    ) -> tuple[set[Node], set[Node]]:
+        """Constraint-DAG nodes whose timing inputs this move changes."""
+        if new_point is None:
+            new_point = self.apply(point)
+        dirty, removed, _ = invalidated(point, new_point, self.touched(point))
+        return dirty, removed
+
+
+@dataclass(frozen=True)
+class MoveTask(Move):
+    """Reallocate ``task`` to ``proc`` (sequence unchanged)."""
+
+    task: TaskId
+    proc: int
+
+    def apply(self, point: SearchPoint) -> SearchPoint:
+        if point.alloc[self.task] == self.proc:
+            raise SchedulingError(f"task {self.task!r} is already on P{self.proc}")
+        alloc = dict(point.alloc)
+        alloc[self.task] = self.proc
+        return point.replace(alloc=alloc)
+
+    def touched(self, point: SearchPoint) -> tuple[TaskId, ...]:
+        return (self.task,)
+
+
+@dataclass(frozen=True)
+class SwapTasks(Move):
+    """Exchange the processors of tasks ``a`` and ``b``."""
+
+    a: TaskId
+    b: TaskId
+
+    def apply(self, point: SearchPoint) -> SearchPoint:
+        pa, pb = point.alloc[self.a], point.alloc[self.b]
+        if pa == pb:
+            raise SchedulingError(f"tasks {self.a!r}/{self.b!r} share P{pa}")
+        alloc = dict(point.alloc)
+        alloc[self.a], alloc[self.b] = pb, pa
+        return point.replace(alloc=alloc)
+
+    def touched(self, point: SearchPoint) -> tuple[TaskId, ...]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Reposition(Move):
+    """Move ``task`` earlier in the sequence, to just before ``before``."""
+
+    task: TaskId
+    before: TaskId
+
+    def feasible(self, point: SearchPoint) -> bool:
+        """The sequence stays topological iff no predecessor of ``task``
+        sits in the crossed window ``[pos(before), pos(task))``."""
+        pos = point.pos
+        lo, hi = pos[self.before], pos[self.task]
+        if lo >= hi:
+            return False
+        return all(
+            not (lo <= pos[u] < hi) for u in point.graph.as_maps().preds[self.task]
+        )
+
+    def apply(self, point: SearchPoint) -> SearchPoint:
+        if not self.feasible(point):
+            raise SchedulingError(
+                f"repositioning {self.task!r} before {self.before!r} "
+                f"would break the topological sequence"
+            )
+        sequence = list(point.sequence)
+        sequence.remove(self.task)
+        sequence.insert(point.pos[self.before], self.task)
+        return point.replace(sequence=sequence)
+
+    def touched(self, point: SearchPoint) -> tuple[TaskId, ...]:
+        return (self.task,)
+
+
+@dataclass(frozen=True)
+class AdjacentExchange(Move):
+    """Swap the adjacent entries ``index``/``index + 1`` of one resource
+    order, via the minimal sequence reposition that inverts their keys."""
+
+    kind: str  # "proc" | "send" | "recv"
+    proc: int
+    index: int
+
+    def resolve(self, point: SearchPoint) -> Reposition | None:
+        """The underlying reposition, or ``None`` when out of range /
+        infeasible (the entries are dependence-ordered)."""
+        order = point.resource_list(self.kind, self.proc)
+        if not (0 <= self.index < len(order) - 1):
+            return None
+        first, second = order[self.index], order[self.index + 1]
+        if self.kind == "proc":
+            move = Reposition(second, first)
+        else:
+            (u1, v1, _), (u2, v2, _) = first, second
+            # Keys are (pos(dst), pos(src)): inverting them means pulling
+            # the later consumer before the earlier one, or — same
+            # consumer — the later source before the earlier source.
+            move = Reposition(v2, v1) if v1 != v2 else Reposition(u2, u1)
+        return move if move.feasible(point) else None
+
+    def apply(self, point: SearchPoint) -> SearchPoint:
+        move = self.resolve(point)
+        if move is None:
+            raise SchedulingError(f"{self} is not applicable at this point")
+        return move.apply(point)
+
+    def touched(self, point: SearchPoint) -> tuple[TaskId, ...]:
+        move = self.resolve(point)
+        if move is None:
+            raise SchedulingError(f"{self} is not applicable at this point")
+        return move.touched(point)
+
+
+# ----------------------------------------------------------------------
+# invalidation
+# ----------------------------------------------------------------------
+def _prev_changed(old_list: list, new_list: list) -> list:
+    """Entries of ``new_list`` whose immediate predecessor differs from
+    their predecessor in ``old_list`` (including entries new to the list)."""
+    old_prev: dict = {}
+    prev = None
+    for entry in old_list:
+        old_prev[entry] = prev
+        prev = entry
+    changed = []
+    prev = None
+    for entry in new_list:
+        if entry not in old_prev or old_prev[entry] != prev:
+            changed.append(entry)
+        prev = entry
+    return changed
+
+
+def invalidated(
+    old: SearchPoint,
+    new: SearchPoint,
+    touched: tuple[TaskId, ...],
+    old_lists: Callable[[str, int], list] | None = None,
+) -> Invalidation:
+    """Diff two points into the evaluator's re-propagation inputs.
+
+    Returns ``(dirty, removed, new_lists)``: the constraint-DAG nodes
+    whose duration or predecessor list changes, the transfer nodes whose
+    edge became local, and the rebuilt resource orders keyed by
+    ``(kind, proc)`` — exactly the lists that may differ between the two
+    points.  ``old_lists`` lets a caller (the incremental evaluator)
+    supply its cached base lists instead of recomputing them.
+    """
+    maps = old.graph.as_maps()
+    if old_lists is None:
+        old_lists = old.resource_list
+    dirty: set[Node] = set()
+    removed: set[Node] = set()
+
+    for x in touched:
+        dirty.add(task_node(x))
+        for u in maps.preds[x]:
+            node = comm_node(u, x)
+            if new.is_remote(u, x):
+                dirty.add(node)
+            elif old.is_remote(u, x):
+                removed.add(node)
+        for w in maps.succs[x]:
+            node = comm_node(x, w)
+            if new.is_remote(x, w):
+                dirty.add(node)
+            elif old.is_remote(x, w):
+                removed.add(node)
+            if old.is_remote(x, w) != new.is_remote(x, w):
+                # the consumer's predecessor switches between the source
+                # task (local) and the transfer node (remote)
+                dirty.add(task_node(w))
+
+    def allocs(tasks) -> set[int]:
+        out = set()
+        for t in tasks:
+            out.add(old.alloc[t])
+            out.add(new.alloc[t])
+        return out
+
+    parents = {u for x in touched for u in maps.preds[x]}
+    children = {w for x in touched for w in maps.succs[x]}
+    affected = (
+        ("proc", allocs(touched)),
+        ("send", allocs(touched) | allocs(parents)),
+        ("recv", allocs(touched) | allocs(children)),
+    )
+    new_lists: dict[tuple, list] = {}
+    for kind, procs in affected:
+        for p in sorted(procs):
+            old_l = old_lists(kind, p)
+            new_l = new.resource_list(kind, p)
+            new_lists[(kind, p)] = new_l
+            for entry in _prev_changed(old_l, new_l):
+                dirty.add(task_node(entry) if kind == "proc" else ("comm", *entry))
+    dirty -= removed
+    return dirty, removed, new_lists
+
+
+# ----------------------------------------------------------------------
+# move proposal
+# ----------------------------------------------------------------------
+#: Resource kinds an :class:`AdjacentExchange` can target.
+EXCHANGE_KINDS = ("proc", "send", "recv")
+
+
+def propose(point: SearchPoint, platform: Platform, rng, tries: int = 8) -> Move | None:
+    """Draw one feasible move, or ``None`` after ``tries`` failed draws.
+
+    The draw mixes the three neighborhoods (reallocation-heavy, as
+    allocation dominates one-port makespans) and is a pure function of
+    the ``rng`` state, so seeded searches are fully deterministic.
+    """
+    sequence = point.sequence
+    num_tasks = len(sequence)
+    num_procs = platform.num_processors
+    for _ in range(tries):
+        draw = rng.random()
+        if draw < 0.45 and num_procs > 1:
+            task = sequence[rng.randrange(num_tasks)]
+            proc = rng.randrange(num_procs - 1)
+            if proc >= point.alloc[task]:
+                proc += 1
+            return MoveTask(task, proc)
+        if draw < 0.65 and num_procs > 1:
+            a = sequence[rng.randrange(num_tasks)]
+            b = sequence[rng.randrange(num_tasks)]
+            if a != b and point.alloc[a] != point.alloc[b]:
+                return SwapTasks(a, b)
+            continue
+        kind = EXCHANGE_KINDS[rng.randrange(len(EXCHANGE_KINDS))]
+        proc = rng.randrange(num_procs)
+        order = point.resource_list(kind, proc)
+        if len(order) < 2:
+            continue
+        move = AdjacentExchange(kind, proc, rng.randrange(len(order) - 1))
+        if move.resolve(point) is not None:
+            return move
+    return None

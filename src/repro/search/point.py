@@ -1,0 +1,202 @@
+"""Decision points: the search-space representation of a one-port schedule.
+
+A :class:`SearchPoint` is the pair ``(alloc, sequence)`` — an allocation
+of every task to a processor plus one *global decision sequence*, a
+topological order of all tasks.  Every resource order of a replayable
+decision set is derived canonically from this pair:
+
+* the execution order on processor ``p`` is the sequence restricted to
+  the tasks allocated to ``p``;
+* each remote edge ``u -> v`` is served by one direct transfer, and the
+  send order of ``alloc(u)`` / receive order of ``alloc(v)`` sort
+  transfers by ``(pos(dst), pos(src))`` — consumer-first, matching how
+  the list heuristics book a task's incoming messages as a group when
+  the task is scheduled.
+
+This derivation makes every point *feasible by construction*: all
+constraint-DAG edges strictly increase the key returned by
+:meth:`SearchPoint.key`, so the constraint DAG of any point is acyclic
+and :func:`repro.simulate.replay` always succeeds.  Moves in
+:mod:`repro.search.neighborhood` therefore never have to be rejected
+for creating circular resource orders.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections.abc import Hashable, Iterable, Sequence
+
+from ..core.exceptions import SchedulingError
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+from ..simulate.replay import ReplayDecisions
+
+TaskId = Hashable
+
+#: Constraint-DAG node ids, matching :mod:`repro.simulate.replay`:
+#: ``("task", v)`` or ``("comm", src, dst, 0)`` (direct transfers only).
+Node = tuple
+
+
+def task_node(v: TaskId) -> Node:
+    return ("task", v)
+
+
+def comm_node(u: TaskId, v: TaskId) -> Node:
+    return ("comm", u, v, 0)
+
+
+class SearchPoint:
+    """One point of the search space (treat as immutable).
+
+    Resource-order lists are computed lazily and cached per point, so
+    repeated queries during move generation and incremental evaluation
+    share one pass over the sequence.
+    """
+
+    __slots__ = ("graph", "alloc", "sequence", "pos", "_lists")
+
+    def __init__(
+        self, graph: TaskGraph, alloc: dict[TaskId, int], sequence: Sequence[TaskId]
+    ) -> None:
+        self.graph = graph
+        self.alloc = alloc
+        self.sequence = tuple(sequence)
+        self.pos = {v: i for i, v in enumerate(self.sequence)}
+        self._lists: dict[tuple, list] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_schedule(cls, schedule: Schedule) -> "SearchPoint":
+        """Extract the decision point of an existing (valid) schedule.
+
+        The sequence orders tasks by start time, with ties broken by the
+        graph's deterministic topological order — for a valid schedule
+        this is itself topological (an edge's target never starts before
+        its source).
+        """
+        graph = schedule.graph
+        if len(schedule.placements) != graph.num_tasks:
+            raise SchedulingError("cannot extract a point from a partial schedule")
+        rank = {v: i for i, v in enumerate(graph.topological_order())}
+        sequence = sorted(graph.tasks(), key=lambda v: (schedule.start_of(v), rank[v]))
+        alloc = {v: p.proc for v, p in schedule.placements.items()}
+        point = cls(graph, alloc, sequence)
+        point.check()
+        return point
+
+    def replace(
+        self,
+        alloc: dict[TaskId, int] | None = None,
+        sequence: Sequence[TaskId] | None = None,
+    ) -> "SearchPoint":
+        """A new point sharing this one's graph."""
+        return SearchPoint(
+            self.graph,
+            self.alloc if alloc is None else alloc,
+            self.sequence if sequence is None else sequence,
+        )
+
+    def check(self) -> None:
+        """Raise unless the sequence is a complete topological order."""
+        if set(self.pos) != set(self.alloc) or len(self.pos) != self.graph.num_tasks:
+            raise SchedulingError("point does not cover every task exactly once")
+        pos = self.pos
+        for u, v in self.graph.edges():
+            if pos[u] >= pos[v]:
+                raise SchedulingError(
+                    f"sequence is not topological: {u!r} at {pos[u]} "
+                    f"does not precede {v!r} at {pos[v]}"
+                )
+
+    # ------------------------------------------------------------------
+    # derived structure
+    # ------------------------------------------------------------------
+    def key(self, node: Node) -> tuple:
+        """Global topological key every constraint-DAG edge respects.
+
+        Tasks sort at ``(pos(v), 1)``; the transfer of edge ``u -> v``
+        at ``(pos(v), 0, pos(u))`` — after its source (``pos(u) < pos(v)``
+        in a topological sequence), before its consumer.
+        """
+        if node[0] == "task":
+            return (self.pos[node[1]], 1, 0)
+        return (self.pos[node[2]], 0, self.pos[node[1]])
+
+    def is_remote(self, u: TaskId, v: TaskId) -> bool:
+        return self.alloc[u] != self.alloc[v]
+
+    def proc_list(self, proc: int) -> list[TaskId]:
+        """Execution order on ``proc``: the sequence restricted to it."""
+        cached = self._lists.get(("proc", proc))
+        if cached is None:
+            alloc = self.alloc
+            cached = [v for v in self.sequence if alloc[v] == proc]
+            self._lists[("proc", proc)] = cached
+        return cached
+
+    def send_list(self, proc: int) -> list[tuple]:
+        """Transfers leaving ``proc``, sorted by ``(pos(dst), pos(src))``."""
+        cached = self._lists.get(("send", proc))
+        if cached is None:
+            succs = self.graph.as_maps().succs
+            alloc, pos = self.alloc, self.pos
+            keyed: list[tuple] = []
+            for t in self.proc_list(proc):
+                for w in succs[t]:
+                    if alloc[w] != proc:
+                        insort(keyed, (pos[w], pos[t], (t, w, 0)))
+            cached = [entry[-1] for entry in keyed]
+            self._lists[("send", proc)] = cached
+        return cached
+
+    def recv_list(self, proc: int) -> list[tuple]:
+        """Transfers entering ``proc``, sorted by ``(pos(dst), pos(src))``."""
+        cached = self._lists.get(("recv", proc))
+        if cached is None:
+            preds = self.graph.as_maps().preds
+            alloc, pos = self.alloc, self.pos
+            cached = []
+            for t in self.proc_list(proc):
+                row = sorted((pos[u], u) for u in preds[t] if alloc[u] != proc)
+                cached.extend((u, t, 0) for _, u in row)
+            self._lists[("recv", proc)] = cached
+        return cached
+
+    def resource_list(self, kind: str, proc: int) -> list:
+        """Dispatch on ``kind`` in ``{"proc", "send", "recv"}``."""
+        if kind == "proc":
+            return self.proc_list(proc)
+        if kind == "send":
+            return self.send_list(proc)
+        if kind == "recv":
+            return self.recv_list(proc)
+        raise ValueError(f"unknown resource kind {kind!r}")
+
+    def remote_edges(self) -> Iterable[tuple[TaskId, TaskId]]:
+        alloc = self.alloc
+        return ((u, v) for u, v in self.graph.edges() if alloc[u] != alloc[v])
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_decisions(self, processors: Iterable[int] | None = None) -> ReplayDecisions:
+        """The canonical :class:`ReplayDecisions` of this point."""
+        if processors is None:
+            processors = sorted(set(self.alloc.values()))
+        procs = list(processors)
+        return ReplayDecisions(
+            alloc=dict(self.alloc),
+            proc_order={p: list(self.proc_list(p)) for p in procs},
+            send_order={p: list(self.send_list(p)) for p in procs},
+            recv_order={p: list(self.recv_list(p)) for p in procs},
+            hops={(u, v, 0): (self.alloc[u], self.alloc[v]) for u, v in self.remote_edges()},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SearchPoint(tasks={len(self.sequence)}, "
+            f"procs={len(set(self.alloc.values()))})"
+        )

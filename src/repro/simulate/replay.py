@@ -174,6 +174,10 @@ def replay(
     return out
 
 
+#: Tolerance when checking original times against the replayed least times.
+_TIGHTEN_TOL = 1e-6
+
+
 def replay_schedule(schedule: Schedule, tighten: bool = True) -> Schedule:
     """Re-derive a schedule's times from its own decisions.
 
@@ -181,12 +185,44 @@ def replay_schedule(schedule: Schedule, tighten: bool = True) -> Schedule:
     the result keeps every decision of the input but starts each
     activity as early as the decision orders allow, so its makespan is
     less than or equal to the input's.
+
+    With ``tighten=False`` the replay is used purely as a validator:
+    the decisions are reconstructed and re-timed, every original time
+    is checked to be no earlier than its least feasible time (raising
+    :class:`~repro.core.exceptions.SchedulingError` otherwise), and a
+    copy of the schedule carrying the *original* times and heuristic
+    label is returned.
     """
     decisions = extract_decisions(schedule)
     out = replay(
         schedule.graph,
         schedule.platform,
         decisions,
-        heuristic=f"replay({schedule.heuristic})" if tighten else schedule.heuristic,
+        heuristic=f"replay({schedule.heuristic})",
     )
-    return out
+    if tighten:
+        return out
+    for task, placement in schedule.placements.items():
+        least = out.start_of(task)
+        if placement.start < least - _TIGHTEN_TOL:
+            raise SchedulingError(
+                f"task {task!r} starts at {placement.start}, before its "
+                f"least feasible time {least} under the schedule's own decisions"
+            )
+    least_comm = {(e.src_task, e.dst_task, e.hop): e.start for e in out.comm_events}
+    for event in schedule.comm_events:
+        least = least_comm[(event.src_task, event.dst_task, event.hop)]
+        if event.start < least - _TIGHTEN_TOL:
+            raise SchedulingError(
+                f"transfer {event.src_task!r}->{event.dst_task!r} starts at "
+                f"{event.start}, before its least feasible time {least}"
+            )
+    checked = Schedule(
+        schedule.graph,
+        schedule.platform,
+        model=schedule.model,
+        heuristic=schedule.heuristic,
+    )
+    checked.placements = dict(schedule.placements)
+    checked.comm_events = list(schedule.comm_events)
+    return checked

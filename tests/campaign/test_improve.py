@@ -1,0 +1,145 @@
+"""Tests for the campaign ``improve`` axis (ils post-pass sweeps)."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, HeuristicSpec, ResultCache, run_campaign
+from repro.core.exceptions import ConfigurationError
+
+
+def spec(**overrides) -> CampaignSpec:
+    payload = dict(
+        name="improve",
+        testbeds=["irregular"],
+        sizes=[30],
+        seeds=[0],
+        heuristics=[HeuristicSpec.of("heft"), HeuristicSpec.of("ilha", {"b": 8})],
+        improve=[None, {"budget": 200, "seed": 0}],
+    )
+    payload.update(overrides)
+    return CampaignSpec(**payload)
+
+
+class TestExpansion:
+    def test_improve_crosses_heuristic_axis(self):
+        expanded = spec().expanded_heuristics()
+        assert [h.name for h in expanded] == ["heft", "ils", "ilha", "ils"]
+        wrapped = expanded[1]
+        assert dict(wrapped.kwargs)["base"] == "heft"
+        assert dict(wrapped.kwargs)["budget"] == 200
+        ilha_wrapped = dict(expanded[3].kwargs)
+        assert ilha_wrapped["base"] == "ilha"
+        assert ilha_wrapped["base_kwargs"] == {"b": 8}
+
+    def test_labels_distinguish_budgets(self):
+        expanded = spec(
+            improve=[{"budget": 100}, {"budget": 500}]
+        ).expanded_heuristics()
+        labels = [h.display for h in expanded]
+        assert len(set(labels)) == len(labels)
+        assert any("budget=100" in label for label in labels)
+        assert any("budget=500" in label for label in labels)
+
+    def test_no_improve_axis_is_identity(self):
+        plain = spec(improve=[])
+        assert plain.expanded_heuristics() == plain.heuristics
+        assert len(plain.expand()) == 2
+
+    def test_cells_multiply_by_improve_entries(self):
+        assert len(spec().expand()) == 4  # 2 heuristics x (None + budget200)
+
+    def test_distinct_cache_keys_per_budget(self):
+        cells = spec(
+            heuristics=[HeuristicSpec.of("heft")],
+            improve=[None, {"budget": 100}, {"budget": 500}],
+        ).expand()
+        assert len({c.key for c in cells}) == 3
+
+
+class TestValidation:
+    def test_unknown_improve_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="improve"):
+            spec(improve=[{"bogus": 1}])
+
+    def test_non_dict_entry_rejected(self):
+        with pytest.raises(ConfigurationError, match="improve"):
+            spec(improve=[42])
+
+    def test_wrapping_ils_again_rejected(self):
+        with pytest.raises(ConfigurationError, match="ils"):
+            spec(heuristics=[HeuristicSpec.of("ils", {"base": "heft"})])
+
+    def test_bad_parameter_values_rejected_up_front(self):
+        """Values the ils constructor would refuse must fail at spec
+        construction, not mid-campaign inside a worker."""
+        with pytest.raises(ConfigurationError, match="improve"):
+            spec(improve=[{"budget": -5}])
+        with pytest.raises(ConfigurationError, match="improve"):
+            spec(improve=[{"sideways": 2.0}])
+
+    def test_macro_dataflow_model_rejected_with_improve(self):
+        """Every improved cell requires one-port; reject the grid before
+        any unimproved cell executes and gets cached."""
+        with pytest.raises(ConfigurationError, match="one-port"):
+            spec(models=["one-port", "macro-dataflow"])
+
+    def test_macro_dataflow_without_improve_still_fine(self):
+        assert spec(models=["macro-dataflow"], improve=[]).expand()
+
+    def test_none_only_improve_axis_is_inert(self):
+        """improve=[None] generates no ils cells, so neither the model
+        nor the wrap-ils guard may fire."""
+        none_only = spec(models=["macro-dataflow"], improve=[None])
+        assert none_only.expanded_heuristics() == none_only.heuristics
+        assert spec(
+            heuristics=[HeuristicSpec.of("ils", {"base": "heft"})],
+            models=["one-port"],
+            improve=[None],
+        ).expand()
+
+    def test_string_budget_from_json_rejected_cleanly(self):
+        """A hand-written spec file with a quoted number must fail with
+        the campaign's own message, not a raw TypeError."""
+        with pytest.raises(ConfigurationError, match="bad improve entry"):
+            spec(improve=[{"budget": "100"}])
+
+    def test_explicit_ils_without_improve_allowed(self):
+        plain = spec(
+            heuristics=[HeuristicSpec.of("ils", {"base": "heft", "budget": 50})],
+            improve=[],
+        )
+        assert len(plain.expand()) == 1
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_improve(self, tmp_path):
+        original = spec()
+        path = original.to_json(tmp_path / "spec.json")
+        loaded = CampaignSpec.from_json(path)
+        assert loaded.improve == original.improve
+        assert [c.key for c in loaded.expand()] == [c.key for c in original.expand()]
+
+
+class TestExecution:
+    def test_improved_cells_run_and_dominate_base(self, tmp_path):
+        """The wrapped cells execute through the cached worker path and
+        never fall below their base heuristic's speedup."""
+        result = run_campaign(
+            spec(heuristics=[HeuristicSpec.of("heft")]),
+            workers=1,
+            cache=ResultCache(tmp_path),
+        )
+        assert len(result.outcomes) == 2
+        by_label = {o.result.heuristic: o.result for o in result.outcomes}
+        base = by_label["heft"]
+        improved = next(v for k, v in by_label.items() if k.startswith("ils("))
+        assert improved.makespan <= base.makespan + 1e-6
+
+        warm = run_campaign(
+            spec(heuristics=[HeuristicSpec.of("heft")]),
+            workers=1,
+            cache=ResultCache(tmp_path),
+        )
+        assert warm.cache_hits == len(warm.outcomes)
+        assert [o.result.makespan for o in warm.outcomes] == [
+            o.result.makespan for o in result.outcomes
+        ]

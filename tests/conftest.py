@@ -16,6 +16,32 @@ from repro.graphs import (
 )
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked 'slow' (long search property tests)",
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running property tests, excluded from the tier-1 run "
+        "(enable with --run-slow)",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test; run with --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture
 def paper_platform() -> Platform:
     """Section 5.2: 5x t=6, 3x t=10, 2x t=15 on a unit network."""

@@ -9,8 +9,9 @@ from repro.experiments import (
     ilha_variant_ablation,
     insertion_ablation,
     model_comparison,
+    search_budget_ablation,
 )
-from repro.graphs import laplace_graph, lu_graph
+from repro.graphs import irregular_testbed, laplace_graph, lu_graph
 
 
 class TestBSensitivity:
@@ -84,3 +85,20 @@ class TestBaselineComparison:
         cells = baseline_comparison(lu_graph(5), model="one-port")
         for c in cells:
             assert c.makespan >= c.lower_bound - 1e-9
+
+
+class TestSearchBudgetAblation:
+    def test_one_row_per_budget_never_worse_with_effort(self):
+        cells = search_budget_ablation(irregular_testbed(40, seed=1), [0, 200, 800])
+        assert [c.size for c in cells] == [0, 200, 800]
+        assert all(c.figure == "ablation-search-budget" for c in cells)
+        makespans = [c.makespan for c in cells]
+        # budget 0 is the tightened base; more budget never hurts
+        assert makespans[1] <= makespans[0] + 1e-6
+        assert makespans[2] <= makespans[0] + 1e-6
+
+    def test_base_kwargs_and_seed_visible_in_label(self):
+        cells = search_budget_ablation(
+            lu_graph(5), [50], base="ilha", base_kwargs={"b": 4}
+        )
+        assert cells[0].heuristic == "ils(ilha(b=4);budget=50,seed=0)"

@@ -1,0 +1,178 @@
+"""Cross-checks of the incremental evaluator against full replay.
+
+Acceptance criterion: the incremental evaluator agrees with a full
+``replay()`` of the mutated decision set on every accepted move.
+"""
+
+import random
+
+import pytest
+
+from repro import HEFT, ILHA
+from repro.graphs import fork_join_graph, irregular_testbed, layered_testbed, lu_graph
+from repro.search import IncrementalEvaluator, MoveTask, SearchPoint, propose
+from repro.simulate import replay
+
+GRAPHS = {
+    "lu": lu_graph(6),
+    "fork-join": fork_join_graph(8),
+    "layered": layered_testbed(5, seed=3),
+    "irregular": irregular_testbed(40, seed=1),
+}
+
+TOL = 1e-9
+
+
+def loaded_evaluator(graph, platform, scheduler=None):
+    sched = (scheduler or HEFT()).run(graph, platform, "one-port")
+    evaluator = IncrementalEvaluator(graph, platform)
+    evaluator.load(SearchPoint.from_schedule(sched))
+    return evaluator
+
+
+class TestLoad:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_load_equals_full_replay(self, name, paper_platform):
+        graph = GRAPHS[name]
+        evaluator = loaded_evaluator(graph, paper_platform)
+        sched = replay(
+            graph,
+            paper_platform,
+            evaluator.point.to_decisions(paper_platform.processors),
+        )
+        assert evaluator.makespan == pytest.approx(sched.makespan(), abs=TOL)
+        evaluator.cross_check()
+
+
+class TestPreviewCrossCheck:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_previews_match_full_replay(self, name, paper_platform):
+        """Every previewed move — accepted or not — agrees with a from-
+        scratch replay of the mutated decisions."""
+        graph = GRAPHS[name]
+        evaluator = loaded_evaluator(graph, paper_platform)
+        rng = random.Random(23)
+        checked = 0
+        for _ in range(40):
+            move = propose(evaluator.point, paper_platform, rng)
+            if move is None:
+                continue
+            preview = evaluator.preview(move)
+            full = replay(
+                graph,
+                paper_platform,
+                preview.point.to_decisions(paper_platform.processors),
+            )
+            assert preview.makespan == pytest.approx(full.makespan(), abs=TOL)
+            checked += 1
+        assert checked >= 25
+
+    def test_preview_leaves_base_state_untouched(self, paper_platform):
+        graph = GRAPHS["lu"]
+        evaluator = loaded_evaluator(graph, paper_platform)
+        before = evaluator.makespan
+        point_before = evaluator.point
+        rng = random.Random(1)
+        for _ in range(10):
+            move = propose(evaluator.point, paper_platform, rng)
+            if move is not None:
+                evaluator.preview(move)
+        assert evaluator.makespan == before
+        assert evaluator.point is point_before
+        evaluator.cross_check()
+
+    def test_localizing_and_remoting_an_edge(self, paper_platform):
+        """Targeted check of transfer-node removal and creation."""
+        graph = GRAPHS["lu"]
+        evaluator = loaded_evaluator(graph, paper_platform)
+        u, v = next(iter(evaluator.point.remote_edges()))
+        # make the edge local ...
+        localize = MoveTask(v, evaluator.point.alloc[u])
+        preview = evaluator.preview(localize)
+        full = replay(
+            graph,
+            paper_platform,
+            preview.point.to_decisions(paper_platform.processors),
+        )
+        assert preview.makespan == pytest.approx(full.makespan(), abs=TOL)
+        evaluator.commit(preview)
+        evaluator.cross_check()
+        # ... and remote again
+        other = (evaluator.point.alloc[u] + 1) % paper_platform.num_processors
+        preview = evaluator.preview(MoveTask(v, other))
+        full = replay(
+            graph,
+            paper_platform,
+            preview.point.to_decisions(paper_platform.processors),
+        )
+        assert preview.makespan == pytest.approx(full.makespan(), abs=TOL)
+        evaluator.commit(preview)
+        evaluator.cross_check()
+
+
+class TestCommit:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_accepted_moves_agree_with_replay(self, name, paper_platform):
+        """A seeded walk where EVERY accepted move is cross-checked
+        against full replay — per-task starts included.  Acceptance is
+        deliberately lenient (<= +10%) so plenty of moves commit even on
+        testbeds where random moves rarely improve a tight schedule."""
+        graph = GRAPHS[name]
+        evaluator = loaded_evaluator(graph, paper_platform)
+        rng = random.Random(42)
+        accepted = 0
+        for _ in range(60):
+            move = propose(evaluator.point, paper_platform, rng)
+            if move is None:
+                continue
+            preview = evaluator.preview(move)
+            if preview.makespan <= evaluator.makespan * 1.10:
+                evaluator.commit(preview)
+                evaluator.cross_check()  # raises on any drift
+                accepted += 1
+        assert accepted >= 5
+
+    def test_commit_chain_matches_fresh_load(self, paper_platform):
+        """After a long random commit chain, the patched state equals a
+        from-scratch load of the final point."""
+        graph = GRAPHS["irregular"]
+        evaluator = loaded_evaluator(graph, paper_platform)
+        rng = random.Random(9)
+        for _ in range(40):
+            move = propose(evaluator.point, paper_platform, rng)
+            if move is None:
+                continue
+            evaluator.commit(evaluator.preview(move))
+        fresh = IncrementalEvaluator(graph, paper_platform)
+        fresh_ms = fresh.load(evaluator.point)
+        assert evaluator.makespan == pytest.approx(fresh_ms, abs=TOL)
+        for node, finish in fresh._finish.items():
+            assert evaluator._finish[node] == pytest.approx(finish, abs=TOL)
+        assert set(evaluator._finish) == set(fresh._finish)
+
+    @pytest.mark.slow
+    def test_long_fuzz_commit_every_move(self, paper_platform):
+        """Commit 300 unconditional random moves on two testbeds,
+        cross-checking each (excluded from tier-1)."""
+        for name in ("layered", "irregular"):
+            evaluator = loaded_evaluator(GRAPHS[name], paper_platform, ILHA(b=4))
+            rng = random.Random(1234)
+            for _ in range(300):
+                move = propose(evaluator.point, paper_platform, rng)
+                if move is None:
+                    continue
+                evaluator.commit(evaluator.preview(move))
+                evaluator.cross_check()
+
+
+class TestCriticalPath:
+    def test_chain_starts_at_makespan_and_is_connected(self, paper_platform):
+        graph = GRAPHS["layered"]
+        evaluator = loaded_evaluator(graph, paper_platform)
+        chain = evaluator.critical_path_tasks()
+        assert chain
+        first = ("task", chain[0])
+        assert evaluator._finish[first] == pytest.approx(evaluator.makespan)
+        # the chain is monotone: each later entry finishes no later
+        finishes = [evaluator._finish[("task", t)] for t in chain]
+        assert finishes == sorted(finishes, reverse=True)

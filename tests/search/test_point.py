@@ -1,0 +1,118 @@
+"""Tests for the search-space representation (SearchPoint)."""
+
+import pytest
+
+from repro import HEFT, ILHA, validate_schedule
+from repro.core import SchedulingError
+from repro.graphs import irregular_testbed, layered_testbed, lu_graph, toy_graph
+from repro.heuristics import CPOP
+from repro.search import SearchPoint
+from repro.simulate import replay
+
+GRAPHS = {
+    "lu": lu_graph(6),
+    "toy": toy_graph(),
+    "layered": layered_testbed(5, seed=3),
+    "irregular": irregular_testbed(40, seed=1),
+}
+
+
+class TestFromSchedule:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_sequence_is_topological_and_complete(self, name, paper_platform):
+        graph = GRAPHS[name]
+        sched = HEFT().run(graph, paper_platform, "one-port")
+        point = SearchPoint.from_schedule(sched)
+        assert len(point.sequence) == graph.num_tasks
+        point.check()  # raises unless topological
+
+    def test_alloc_matches_schedule(self, paper_platform):
+        graph = GRAPHS["lu"]
+        sched = ILHA(b=4).run(graph, paper_platform, "one-port")
+        point = SearchPoint.from_schedule(sched)
+        for task in graph.tasks():
+            assert point.alloc[task] == sched.proc_of(task)
+
+    def test_partial_schedule_rejected(self, paper_platform):
+        graph = GRAPHS["lu"]
+        sched = HEFT().run(graph, paper_platform, "one-port")
+        del sched.placements[next(iter(sched.placements))]
+        with pytest.raises(SchedulingError, match="partial"):
+            SearchPoint.from_schedule(sched)
+
+
+class TestDerivedOrders:
+    def test_proc_lists_partition_tasks(self, paper_platform):
+        graph = GRAPHS["irregular"]
+        point = SearchPoint.from_schedule(
+            HEFT().run(graph, paper_platform, "one-port")
+        )
+        seen = []
+        for p in paper_platform.processors:
+            row = point.proc_list(p)
+            assert all(point.alloc[t] == p for t in row)
+            seen.extend(row)
+        assert sorted(map(str, seen)) == sorted(map(str, graph.tasks()))
+
+    def test_port_lists_cover_remote_edges(self, paper_platform):
+        graph = GRAPHS["layered"]
+        point = SearchPoint.from_schedule(
+            HEFT().run(graph, paper_platform, "one-port")
+        )
+        remote = set(point.remote_edges())
+        sent = {
+            (u, v)
+            for p in paper_platform.processors
+            for (u, v, _) in point.send_list(p)
+        }
+        received = {
+            (u, v)
+            for p in paper_platform.processors
+            for (u, v, _) in point.recv_list(p)
+        }
+        assert sent == remote == received
+
+    def test_port_lists_sorted_by_consumer_key(self, paper_platform):
+        graph = GRAPHS["layered"]
+        point = SearchPoint.from_schedule(
+            HEFT().run(graph, paper_platform, "one-port")
+        )
+        for p in paper_platform.processors:
+            for order in (point.send_list(p), point.recv_list(p)):
+                keys = [(point.pos[v], point.pos[u]) for (u, v, _) in order]
+                assert keys == sorted(keys)
+
+    def test_key_orders_every_constraint_edge(self, paper_platform):
+        """The global key proves feasibility: transfers sit strictly
+        after their source task and before their consumer."""
+        graph = GRAPHS["irregular"]
+        point = SearchPoint.from_schedule(
+            HEFT().run(graph, paper_platform, "one-port")
+        )
+        for u, v in point.remote_edges():
+            node = ("comm", u, v, 0)
+            assert point.key(("task", u)) < point.key(node) < point.key(("task", v))
+
+
+class TestToDecisions:
+    @pytest.mark.parametrize("scheduler", [HEFT(), ILHA(b=4), CPOP()], ids=lambda s: s.name)
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_canonical_decisions_replay_valid(self, scheduler, name, paper_platform):
+        """Any point extracted from any heuristic replays into a valid,
+        complete one-port schedule — feasibility by construction."""
+        graph = GRAPHS[name]
+        sched = scheduler.run(graph, paper_platform, "one-port")
+        point = SearchPoint.from_schedule(sched)
+        replayed = replay(
+            graph, paper_platform, point.to_decisions(paper_platform.processors)
+        )
+        validate_schedule(replayed)
+        assert replayed.is_complete()
+
+    def test_decisions_preserve_allocation(self, paper_platform):
+        graph = GRAPHS["lu"]
+        sched = HEFT().run(graph, paper_platform, "one-port")
+        point = SearchPoint.from_schedule(sched)
+        decisions = point.to_decisions(paper_platform.processors)
+        assert decisions.alloc == point.alloc
+        assert set(decisions.hops) == {(u, v, 0) for u, v in point.remote_edges()}

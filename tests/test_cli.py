@@ -73,6 +73,42 @@ class TestBottleneck:
             main(["schedule", "--testbed", "not-a-testbed"])
 
 
+class TestSearch:
+    def test_forkjoin_smoke(self, capsys):
+        """The CI smoke invocation, alias spelling included."""
+        assert main([
+            "search", "--graph", "forkjoin", "--base", "heft", "--budget", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "ils" in out
+        assert "200" in out  # budget echoed in the counters
+
+    def test_seeded_testbed_with_base_kwargs(self, capsys):
+        assert main([
+            "search", "--graph", "irregular", "--size", "30",
+            "--graph-seed", "1", "--base", "ilha:b=8", "--budget", "150",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ilha(b=8)" in out
+
+    def test_gantt(self, capsys):
+        assert main([
+            "search", "--graph", "fork-join", "--size", "5",
+            "--budget", "50", "--gantt", "40",
+        ]) == 0
+        assert "P0" in capsys.readouterr().out
+
+    def test_bad_graph_and_base_exit_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["search", "--graph", "not-a-testbed"])
+        with pytest.raises(SystemExit):
+            main(["search", "--graph", "lu", "--size", "5", "--base", "bogus"])
+        with pytest.raises(SystemExit):  # ils cannot wrap itself
+            main(["search", "--graph", "lu", "--size", "5", "--base", "ils"])
+        with pytest.raises(SystemExit):  # unknown base kwarg
+            main(["search", "--graph", "lu", "--size", "5", "--base", "heft:bogus=1"])
+
+
 class TestCampaign:
     GRID = [
         "--testbeds", "fork-join", "irregular",
@@ -128,6 +164,17 @@ class TestCampaign:
         assert main(["campaign", "run", "--spec", str(path),
                      "--cache-dir", str(tmp_path / "c"), "--quiet"]) == 0
         assert "campaign fromfile: 1 cells" in capsys.readouterr().out
+
+    def test_improve_budget_sweep(self, capsys, tmp_path):
+        """--improve-budgets expands an ils stage; 0 keeps the base."""
+        grid = ["--testbeds", "irregular", "--sizes", "25",
+                "--heuristics", "heft", "--seeds", "0",
+                "--improve-budgets", "0", "100"]
+        assert main(["campaign", "run", *grid,
+                     "--cache-dir", str(tmp_path / "c"), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out
+        assert "ils(heft;budget=100,seed=0)" in out
 
     def test_export_json(self, capsys, tmp_path):
         cache = str(tmp_path / "cache")

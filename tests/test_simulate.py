@@ -91,6 +91,79 @@ class TestReplayCrossCheck:
         assert replayed.makespan() == pytest.approx(original.makespan())
 
 
+class TestNoTighten:
+    """``tighten=False`` must validate the original times and return
+    them unchanged — not silently tighten under the original label."""
+
+    def test_returns_original_times_and_label(self, paper_platform):
+        g = lu_graph(6)
+        original = ILHA(b=4).run(g, paper_platform, "one-port")
+        checked = replay_schedule(original, tighten=False)
+        assert checked.heuristic == original.heuristic
+        assert checked.makespan() == pytest.approx(original.makespan())
+        for t in g.tasks():
+            assert checked.start_of(t) == original.start_of(t)
+            assert checked.proc_of(t) == original.proc_of(t)
+        assert checked.comm_events == original.comm_events
+
+    def test_keeps_slack_that_tighten_removes(self):
+        """On a schedule with recoverable slack the two modes differ."""
+        from repro.core import Schedule, TaskGraph
+
+        g = TaskGraph()
+        g.add_task("a", 2.0)
+        g.add_task("b", 2.0)
+        g.add_dependency("a", "b", 0.0)
+        plat = Platform.homogeneous(1)
+        slack = Schedule(g, plat, model="one-port", heuristic="by-hand")
+        slack.place("a", 0, 0.0, 2.0)
+        slack.place("b", 0, 5.0, 7.0)  # 3 units of idle slack before b
+        tightened = replay_schedule(slack, tighten=True)
+        untouched = replay_schedule(slack, tighten=False)
+        assert tightened.start_of("b") == pytest.approx(2.0)
+        assert tightened.makespan() == pytest.approx(4.0)
+        assert untouched.start_of("b") == pytest.approx(5.0)
+        assert untouched.makespan() == pytest.approx(7.0)
+
+    def test_infeasible_original_times_rejected(self, paper_platform):
+        """Times below the least feasible solution of the schedule's own
+        decisions must raise instead of being returned as 'validated'.
+
+        The perturbation is kept small enough not to reorder any
+        resource (so the extracted decisions stay identical) but pushes
+        one already-tight task below its least start."""
+        from repro.core.schedule import TaskPlacement
+
+        g = lu_graph(5)
+        sched = HEFT().run(g, paper_platform, "one-port")
+        tight = replay_schedule(sched)
+        placement = None
+        for p in sorted(sched.placements.values(), key=lambda p: -p.start):
+            if p.start > 0 and tight.start_of(p.task) == pytest.approx(p.start):
+                row = sched.tasks_on(p.proc)
+                i = row.index(p)
+                gap = p.start - (row[i - 1].start if i else 0.0)
+                if gap > 1e-6:
+                    placement, shift = p, gap / 2
+                    break
+        assert placement is not None, "no tight, shiftable task found"
+        sched.placements[placement.task] = TaskPlacement(
+            placement.task,
+            placement.proc,
+            placement.start - shift,
+            placement.finish - shift,
+        )
+        with pytest.raises(SchedulingError, match="least feasible"):
+            replay_schedule(sched, tighten=False)
+
+    def test_returned_copy_is_independent(self, paper_platform):
+        g = lu_graph(5)
+        original = HEFT().run(g, paper_platform, "one-port")
+        checked = replay_schedule(original, tighten=False)
+        checked.placements.clear()
+        assert original.is_complete()
+
+
 class TestReplayErrors:
     def test_missing_task_rejected(self, paper_platform):
         sched = HEFT().run(lu_graph(4), paper_platform, "one-port")
