@@ -285,7 +285,11 @@ def _cmd_campaign_export(args) -> int:
     cells = cached_cells(spec, cache)
     status = campaign_status(spec, cache)
     writer = write_json if args.out.endswith(".json") else write_csv
-    path = writer(cells, args.out)
+    try:
+        path = writer(cells, args.out, overwrite=args.force)
+    except FileExistsError:
+        print(f"refusing to overwrite {args.out} (pass --force)")
+        return 1
     print(f"exported {len(cells)} cached cells to {path}")
     if status["missing"]:
         print(f"warning: {status['missing']} cells of the grid are not cached yet")
@@ -389,6 +393,8 @@ def build_parser() -> argparse.ArgumentParser:
     cp = csub.add_parser("export", help="write cached cells as CSV/JSON")
     add_campaign_args(cp)
     cp.add_argument("--out", required=True, help="output .csv/.json path")
+    cp.add_argument("--force", action="store_true",
+                    help="overwrite an existing output file")
     cp.set_defaults(fn=_cmd_campaign_export)
     return parser
 

@@ -47,6 +47,7 @@ from .serialization import (
 )
 from .taskgraph import TaskGraph
 from .timeline import Timeline, TimelineOverlay, earliest_joint_fit
+from .tolerance import TIME_EPS, time_tol
 from .validation import MACRO_DATAFLOW, ONE_PORT, is_valid, validate_schedule
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "ReproError",
     "Schedule",
     "SchedulingError",
+    "TIME_EPS",
     "TaskGraph",
     "TaskPlacement",
     "Timeline",
@@ -89,6 +91,7 @@ __all__ = [
     "schedule_from_dict",
     "schedule_to_dict",
     "stable_digest",
+    "time_tol",
     "optimal_distribution",
     "perfect_balance_count",
     "priority_order",

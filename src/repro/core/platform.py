@@ -61,7 +61,7 @@ class Platform:
     Instances are immutable; all mutating experiments build new platforms.
     """
 
-    __slots__ = ("_cycle_times", "_link", "_p")
+    __slots__ = ("_cycle_times", "_link", "_link_rows", "_p")
 
     def __init__(self, cycle_times: Sequence[float], link: float | Sequence[Sequence[float]] = 1.0):
         cts = tuple(float(t) for t in cycle_times)
@@ -91,6 +91,11 @@ class Platform:
                 raise PlatformError("link matrix entries must be >= 0")
         mat.setflags(write=False)
         self._link = mat
+        # Plain-list mirror of the link matrix: hot loops (kernel replay,
+        # one-port trial bookings) index it without numpy scalar boxing.
+        self._link_rows: list[list[float]] = [
+            [float(x) for x in row] for row in mat
+        ]
 
     # ------------------------------------------------------------------
     # basic queries
@@ -129,7 +134,11 @@ class Platform:
         """Per-item transfer time from ``src`` to ``dst`` (0 when equal)."""
         self._check_proc(src)
         self._check_proc(dst)
-        return float(self._link[src, dst])
+        return self._link_rows[src][dst]
+
+    def link_rows(self) -> list[list[float]]:
+        """The ``p x p`` link matrix as plain nested lists (do not mutate)."""
+        return self._link_rows
 
     def has_link(self, src: ProcId, dst: ProcId) -> bool:
         """Whether a direct (finite-cost) link exists from ``src`` to ``dst``."""
@@ -160,7 +169,15 @@ class Platform:
         """
         if src == dst:
             return 0.0
-        cost = self.link(src, dst)
+        if src < 0 or dst < 0:
+            self._check_proc(src)
+            self._check_proc(dst)
+        try:
+            cost = self._link_rows[src][dst]
+        except IndexError:
+            self._check_proc(src)
+            self._check_proc(dst)
+            raise  # pragma: no cover - _check_proc raised first
         if not math.isfinite(cost):
             raise PlatformError(f"no direct link from P{src} to P{dst}")
         return data * cost

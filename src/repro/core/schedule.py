@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, NamedTuple
 
 from .exceptions import SchedulingError
 from .platform import Platform
@@ -26,9 +26,14 @@ from .taskgraph import TaskGraph
 TaskId = Hashable
 
 
-@dataclass(frozen=True, slots=True)
-class TaskPlacement:
-    """Execution of one task: processor, start and finish time."""
+class TaskPlacement(NamedTuple):
+    """Execution of one task: processor, start and finish time.
+
+    A :class:`~typing.NamedTuple` rather than a frozen dataclass: replay
+    and the campaign engine construct hundreds of thousands of these,
+    and tuple construction skips the per-field ``object.__setattr__``
+    of frozen dataclasses (~4x faster) while staying immutable.
+    """
 
     task: TaskId
     proc: int
@@ -40,8 +45,7 @@ class TaskPlacement:
         return self.finish - self.start
 
 
-@dataclass(frozen=True, slots=True)
-class CommEvent:
+class CommEvent(NamedTuple):
     """One message transfer booked on the network.
 
     ``src_task -> dst_task`` is the task-graph edge served; ``src_proc ->

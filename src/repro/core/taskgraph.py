@@ -65,7 +65,7 @@ class TaskGraph:
     * The graph must be acyclic; this is checked once at construction.
     """
 
-    __slots__ = ("_g", "_name", "_topo", "_index", "_maps")
+    __slots__ = ("_g", "_name", "_topo", "_index", "_maps", "_kernel_cache")
 
     def __init__(self, graph: nx.DiGraph | None = None, name: str = "taskgraph"):
         self._g = nx.DiGraph()
@@ -73,6 +73,9 @@ class TaskGraph:
         self._topo: tuple[TaskId, ...] | None = None
         self._index: dict[TaskId, int] | None = None
         self._maps: GraphMaps | None = None
+        #: Per-platform :class:`repro.kernel.KernelStatics` cache, owned
+        #: by :func:`repro.kernel.compile_statics`; cleared on mutation.
+        self._kernel_cache: dict | None = None
         if graph is not None:
             for node, attrs in graph.nodes(data=True):
                 self.add_task(node, attrs.get(WEIGHT_KEY, 1.0))
@@ -115,6 +118,7 @@ class TaskGraph:
         if weight < 0:
             raise GraphError(f"task {task!r}: weight must be >= 0, got {weight}")
         self._g.nodes[task][WEIGHT_KEY] = float(weight)
+        self._invalidate()
 
     def set_data(self, src: TaskId, dst: TaskId, data: float) -> None:
         """Replace the communication volume of edge ``src -> dst``."""
@@ -123,6 +127,7 @@ class TaskGraph:
         if data < 0:
             raise GraphError(f"edge {src!r}->{dst!r}: data must be >= 0, got {data}")
         self._g.edges[src, dst][DATA_KEY] = float(data)
+        self._invalidate()
 
     def scale_data(self, factor: float) -> "TaskGraph":
         """Multiply every edge's data volume by ``factor`` (in place)."""
@@ -130,12 +135,14 @@ class TaskGraph:
             raise GraphError(f"scale factor must be >= 0, got {factor}")
         for u, v in self._g.edges:
             self._g.edges[u, v][DATA_KEY] *= factor
+        self._invalidate()
         return self
 
     def _invalidate(self) -> None:
         self._topo = None
         self._index = None
         self._maps = None
+        self._kernel_cache = None
 
     # ------------------------------------------------------------------
     # queries

@@ -33,11 +33,12 @@ from collections.abc import Iterable, Sequence
 from typing import Any
 
 from .exceptions import TimelineError
+from .tolerance import guard_tol
 
-#: Absolute slack tolerated when validating float arithmetic on interval
-#: endpoints.  Reservations produced by the heuristics chain exact float
-#: values, so overlaps beyond this are genuine bugs.
-EPSILON = 1e-9
+# Overlap slack comes from repro.core.tolerance: every reserve check
+# calls guard_tol() — 1e-9 at magnitude <= 1 (the historical epsilon),
+# 1e-9 *relative* above, so exact float chains never trip it at any
+# scale while genuine double-booking still fails loudly.
 
 
 class Timeline:
@@ -140,12 +141,12 @@ class Timeline:
         if end == start:
             return
         pos = bisect_right(self._starts, start)
-        if pos > 0 and self._ends[pos - 1] > start + EPSILON:
+        if pos > 0 and self._ends[pos - 1] > start + guard_tol(start, self._ends[pos - 1]):
             prev = (self._starts[pos - 1], self._ends[pos - 1], self._tags[pos - 1])
             raise TimelineError(
                 f"reservation [{start}, {end}) tag={tag!r} overlaps {prev}"
             )
-        if pos < len(self._starts) and self._starts[pos] < end - EPSILON:
+        if pos < len(self._starts) and self._starts[pos] < end - guard_tol(end, self._starts[pos]):
             nxt = (self._starts[pos], self._ends[pos], self._tags[pos])
             raise TimelineError(
                 f"reservation [{start}, {end}) tag={tag!r} overlaps {nxt}"
@@ -237,12 +238,12 @@ class TimelineOverlay:
             raise TimelineError(f"NaN reservation endpoints [{start}, {end})")
         if end == start:
             return
-        if self._base.next_fit(start, end - start) > start + EPSILON:
+        if self._base.next_fit(start, end - start) > start + guard_tol(start, end):
             raise TimelineError(
                 f"tentative reservation [{start}, {end}) tag={tag!r} "
                 f"overlaps the base timeline"
             )
-        if self._local_next_fit(start, end - start) > start + EPSILON:
+        if self._local_next_fit(start, end - start) > start + guard_tol(start, end):
             raise TimelineError(
                 f"tentative reservation [{start}, {end}) tag={tag!r} "
                 f"overlaps a tentative interval"

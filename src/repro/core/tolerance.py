@@ -1,0 +1,61 @@
+"""The shared floating-point tolerance for time comparisons.
+
+Every layer that compares chained time values — schedule validators,
+timeline overlap guards, replay cross-checks — used to carry its own
+absolute epsilon (1e-6 here, 1e-9 there).  Absolute epsilons break in
+both directions: on long transfer chains at large magnitude one ULP
+exceeds them (the ULP of 1e10 is ~2e-6), so exact-but-reassociated
+arithmetic was spuriously rejected, while at tiny magnitudes they are
+needlessly loose.
+
+This module is the single source of truth: :data:`TIME_EPS` is the
+shared epsilon, and :func:`time_tol` scales it by the magnitude of the
+values being compared, so a comparison tolerates ``TIME_EPS`` relative
+error but never less than ``TIME_EPS`` absolute.  Use it as::
+
+    if a > b + time_tol(a, b):   # "a is genuinely after b"
+        ...
+"""
+
+from __future__ import annotations
+
+#: Shared epsilon for float time comparisons: values within
+#: ``TIME_EPS * max(1, magnitude)`` of each other are "the same time".
+TIME_EPS = 1e-6
+
+#: Tightening factor for *internal-consistency* guards (timeline
+#: overlap checks): reservations chain exact float values, so these
+#: only need ULP-proportional slack — three orders tighter than the
+#: validator epsilon, restoring the historical 1e-9 floor.
+GUARD_FACTOR = 1e-3
+
+
+def time_tol(*values: float) -> float:
+    """Comparison tolerance at the magnitude of ``values``.
+
+    ``TIME_EPS`` times the largest absolute value involved, floored at
+    ``TIME_EPS`` itself so comparisons near zero keep the historical
+    absolute behavior.
+
+    Pick the operands by what is being compared: a duration check
+    scales by the durations, not by the absolute times they were
+    derived from — otherwise the tolerance inflates with the makespan
+    and stops rejecting genuine errors.
+    """
+    scale = 1.0
+    for v in values:
+        a = v if v >= 0.0 else -v
+        if a > scale:
+            scale = a
+    return TIME_EPS * scale
+
+
+def guard_tol(*values: float) -> float:
+    """Scale-aware tolerance for internal overlap guards.
+
+    ``GUARD_FACTOR`` times :func:`time_tol`: 1e-9 at magnitude <= 1
+    (the historical timeline epsilon) and 1e-9 *relative* above, which
+    absorbs ULP noise at any magnitude without masking real
+    double-booking bugs the way a validator-sized epsilon would.
+    """
+    return GUARD_FACTOR * time_tol(*values)

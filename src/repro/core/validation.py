@@ -24,11 +24,15 @@ from collections.abc import Hashable
 
 from .exceptions import ValidationError
 from .schedule import CommEvent, Schedule
+from .tolerance import TIME_EPS, time_tol
 
 TaskId = Hashable
 
-#: Absolute tolerance for float comparisons between chained time values.
-TOL = 1e-6
+#: Floor tolerance for float comparisons between chained time values;
+#: actual comparisons scale it by magnitude via :func:`time_tol`, so
+#: accumulated float error on long chains at large magnitude (where one
+#: ULP exceeds any fixed absolute epsilon) is never a spurious failure.
+TOL = TIME_EPS
 
 MACRO_DATAFLOW = "macro-dataflow"
 ONE_PORT = "one-port"
@@ -46,9 +50,9 @@ def validate_completeness(schedule: Schedule) -> None:
     for p in schedule.placements.values():
         if not (0 <= p.proc < platform.num_processors):
             raise ValidationError(f"task {p.task!r} on invalid processor {p.proc}")
-        if p.start < -TOL:
+        if p.start < -time_tol(p.start):
             raise ValidationError(f"task {p.task!r} starts before time 0: {p.start}")
-        if p.finish < p.start - TOL:
+        if p.finish < p.start - time_tol(p.start, p.finish):
             raise ValidationError(
                 f"task {p.task!r} finishes ({p.finish}) before it starts ({p.start})"
             )
@@ -59,7 +63,7 @@ def validate_durations(schedule: Schedule) -> None:
     graph, platform = schedule.graph, schedule.platform
     for p in schedule.placements.values():
         expected = platform.exec_time(graph.weight(p.task), p.proc)
-        if abs(p.duration - expected) > TOL:
+        if abs(p.duration - expected) > time_tol(p.duration, expected):
             raise ValidationError(
                 f"task {p.task!r} on P{p.proc}: duration {p.duration} != "
                 f"w * t = {expected}"
@@ -71,7 +75,7 @@ def validate_processor_exclusivity(schedule: Schedule) -> None:
     for proc in schedule.platform.processors:
         placements = schedule.tasks_on(proc)
         for a, b in zip(placements, placements[1:]):
-            if a.finish > b.start + TOL:
+            if a.finish > b.start + time_tol(a.finish, b.start):
                 raise ValidationError(
                     f"P{proc}: tasks {a.task!r} [{a.start}, {a.finish}) and "
                     f"{b.task!r} [{b.start}, {b.finish}) overlap"
@@ -107,7 +111,7 @@ def _arrival_via_events(schedule: Schedule, src: TaskId, dst: TaskId) -> float:
             f"edge {src!r}->{dst!r}: last hop reaches P{hops[-1].dst_proc}, "
             f"but the destination task runs on P{r}"
         )
-    if hops[0].start < schedule.finish_of(src) - TOL:
+    if hops[0].start < schedule.finish_of(src) - time_tol(hops[0].start, schedule.finish_of(src)):
         raise ValidationError(
             f"edge {src!r}->{dst!r}: first hop starts at {hops[0].start} "
             f"before the source finishes at {schedule.finish_of(src)}"
@@ -117,12 +121,12 @@ def _arrival_via_events(schedule: Schedule, src: TaskId, dst: TaskId) -> float:
         if h.src_proc == h.dst_proc:
             raise ValidationError(f"edge {src!r}->{dst!r}: hop {h.hop} is a self-transfer")
         expected = platform.comm_time(data, h.src_proc, h.dst_proc)
-        if abs(h.duration - expected) > TOL:
+        if abs(h.duration - expected) > time_tol(h.duration, expected):
             raise ValidationError(
                 f"edge {src!r}->{dst!r} hop {h.hop} P{h.src_proc}->P{h.dst_proc}: "
                 f"duration {h.duration} != data * link = {expected}"
             )
-        if abs(h.data - data) > TOL:
+        if abs(h.data - data) > time_tol(h.data, data):
             raise ValidationError(
                 f"edge {src!r}->{dst!r} hop {h.hop}: event data {h.data} != "
                 f"graph data {data}"
@@ -133,7 +137,7 @@ def _arrival_via_events(schedule: Schedule, src: TaskId, dst: TaskId) -> float:
                     f"edge {src!r}->{dst!r}: hop {h.hop} starts at P{h.src_proc} "
                     f"but hop {prev.hop} ended at P{prev.dst_proc}"
                 )
-            if h.start < prev.finish - TOL:
+            if h.start < prev.finish - time_tol(h.start, prev.finish):
                 raise ValidationError(
                     f"edge {src!r}->{dst!r}: hop {h.hop} starts at {h.start} "
                     f"before hop {prev.hop} finishes at {prev.finish}"
@@ -163,7 +167,7 @@ def validate_precedence(schedule: Schedule, use_events: bool) -> None:
             arrival = _arrival_via_events(schedule, src, dst)
         else:
             arrival = schedule.finish_of(src) + platform.comm_time(graph.data(src, dst), q, r)
-        if schedule.start_of(dst) < arrival - TOL:
+        if schedule.start_of(dst) < arrival - time_tol(schedule.start_of(dst), arrival):
             raise ValidationError(
                 f"edge {src!r}->{dst!r}: task {dst!r} starts at "
                 f"{schedule.start_of(dst)} before its data arrives at {arrival}"
@@ -181,7 +185,7 @@ def validate_one_port(schedule: Schedule) -> None:
         for proc, events in groups.items():
             events.sort(key=lambda e: (e.start, e.finish))
             for a, b in zip(events, events[1:]):
-                if a.finish > b.start + TOL:
+                if a.finish > b.start + time_tol(a.finish, b.start):
                     raise ValidationError(
                         f"one-port violation on P{proc} ({direction}): "
                         f"{a.src_task!r}->{a.dst_task!r} [{a.start}, {a.finish}) "

@@ -1,10 +1,19 @@
-"""Result persistence: CSV and JSON round-trips for experiment cells."""
+"""Result persistence: CSV and JSON round-trips for experiment cells.
+
+Writers are *atomic*: content goes to a temporary file in the target
+directory which is renamed over the destination only once fully
+written, so an interrupted export can never leave a truncated file
+behind.  Pass ``overwrite=False`` to refuse clobbering an existing
+file (the CLI's ``campaign export`` does, unless ``--force``).
+"""
 
 from __future__ import annotations
 
 import csv
 import json
-from collections.abc import Iterable
+import os
+import tempfile
+from collections.abc import Callable, Iterable
 from dataclasses import fields
 from pathlib import Path
 
@@ -13,15 +22,51 @@ from .harness import CellResult
 _FIELDS = [f.name for f in fields(CellResult)]
 
 
-def write_csv(cells: Iterable[CellResult], path: str | Path) -> Path:
-    """Write cells as CSV (one header row, one row per cell)."""
+def _atomic_write(
+    path: str | Path, overwrite: bool, write_body: Callable[[object], None]
+) -> Path:
+    """Write via temp file + rename; optionally refuse to clobber.
+
+    The existence check is best-effort (not a lock), but the rename is
+    atomic on POSIX: readers only ever see the old file or the complete
+    new one.
+    """
     path = Path(path)
-    with path.open("w", newline="") as fh:
+    if not overwrite and path.exists():
+        raise FileExistsError(f"{path} already exists (use overwrite/--force)")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates 0600; give the final file the permissions a
+        # plain open() would have produced under the current umask
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        with os.fdopen(fd, "w", newline="") as fh:
+            write_body(fh)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def write_csv(
+    cells: Iterable[CellResult], path: str | Path, overwrite: bool = True
+) -> Path:
+    """Write cells as CSV (one header row, one row per cell), atomically."""
+
+    def body(fh) -> None:
         writer = csv.DictWriter(fh, fieldnames=_FIELDS)
         writer.writeheader()
         for cell in cells:
             writer.writerow(cell.as_dict())
-    return path
+
+    return _atomic_write(path, overwrite, body)
 
 
 def read_csv(path: str | Path) -> list[CellResult]:
@@ -49,11 +94,15 @@ def read_csv(path: str | Path) -> list[CellResult]:
     return out
 
 
-def write_json(cells: Iterable[CellResult], path: str | Path) -> Path:
-    """Write cells as a JSON array of objects."""
-    path = Path(path)
-    path.write_text(json.dumps([c.as_dict() for c in cells], indent=2))
-    return path
+def write_json(
+    cells: Iterable[CellResult], path: str | Path, overwrite: bool = True
+) -> Path:
+    """Write cells as a JSON array of objects, atomically."""
+
+    def body(fh) -> None:
+        json.dump([c.as_dict() for c in cells], fh, indent=2)
+
+    return _atomic_write(path, overwrite, body)
 
 
 def read_json(path: str | Path) -> list[CellResult]:

@@ -28,6 +28,7 @@ from ..core.platform import Platform
 from ..core.schedule import Schedule
 from ..core.taskgraph import TaskGraph
 from ..core.timeline import Timeline
+from ..kernel import compile_statics
 from ..models.base import CommTrial, CommunicationModel
 from ..models.macro_dataflow import MacroDataflowModel
 from ..models.one_port import OnePortModel
@@ -66,6 +67,7 @@ class SchedulerState:
         "platform",
         "model",
         "maps",
+        "kernel",
         "compute",
         "comm",
         "schedule",
@@ -86,6 +88,10 @@ class SchedulerState:
         self.platform = platform
         self.model = model
         self.maps = graph.as_maps()
+        #: Shared flat arrays (interning, CSR parents, cost tables) —
+        #: the candidate-trial inner loop reads these instead of
+        #: per-call dict/attribute lookups.
+        self.kernel = compile_statics(graph, platform)
         self.compute = [Timeline() for _ in platform.processors]
         if getattr(model, "wants_compute", False):
             # variant models (e.g. no communication/computation overlap)
@@ -106,20 +112,27 @@ class SchedulerState:
         task's incoming messages are greedily booked on the ports.  The
         paper does not fix this order; first-finished-first is the
         natural greedy choice (data that exists earliest ships earliest).
+
+        Reads the kernel's CSR parent rows and contiguous data-volume
+        array — one edge index reaches parent, volume, and sort rank.
         """
-        maps = self.maps
+        kernel = self.kernel
         placements = self.schedule.placements
-        out = []
-        for parent in maps.preds[task]:
-            try:
-                placement = placements[parent]
-            except KeyError:
+        tasks, esrc, edata = kernel.tasks, kernel.esrc, kernel.edata
+        keyed = []
+        for e in kernel.pred_rows[kernel.intern(task)]:
+            pi = esrc[e]
+            parent = tasks[pi]
+            placement = placements.get(parent)
+            if placement is None:
                 raise SchedulingError(
                     f"task {task!r} evaluated before its parent {parent!r} was scheduled"
-                ) from None
-            out.append((parent, placement.proc, placement.finish, maps.data[(parent, task)]))
-        out.sort(key=lambda item: (item[2], maps.index[item[0]]))
-        return out
+                )
+            keyed.append(
+                (placement.finish, pi, (parent, placement.proc, placement.finish, edata[e]))
+            )
+        keyed.sort()
+        return [item[2] for item in keyed]
 
     def evaluate(
         self,
@@ -143,7 +156,7 @@ class SchedulerState:
             arrival = trial.edge_arrival(parent, task, pproc, proc, pfinish, data)
             if arrival > est:
                 est = arrival
-        duration = self.platform.exec_time(self.maps.weight[task], proc)
+        duration = self.kernel.exec_[self.kernel.intern(task)][proc]
         use_insertion = self.insertion if insertion is None else insertion
         if use_insertion:
             start = self.compute[proc].next_fit(est, duration)
@@ -204,6 +217,7 @@ class SchedulerState:
         dup.platform = self.platform
         dup.model = self.model
         dup.maps = self.maps
+        dup.kernel = self.kernel  # immutable statics, shared
         dup.compute = [t.copy() for t in self.compute]
         dup.comm = self.comm.copy()
         if hasattr(dup.comm, "compute"):

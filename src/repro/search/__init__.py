@@ -37,9 +37,10 @@ whose duration or predecessor list changes, plus transfers removed
 because their edge became local
 (:meth:`~repro.search.neighborhood.Move.invalidates`).  The
 :class:`~repro.search.evaluate.IncrementalEvaluator` caches the timed
-constraint DAG of the current point and, per move, recomputes
-predecessor lists for exactly the invalidated nodes and re-propagates
-start/finish times only downstream of nodes whose finish changed.  The
+constraint DAG of the current point — compiled to the flat integer
+arrays of :mod:`repro.kernel` — and, per move, recomputes predecessor
+lists for exactly the invalidated nodes and re-propagates start/finish
+times only downstream of nodes whose finish changed.  The
 previewed makespan must equal the makespan of a full
 :func:`~repro.simulate.replay.replay` of the new decision set — same
 constraints, same least fixed point, same float operations — and the

@@ -1,15 +1,18 @@
-"""Incremental replay evaluation of schedule decisions.
+"""Incremental replay evaluation of schedule decisions, on the flat kernel.
 
 :class:`IncrementalEvaluator` holds the timed constraint DAG of one
-decision point — the same DAG :func:`repro.simulate.replay` builds from
-scratch — and answers "what would this move do to the makespan?"
-without rebuilding it.  :meth:`~IncrementalEvaluator.preview` takes the
-move's invalidation set (:func:`repro.search.neighborhood.invalidated`),
-recomputes predecessor lists for exactly those nodes, and re-propagates
+decision point — compiled to the integer-indexed arrays of
+:mod:`repro.kernel` (task ``i`` is node ``i``, the transfer slot of
+graph edge ``e`` is node ``n + e``) — and answers "what would this move
+do to the makespan?" without rebuilding it.
+:meth:`~IncrementalEvaluator.preview` takes the move's invalidation set
+(:func:`repro.search.neighborhood.invalidated`), recomputes predecessor
+lists for exactly those nodes, and asks the kernel to re-propagate
 start/finish times only *downstream* of nodes whose finish actually
-changed, in global key order (see :meth:`SearchPoint.key`), collecting
-results in overlays that leave the base state untouched.
-:meth:`~IncrementalEvaluator.commit` folds a preview's overlays into the
+changed, in global key order (see :meth:`SearchPoint.key`, flattened to
+a single int per node), collecting results in generation-stamped
+overlays that leave the base state untouched.
+:meth:`~IncrementalEvaluator.commit` folds a preview's overlay into the
 base state in time proportional to the disturbance, not the graph.
 
 Contract: for every point and every move, ``preview(move).makespan``
@@ -18,18 +21,26 @@ exactly — both compute the component-wise least solution of the same
 constraints with the same float operations.  :meth:`cross_check`
 asserts this equivalence and the test suite exercises it on every
 accepted move of seeded searches.
+
+For debugging and white-box tests, :attr:`~IncrementalEvaluator._preds`,
+:attr:`~IncrementalEvaluator._start`, and
+:attr:`~IncrementalEvaluator._finish` expose the kernel state as the
+object-level ``("task", v)`` / ``("comm", u, v, 0)`` dictionaries the
+pre-kernel implementation stored directly (rebuilt on each access — do
+not use them in hot paths).
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Hashable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from math import isfinite
 
-from ..core.exceptions import SchedulingError
+from ..core.exceptions import PlatformError, SchedulingError
 from ..core.platform import Platform
 from ..core.schedule import Schedule
 from ..core.taskgraph import TaskGraph
+from ..kernel import KernelPatch, TimedKernel, compile_statics
 from ..simulate.replay import replay
 from .neighborhood import Move, invalidated
 from .point import Node, SearchPoint, comm_node, task_node
@@ -41,36 +52,35 @@ TaskId = Hashable
 CHECK_TOL = 1e-9
 
 
-@dataclass
+@dataclass(slots=True)
 class MovePreview:
-    """Everything one evaluated move produced, ready to commit."""
+    """Everything one evaluated move produced, ready to commit.
+
+    ``patch`` holds the kernel overlay (node indices, re-timed
+    start/finish, replacement predecessor lists and durations);
+    ``new_lists`` the rebuilt object-level resource orders keyed by
+    ``(kind, proc)``.
+    """
 
     move: Move
     point: SearchPoint
     makespan: float
-    dirty: set[Node]
-    removed: set[Node]
+    patch: KernelPatch
     new_lists: dict[tuple, list]
-    new_preds: dict[Node, list[Node]]
-    start: dict[Node, float] = field(default_factory=dict)
-    finish: dict[Node, float] = field(default_factory=dict)
-    duration: dict[Node, float] = field(default_factory=dict)
 
 
 class IncrementalEvaluator:
-    """Cached constraint DAG of one decision point (see module docstring)."""
+    """Cached flat constraint DAG of one decision point (see module docstring)."""
 
     def __init__(self, graph: TaskGraph, platform: Platform) -> None:
         self.graph = graph
         self.platform = platform
         self._maps = graph.as_maps()
+        self._statics = compile_statics(graph, platform)
         self._point: SearchPoint | None = None
+        self._kern: TimedKernel | None = None
         self._lists: dict[tuple, list] = {}
-        self._duration: dict[Node, float] = {}
-        self._preds: dict[Node, list[Node]] = {}
-        self._succs: dict[Node, list[Node]] = {}
-        self._start: dict[Node, float] = {}
-        self._finish: dict[Node, float] = {}
+        self._pos: list[int] | None = None
         self._makespan = 0.0
 
     # ------------------------------------------------------------------
@@ -88,88 +98,118 @@ class IncrementalEvaluator:
 
     def load(self, point: SearchPoint) -> float:
         """Full build of the timed constraint DAG at ``point``."""
+        st = self._statics
         self._point = point
         self._lists = {
             (kind, p): point.resource_list(kind, p)
             for kind in ("proc", "send", "recv")
             for p in self.platform.processors
         }
-        maps, platform, alloc = self._maps, self.platform, point.alloc
-        duration: dict[Node, float] = {}
-        preds: dict[Node, list[Node]] = {}
-        for v in maps.weight:
-            duration[task_node(v)] = platform.exec_time(maps.weight[v], alloc[v])
-            preds[task_node(v)] = []
-        for (u, v), data in maps.data.items():
-            if alloc[u] == alloc[v]:
-                preds[task_node(v)].append(task_node(u))
-            else:
-                node = comm_node(u, v)
-                duration[node] = platform.comm_time(data, alloc[u], alloc[v])
-                preds[node] = [task_node(u)]
-                preds[task_node(v)].append(node)
-        for (kind, _), order in self._lists.items():
-            wrap = task_node if kind == "proc" else lambda e: ("comm", *e)
-            for a, b in zip(order, order[1:]):
-                preds[wrap(b)].append(wrap(a))
-        succs: dict[Node, list[Node]] = {n: [] for n in preds}
-        for node, plist in preds.items():
-            for p in plist:
-                succs[p].append(node)
-        # one pass in global key order (acyclic by construction)
-        start: dict[Node, float] = {}
-        finish: dict[Node, float] = {}
-        for node in sorted(preds, key=point.key):
-            s = max((finish[p] for p in preds[node]), default=0.0)
-            start[node] = s
-            finish[node] = s + duration[node]
-        self._duration, self._preds, self._succs = duration, preds, succs
-        self._start, self._finish = start, finish
-        self._makespan = max(
-            (finish[task_node(v)] for v in maps.weight), default=0.0
-        )
+        kern = TimedKernel.from_point(st, point)
+        kern.build_succs()
+        self._kern = kern
+        self._pos = pos = self._pos_array(point)
+        order = sorted(kern.active_nodes(), key=self._key_of(pos))
+        self._makespan = kern.propagate_order(order)
         return self._makespan
+
+    # ------------------------------------------------------------------
+    # interning helpers
+    # ------------------------------------------------------------------
+    def _pos_array(self, point: SearchPoint) -> list[int]:
+        """Sequence positions as an int array indexed by task index."""
+        st = self._statics
+        intern = st.intern
+        pos = [0] * st.num_tasks
+        for i, t in enumerate(point.sequence):
+            pos[intern(t)] = i
+        return pos
+
+    def _key_of(self, pos: list[int]):
+        """Flat int version of :meth:`SearchPoint.key` over node indices.
+
+        Maps the lexicographic ``(pos(consumer), kind, pos(source))``
+        triple to ``(2 * pos + kind) * n + pos(source)``; every
+        constraint edge strictly increases it.
+        """
+        st = self._statics
+        n, esrc, edst = st.num_tasks, st.esrc, st.edst
+
+        def key(node: int) -> int:
+            if node < n:
+                return (pos[node] * 2 + 1) * n
+            e = node - n
+            return pos[edst[e]] * 2 * n + pos[esrc[e]]
+
+        return key
+
+    def _node_index(self, node: Node) -> int:
+        st = self._statics
+        if node[0] == "task":
+            return st.tindex[node[1]]
+        return st.num_tasks + st.eindex[(node[1], node[2])]
+
+    def _node_tuple(self, ix: int) -> Node:
+        st = self._statics
+        if ix < st.num_tasks:
+            return task_node(st.tasks[ix])
+        u, v = st.edges[ix - st.num_tasks]
+        return comm_node(u, v)
 
     # ------------------------------------------------------------------
     # incremental evaluation
     # ------------------------------------------------------------------
     def _preds_of(
-        self, node: Node, point: SearchPoint, lists: dict[tuple, list]
-    ) -> list[Node]:
-        """Predecessor list of ``node`` at ``point``, using the patched
-        resource lists where provided and the cached base lists elsewhere."""
+        self, node: Node, ix: int, point: SearchPoint, lists: dict[tuple, list]
+    ) -> list[int]:
+        """Predecessor node indices of ``node`` at ``point``, using the
+        patched resource lists where provided and the cached base lists
+        elsewhere."""
+        st = self._statics
+        base = self._lists
 
         def order(kind: str, proc: int) -> list:
             key = (kind, proc)
-            return lists[key] if key in lists else self._lists[key]
+            return lists[key] if key in lists else base[key]
 
+        n, tasks, esrc = st.num_tasks, st.tasks, st.esrc
+        alloc = point.alloc
         if node[0] == "task":
             v = node[1]
-            out: list[Node] = [
-                task_node(u) if not point.is_remote(u, v) else comm_node(u, v)
-                for u in self._maps.preds[v]
+            av = alloc[v]
+            out = [
+                esrc[e] if alloc[tasks[esrc[e]]] == av else n + e
+                for e in st.pred_rows[ix]
             ]
-            row = order("proc", point.alloc[v])
+            row = order("proc", av)
             i = row.index(v)
             if i > 0:
-                out.append(task_node(row[i - 1]))
+                out.append(st.tindex[row[i - 1]])
             return out
         _, u, v, _ = node
-        out = [task_node(u)]
-        for kind, proc in (("send", point.alloc[u]), ("recv", point.alloc[v])):
+        e = ix - n
+        out = [esrc[e]]
+        eindex = st.eindex
+        for kind, proc in (("send", alloc[u]), ("recv", alloc[v])):
             row = order(kind, proc)
             i = row.index((u, v, 0))
             if i > 0:
-                out.append(("comm", *row[i - 1]))
+                prev = row[i - 1]
+                out.append(n + eindex[(prev[0], prev[1])])
         return out
 
-    def _node_duration(self, node: Node, point: SearchPoint) -> float:
+    def _duration_of(self, node: Node, ix: int, point: SearchPoint) -> float:
+        st = self._statics
         if node[0] == "task":
-            return self.platform.exec_time(self._maps.weight[node[1]], point.alloc[node[1]])
+            return st.exec_[ix][point.alloc[node[1]]]
         _, u, v, _ = node
-        return self.platform.comm_time(
-            self._maps.data[(u, v)], point.alloc[u], point.alloc[v]
-        )
+        a, b = point.alloc[u], point.alloc[v]
+        if a == b:
+            return 0.0
+        cost = st.link_rows[a][b]
+        if not st.all_links_finite and not isfinite(cost):
+            raise PlatformError(f"no direct link from P{a} to P{b}")
+        return st.edata[ix - st.num_tasks] * cost
 
     def preview(self, move: Move) -> MovePreview:
         """Evaluate ``move`` without touching the base state."""
@@ -178,64 +218,38 @@ class IncrementalEvaluator:
         dirty, removed, new_lists = invalidated(
             old, new, move.touched(old), old_lists=lambda k, p: self._lists[(k, p)]
         )
-        new_preds = {n: self._preds_of(n, new, new_lists) for n in dirty}
-        pv = MovePreview(move, new, 0.0, dirty, removed, new_lists, new_preds)
-
-        key = new.key
-        heap = [(key(n), n) for n in dirty]
-        heapq.heapify(heap)
-        base_finish = self._finish
-        overlay_start, overlay_finish, overlay_dur = pv.start, pv.finish, pv.duration
-        visited: set[Node] = set()
-        while heap:
-            _, node = heapq.heappop(heap)
-            if node in visited:
-                continue
-            visited.add(node)
-            plist = new_preds[node] if node in new_preds else self._preds[node]
-            s = 0.0
-            for p in plist:
-                f = overlay_finish[p] if p in overlay_finish else base_finish[p]
-                if f > s:
-                    s = f
-            d = self._node_duration(node, new)
-            f = s + d
-            overlay_start[node], overlay_finish[node] = s, f
-            overlay_dur[node] = d
-            if node not in base_finish or f != base_finish[node]:
-                for succ in self._succs.get(node, ()):
-                    if succ not in removed and succ not in visited:
-                        heapq.heappush(heap, (key(succ), succ))
-        ms = 0.0
-        for v in self._maps.weight:
-            node = task_node(v)
-            f = overlay_finish[node] if node in overlay_finish else base_finish[node]
-            if f > ms:
-                ms = f
-        pv.makespan = ms
-        return pv
+        nix = self._node_index
+        removed_ix = {nix(nd) for nd in removed}
+        new_preds: dict[int, list[int]] = {}
+        new_dur: dict[int, float] = {}
+        dirty_ix = []
+        for nd in dirty:
+            ix = nix(nd)
+            dirty_ix.append(ix)
+            new_preds[ix] = self._preds_of(nd, ix, new, new_lists)
+            new_dur[ix] = self._duration_of(nd, ix, new)
+        pos = self._pos if new.sequence is old.sequence else self._pos_array(new)
+        patch = self._kern.patch(
+            dirty_ix, removed_ix, new_preds, new_dur, self._key_of(pos)
+        )
+        return MovePreview(move, new, patch.makespan, patch, new_lists)
 
     def commit(self, preview: MovePreview) -> float:
         """Fold a preview into the base state; cost ~ size of the change."""
-        for node in preview.removed:
-            for p in self._preds.pop(node):
-                if p not in preview.removed:
-                    self._succs[p].remove(node)
-            self._succs.pop(node, None)
-            del self._duration[node], self._start[node], self._finish[node]
-        for node, plist in preview.new_preds.items():
-            for p in self._preds.get(node, ()):
-                if p not in preview.removed:
-                    self._succs[p].remove(node)
-            self._preds[node] = list(plist)
-            self._succs.setdefault(node, [])
-            for p in plist:
-                self._succs.setdefault(p, []).append(node)
+        kern = self._kern
+        st = self._statics
+        kern.apply(preview.patch)
+        new = preview.point
+        n = st.num_tasks
+        alloc = new.alloc
+        tasks = st.tasks
+        for ix in preview.patch.new_dur:
+            if ix < n:
+                kern.alloc[ix] = alloc[tasks[ix]]
+        if new.sequence is not self.point.sequence:
+            self._pos = self._pos_array(new)
         self._lists.update(preview.new_lists)
-        self._duration.update(preview.duration)
-        self._start.update(preview.start)
-        self._finish.update(preview.finish)
-        self._point = preview.point
+        self._point = new
         self._makespan = preview.makespan
         return self._makespan
 
@@ -246,23 +260,57 @@ class IncrementalEvaluator:
         node) back from the makespan-defining task; deterministic, so
         seeded searches can bias moves toward the chain reproducibly.
         """
-        if not self._finish:
+        kern = self._kern
+        if kern is None:
             return []
-        node = None
-        for v in self._maps.weight:
-            cand = task_node(v)
-            if node is None or self._finish[cand] > self._finish[node]:
-                node = cand
+        st = self._statics
+        fin = kern.finish
+        n = st.num_tasks
+        if n == 0:
+            return []
+        node = max(range(n), key=fin.__getitem__)
+        preds = kern.preds
         out: list[TaskId] = []
         while node is not None:
-            if node[0] == "task":
-                out.append(node[1])
+            if node < n:
+                out.append(st.tasks[node])
             tight = None
-            for p in self._preds[node]:
-                if tight is None or self._finish[p] > self._finish[tight]:
+            for p in preds[node]:
+                if tight is None or fin[p] > fin[tight]:
                     tight = p
             node = tight
         return out
+
+    # ------------------------------------------------------------------
+    # object-level views (debugging / white-box tests; rebuilt per access)
+    # ------------------------------------------------------------------
+    def _live_nodes(self):
+        kern = self._kern
+        st = self._statics
+        n = st.num_tasks
+        yield from range(n)
+        active = kern.active
+        for e in range(st.num_edges):
+            if active[e]:
+                yield n + e
+
+    @property
+    def _preds(self) -> dict[Node, list[Node]]:
+        nt = self._node_tuple
+        preds = self._kern.preds
+        return {nt(ix): [nt(p) for p in preds[ix]] for ix in self._live_nodes()}
+
+    @property
+    def _start(self) -> dict[Node, float]:
+        start = self._kern.start
+        nt = self._node_tuple
+        return {nt(ix): start[ix] for ix in self._live_nodes()}
+
+    @property
+    def _finish(self) -> dict[Node, float]:
+        finish = self._kern.finish
+        nt = self._node_tuple
+        return {nt(ix): finish[ix] for ix in self._live_nodes()}
 
     # ------------------------------------------------------------------
     # ground truth
@@ -279,12 +327,13 @@ class IncrementalEvaluator:
     def cross_check(self) -> Schedule:
         """Assert the incremental state agrees with a full :func:`replay`."""
         sched = self.schedule()
-        for v in self._maps.weight:
-            node = task_node(v)
-            if abs(sched.start_of(v) - self._start[node]) > CHECK_TOL:
+        kern = self._kern
+        st = self._statics
+        for ix, v in enumerate(st.tasks):
+            if abs(sched.start_of(v) - kern.start[ix]) > CHECK_TOL:
                 raise SchedulingError(
                     f"incremental drift on task {v!r}: "
-                    f"{self._start[node]} != replay {sched.start_of(v)}"
+                    f"{kern.start[ix]} != replay {sched.start_of(v)}"
                 )
         if abs(sched.makespan() - self._makespan) > CHECK_TOL:
             raise SchedulingError(

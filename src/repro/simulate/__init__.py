@@ -1,5 +1,23 @@
-"""Order-preserving replay simulation of one-port schedules."""
+"""Order-preserving replay simulation of one-port schedules.
 
-from .replay import ReplayDecisions, extract_decisions, replay, replay_schedule
+:func:`replay` routes direct-transfer decision sets through the flat
+integer kernel (:mod:`repro.kernel`); :func:`replay_object` is the
+retained object-level reference used for routed multi-hop schedules and
+as the oracle of the kernel cross-check suite.
+"""
 
-__all__ = ["ReplayDecisions", "extract_decisions", "replay", "replay_schedule"]
+from .replay import (
+    ReplayDecisions,
+    extract_decisions,
+    replay,
+    replay_object,
+    replay_schedule,
+)
+
+__all__ = [
+    "ReplayDecisions",
+    "extract_decisions",
+    "replay",
+    "replay_object",
+    "replay_schedule",
+]

@@ -27,17 +27,32 @@ heuristic (a timing bug in a heuristic that still passes the validator
 would show up as a replay mismatch), and `tighten=True` gives users a
 free post-pass that compacts any schedule without changing a single
 decision.
+
+Two implementations compute the same least solution:
+
+* the **kernel path** — decision sets whose transfers are all direct
+  (``hop == 0``, one transfer per remote edge: every one-port schedule
+  on a fully connected platform) compile to the flat integer arrays of
+  :mod:`repro.kernel` and propagate in one pass over int-indexed lists;
+* the **object path** (:func:`replay_object`) — the original
+  dict-of-tuples implementation, retained for multi-hop routed
+  schedules and as the reference the kernel is fuzz-checked against
+  (both produce bit-identical floats: same ``max`` over the same
+  operands, same single addition per activity).
 """
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Mapping, Sequence
+from collections.abc import Hashable
 from dataclasses import dataclass, field
 
 from ..core.exceptions import SchedulingError
 from ..core.platform import Platform
-from ..core.schedule import Schedule
+from ..core.schedule import CommEvent, Schedule, TaskPlacement
 from ..core.taskgraph import TaskGraph
+from ..core.tolerance import time_tol
+from ..kernel import TimedKernel, compile_statics
+from ..kernel.timed import KernelIneligible
 
 TaskId = Hashable
 
@@ -58,15 +73,39 @@ class ReplayDecisions:
 
 
 def extract_decisions(schedule: Schedule) -> ReplayDecisions:
-    """Pull allocation and all resource orders out of a schedule."""
+    """Pull allocation and all resource orders out of a schedule.
+
+    Every order is sorted under a *total* deterministic key — time
+    first, then the full identity of the activity (processors, interned
+    task indices, hop) — so two schedules with identical content but
+    different event insertion order extract identical decisions.
+    Simultaneous transfers (or zero-width activities) would otherwise
+    tie-break on list order and leak schedule-construction history into
+    campaign cache keys and search starting points.
+    """
+    index = schedule.graph.as_maps().index
     alloc = {t: p.proc for t, p in schedule.placements.items()}
     proc_order: dict[int, list[TaskId]] = {}
     for proc in schedule.platform.processors:
-        proc_order[proc] = [p.task for p in schedule.tasks_on(proc)]
+        row = schedule.tasks_on(proc)
+        row.sort(key=lambda p: (p.start, p.finish, index[p.task]))
+        proc_order[proc] = [p.task for p in row]
     send_order: dict[int, list[tuple]] = {p: [] for p in schedule.platform.processors}
     recv_order: dict[int, list[tuple]] = {p: [] for p in schedule.platform.processors}
     hops: dict[tuple, tuple[int, int]] = {}
-    for e in sorted(schedule.comm_events, key=lambda e: (e.start, e.finish)):
+    events = sorted(
+        schedule.comm_events,
+        key=lambda e: (
+            e.start,
+            e.finish,
+            e.src_proc,
+            e.dst_proc,
+            index[e.src_task],
+            index[e.dst_task],
+            e.hop,
+        ),
+    )
+    for e in events:
         key = (e.src_task, e.dst_task, e.hop)
         if key in hops:
             raise SchedulingError(f"duplicate transfer {key} in schedule")
@@ -83,6 +122,45 @@ def replay(
     heuristic: str = "replay",
 ) -> Schedule:
     """Least feasible times for the given decisions (see module docstring)."""
+    statics = compile_statics(graph, platform)
+    try:
+        kern = TimedKernel.from_decisions(statics, decisions)
+    except KernelIneligible:
+        # multi-hop or unknown-edge transfers: outside the kernel's
+        # domain, handled by the object-level reference implementation
+        return replay_object(graph, platform, decisions, heuristic)
+    kern.propagate_kahn()
+
+    out = Schedule(graph, platform, model="one-port", heuristic=heuristic)
+    n = statics.num_tasks
+    start, finish = kern.start, kern.finish
+    edata = statics.edata
+    # tuple.__new__ skips the NamedTuple keyword machinery; this loop
+    # builds the entire output schedule and dominates the replay profile
+    new = tuple.__new__
+    out.comm_events = [
+        new(CommEvent, (key[0], key[1], a, b, start[n + e], finish[n + e], edata[e], 0))
+        for e, (key, (a, b)) in zip(kern.hop_list, decisions.hops.items())
+    ]
+    out.placements = {
+        v: new(TaskPlacement, (v, p, s, f))
+        for v, p, s, f in zip(statics.tasks, kern.alloc, start, finish)
+    }
+    return out
+
+
+def replay_object(
+    graph: TaskGraph,
+    platform: Platform,
+    decisions: ReplayDecisions,
+    heuristic: str = "replay",
+) -> Schedule:
+    """Object-level reference replay (handles multi-hop routed chains).
+
+    :func:`replay` routes every direct-transfer decision set through the
+    flat kernel; this retained implementation serves routed schedules
+    and acts as the independent oracle of the kernel cross-check suite.
+    """
     maps = graph.as_maps()
     preds: dict[Node, list[Node]] = {}
 
@@ -174,10 +252,6 @@ def replay(
     return out
 
 
-#: Tolerance when checking original times against the replayed least times.
-_TIGHTEN_TOL = 1e-6
-
-
 def replay_schedule(schedule: Schedule, tighten: bool = True) -> Schedule:
     """Re-derive a schedule's times from its own decisions.
 
@@ -191,7 +265,9 @@ def replay_schedule(schedule: Schedule, tighten: bool = True) -> Schedule:
     is checked to be no earlier than its least feasible time (raising
     :class:`~repro.core.exceptions.SchedulingError` otherwise), and a
     copy of the schedule carrying the *original* times and heuristic
-    label is returned.
+    label is returned.  Comparisons use the scale-aware shared epsilon
+    (:func:`repro.core.tolerance.time_tol`), so accumulated float error
+    on long transfer chains never spuriously rejects a schedule.
     """
     decisions = extract_decisions(schedule)
     out = replay(
@@ -204,7 +280,7 @@ def replay_schedule(schedule: Schedule, tighten: bool = True) -> Schedule:
         return out
     for task, placement in schedule.placements.items():
         least = out.start_of(task)
-        if placement.start < least - _TIGHTEN_TOL:
+        if placement.start < least - time_tol(placement.start, least):
             raise SchedulingError(
                 f"task {task!r} starts at {placement.start}, before its "
                 f"least feasible time {least} under the schedule's own decisions"
@@ -212,7 +288,7 @@ def replay_schedule(schedule: Schedule, tighten: bool = True) -> Schedule:
     least_comm = {(e.src_task, e.dst_task, e.hop): e.start for e in out.comm_events}
     for event in schedule.comm_events:
         least = least_comm[(event.src_task, event.dst_task, event.hop)]
-        if event.start < least - _TIGHTEN_TOL:
+        if event.start < least - time_tol(event.start, least):
             raise SchedulingError(
                 f"transfer {event.src_task!r}->{event.dst_task!r} starts at "
                 f"{event.start}, before its least feasible time {least}"

@@ -1,0 +1,108 @@
+"""Atomic export: temp-file + rename writers and the CLI --force guard."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import read_csv, read_json, write_csv, write_json
+from repro.experiments.harness import CellResult
+
+
+def _cell(makespan=100.0):
+    return CellResult(
+        figure="f", testbed="lu", size=4, num_tasks=10, heuristic="heft",
+        model="one-port", makespan=makespan, speedup=2.0, num_comms=3,
+        total_comm_time=5.0, utilization=0.5, lower_bound=50.0, runtime_s=0.1,
+    )
+
+
+class _Boom(Exception):
+    pass
+
+
+def _exploding_cells():
+    yield _cell()
+    raise _Boom
+
+
+class TestAtomicWriters:
+    @pytest.mark.parametrize("writer,reader,name", [
+        (write_csv, read_csv, "cells.csv"),
+        (write_json, read_json, "cells.json"),
+    ])
+    def test_roundtrip_and_no_temp_left(self, tmp_path, writer, reader, name):
+        path = tmp_path / name
+        writer([_cell()], path)
+        assert reader(path) == [_cell()]
+        assert os.listdir(tmp_path) == [name]
+
+    @pytest.mark.parametrize("writer,reader,name", [
+        (write_csv, read_csv, "cells.csv"),
+        (write_json, read_json, "cells.json"),
+    ])
+    def test_interrupted_write_leaves_original_intact(
+        self, tmp_path, writer, reader, name
+    ):
+        path = tmp_path / name
+        writer([_cell(1.0)], path)
+        with pytest.raises(_Boom):
+            writer(_exploding_cells(), path)
+        # the original is untouched and no temp debris remains
+        assert [c.makespan for c in reader(path)] == [1.0]
+        assert os.listdir(tmp_path) == [name]
+
+    def test_interrupted_write_creates_nothing(self, tmp_path):
+        path = tmp_path / "cells.json"
+        with pytest.raises(_Boom):
+            write_json(_exploding_cells(), path)
+        assert os.listdir(tmp_path) == []
+
+    def test_overwrite_false_refuses_clobber(self, tmp_path):
+        path = tmp_path / "cells.csv"
+        write_csv([_cell(1.0)], path)
+        with pytest.raises(FileExistsError):
+            write_csv([_cell(2.0)], path, overwrite=False)
+        assert [c.makespan for c in read_csv(path)] == [1.0]
+        write_csv([_cell(2.0)], path, overwrite=True)
+        assert [c.makespan for c in read_csv(path)] == [2.0]
+
+    def test_exported_file_respects_umask(self, tmp_path):
+        """mkstemp creates 0600 temps; the published file must carry the
+        permissions a plain open() would have produced."""
+        old = os.umask(0o022)
+        try:
+            path = tmp_path / "cells.csv"
+            write_csv([_cell()], path)
+            assert os.stat(path).st_mode & 0o777 == 0o644
+        finally:
+            os.umask(old)
+
+    def test_overwrite_false_on_fresh_path_writes(self, tmp_path):
+        path = tmp_path / "cells.json"
+        write_json([_cell()], path, overwrite=False)
+        assert read_json(path) == [_cell()]
+
+
+class TestCampaignExportForce:
+    GRID = ["--testbeds", "fork-join", "--sizes", "5",
+            "--heuristics", "heft", "--seeds", "0"]
+
+    def test_export_refuses_then_forces(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", *self.GRID, "--cache-dir", cache,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        out_path = str(tmp_path / "cells.csv")
+        assert main(["campaign", "export", *self.GRID, "--cache-dir", cache,
+                     "--out", out_path]) == 0
+        assert "exported" in capsys.readouterr().out
+
+        assert main(["campaign", "export", *self.GRID, "--cache-dir", cache,
+                     "--out", out_path]) == 1
+        assert "refusing to overwrite" in capsys.readouterr().out
+        assert read_csv(out_path)  # untouched, still readable
+
+        assert main(["campaign", "export", *self.GRID, "--cache-dir", cache,
+                     "--out", out_path, "--force"]) == 0
+        assert "exported" in capsys.readouterr().out

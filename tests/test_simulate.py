@@ -26,6 +26,59 @@ class TestExtractDecisions:
             assert starts == sorted(starts)
 
 
+class TestExtractDeterminism:
+    """Two schedules with identical content but different event/placement
+    insertion order must extract byte-identical decisions — simultaneous
+    transfers tie-break on the full deterministic key, not list order."""
+
+    def _permuted_copy(self, sched):
+        from repro.core import Schedule
+
+        dup = Schedule(
+            sched.graph, sched.platform, model=sched.model, heuristic=sched.heuristic
+        )
+        items = list(sched.placements.items())
+        dup.placements = dict(reversed(items))
+        dup.comm_events = list(reversed(sched.comm_events))
+        return dup
+
+    def test_permuted_schedule_extracts_identical_decisions(self, paper_platform):
+        sched = ILHA(b=4).run(lu_graph(8), paper_platform, "one-port")
+        a = extract_decisions(sched)
+        b = extract_decisions(self._permuted_copy(sched))
+        assert a.alloc == b.alloc
+        assert a.proc_order == b.proc_order
+        assert a.send_order == b.send_order
+        assert a.recv_order == b.recv_order
+        assert list(a.hops.items()) == list(b.hops.items())
+
+    def test_simultaneous_transfers_tie_break_deterministically(self):
+        """Equal-time transfers between disjoint processor pairs used to
+        keep their insertion order; now they sort by the full key."""
+        from repro.core import Platform, Schedule, TaskGraph
+
+        g = TaskGraph.from_specs(
+            [("a", 1.0), ("b", 1.0), ("c", 0.0), ("d", 0.0)],
+            [("a", "c", 2.0), ("b", "d", 2.0)],
+        )
+        plat = Platform.homogeneous(4)
+        base = dict(model="one-port", heuristic="by-hand")
+        forward = Schedule(g, plat, **base)
+        for t, p in (("a", 0), ("b", 1), ("c", 2), ("d", 3)):
+            forward.place(t, p, 0.0 if t in "ab" else 3.0, 1.0 if t in "ab" else 3.0)
+        forward.record_comm("a", "c", 0, 2, 1.0, 2.0, 2.0)
+        forward.record_comm("b", "d", 1, 3, 1.0, 2.0, 2.0)
+        backward = Schedule(g, plat, **base)
+        backward.placements = dict(forward.placements)
+        backward.comm_events = list(reversed(forward.comm_events))
+
+        a = extract_decisions(forward)
+        b = extract_decisions(backward)
+        assert list(a.hops) == list(b.hops)
+        assert a.send_order == b.send_order
+        assert a.recv_order == b.recv_order
+
+
 class TestReplayCrossCheck:
     """The central property: replaying any heuristic's decisions yields a
     valid schedule that is no worse."""
