@@ -1,0 +1,128 @@
+"""Online-engine trajectory: event throughput and the policy-vs-noise figure.
+
+Standalone script (not a pytest-benchmark module) so CI can run it and
+archive the result::
+
+    python benchmarks/bench_online.py --quick --out BENCH_ONLINE.json
+
+Measures:
+
+* **throughput** — processed events per second on a Poisson stream of
+  lu-20 jobs under the ``static`` policy with zero noise (best of
+  several rounds, event logging off).  The acceptance bar for the
+  online PR is >= 10k events/s.
+* **policy-vs-noise** — the :func:`repro.experiments.online_policy_study`
+  grid (mean flow / stretch per policy × noise cell), the dynamic
+  analogue of the paper's figure sweeps.
+
+``--quick`` trims job counts and the study grid for CI smoke; the
+committed ``BENCH_ONLINE.json`` at the repo root is produced by a full
+run and seeds the perf trajectory (regenerate and commit alongside
+online-engine changes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import (  # noqa: E402
+    format_online_study,
+    online_policy_study,
+    paper_platform,
+)
+from repro.online import make_workload, simulate_online  # noqa: E402
+
+#: The PR's acceptance bar for event throughput.
+TARGET_EVENTS_PER_S = 10_000
+
+
+def bench_throughput(jobs: int, rounds: int) -> dict:
+    plat = paper_platform()
+    workload = make_workload("lu", 20, jobs, arrival="poisson:rate=0.001", seed=0)
+    best = 0.0
+    events = 0
+    reference = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = simulate_online(
+            workload, plat, policy="static", noise="exact", seed=0, log_events=False
+        )
+        wall = time.perf_counter() - t0
+        events = result.events
+        rate = events / wall
+        if rate > best:
+            best = rate
+        agg = result.aggregate()
+        snapshot = (agg["mean_flow"], agg["batch_makespan"], agg["events"])
+        assert reference is None or snapshot == reference, "nondeterministic run"
+        reference = snapshot
+    row = {
+        "testbed": "lu-20",
+        "policy": "static",
+        "jobs": jobs,
+        "events": events,
+        "events_per_s": round(best),
+        "target": TARGET_EVENTS_PER_S,
+    }
+    print(
+        f"throughput lu-20 static  {jobs} jobs  {events} events  "
+        f"{row['events_per_s']:,} events/s (target {TARGET_EVENTS_PER_S:,})"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer jobs, smaller study grid")
+    parser.add_argument("--out", default="BENCH_ONLINE.json",
+                        help="output JSON path (default: BENCH_ONLINE.json)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        jobs, rounds = 12, 3
+        study_kwargs = dict(
+            testbed="lu", size=8, jobs=5, arrival="poisson:rate=0.005", seed=0,
+            noises=("exact", "lognormal:sigma=0.3", "straggler"),
+        )
+    else:
+        jobs, rounds = 40, 5
+        study_kwargs = dict(
+            testbed="lu", size=12, jobs=10, arrival="poisson:rate=0.002", seed=0,
+        )
+
+    throughput = bench_throughput(jobs, rounds)
+    study = online_policy_study(**study_kwargs)
+    print()
+    print(format_online_study(study))
+
+    result = {
+        "benchmark": "online",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform_mod.python_version(),
+        "quick": args.quick,
+        "throughput": throughput,
+        "policy_vs_noise": study,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if throughput["events_per_s"] < TARGET_EVENTS_PER_S:
+        print(
+            f"WARNING: {throughput['events_per_s']:,} events/s is below "
+            f"the {TARGET_EVENTS_PER_S:,} events/s target"
+        )
+        return 0 if args.quick else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Literal
 
 from ..core.schedule import CommEvent, Schedule, TaskPlacement
-from ..core.validation import TOL
+from ..core.tolerance import time_tol
 
 NodeKind = Literal["task", "comm"]
 
@@ -51,7 +51,7 @@ def _activities(schedule: Schedule):
 
 
 def _tight(a_finish: float, b_start: float) -> bool:
-    return abs(a_finish - b_start) <= TOL
+    return abs(a_finish - b_start) <= time_tol(a_finish, b_start)
 
 
 def scheduled_critical_path(schedule: Schedule) -> list[ScheduledNode]:

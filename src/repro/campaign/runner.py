@@ -66,6 +66,12 @@ def execute_task(task: dict) -> tuple[str, dict]:
     graph_spec = task["graph"]
     graph = _build_graph(graph_spec)
     platform = platform_from_dict(task["platform"])
+    if task.get("online") is not None:
+        # dynamic-workload cell: simulate the job stream instead of
+        # scheduling the graph once (same JSON-in, JSON-out contract)
+        from ..online import run_online_cell
+
+        return task["key"], run_online_cell(task, graph, platform)
     heuristic = task["heuristic"]
     scheduler = get_scheduler(heuristic["name"], **heuristic["kwargs"])
     cell, _ = run_cell(

@@ -47,6 +47,17 @@ IMPROVE_PARAMS = frozenset(
     {"budget", "seed", "kick", "patience", "critical_bias", "sideways"}
 )
 
+#: Keys an ``online`` axis entry may set (see :mod:`repro.online`).
+ONLINE_PARAMS = frozenset({"policy", "arrival", "noise", "jobs", "seed"})
+
+
+def _online_policy_name(entry: dict) -> str:
+    """Registry name of an online entry's policy spec."""
+    policy = entry.get("policy", "static")
+    if isinstance(policy, dict):
+        return policy.get("name", "?")
+    return policy.partition(":")[0]
+
 
 @dataclass(frozen=True)
 class PlatformSpec:
@@ -159,6 +170,9 @@ class CampaignCell:
     model: str
     heuristic: HeuristicSpec
     validate: bool = True
+    #: Online-axis entry: ``None`` for an offline cell, else the
+    #: dynamic-workload config (policy, arrival, noise, jobs, seed).
+    online: dict | None = None
 
     def graph_payload(self) -> dict:
         params = dict(self.params)
@@ -172,14 +186,26 @@ class CampaignCell:
         }
 
     def key_payload(self) -> dict:
-        """The hashed content — everything that determines the metrics."""
-        return {
+        """The hashed content — everything that determines the metrics.
+
+        The ``online`` block is added only when set, so every offline
+        cell key (and with it every existing cache) is unchanged.
+        """
+        heuristic = self.heuristic.payload()
+        if self.online is not None and _online_policy_name(self.online) == "ready-dispatch":
+            # ready-dispatch never consults a planner: canonicalize so
+            # the key is independent of the grid's heuristic axis
+            heuristic = {"name": "ready-dispatch", "kwargs": {}}
+        out = {
             "v": KEY_SCHEMA_VERSION,
             "graph": self.graph_payload(),
             "platform": self.platform.payload(),
             "model": self.model,
-            "heuristic": self.heuristic.payload(),
+            "heuristic": heuristic,
         }
+        if self.online is not None:
+            out["online"] = self.online
+        return out
 
     @cached_property
     def key(self) -> str:
@@ -210,6 +236,15 @@ class CampaignSpec:
     the *expanded* heuristic payload, so improved and unimproved cells
     cache independently and base-heuristic × search-budget grids are
     resumable like any other campaign.
+
+    The optional ``online`` axis turns cells into dynamic-workload
+    simulations (:mod:`repro.online`): each entry is either ``None``
+    (keep the cell offline) or a dict of online parameters —
+    ``policy``, ``arrival``, ``noise``, ``jobs``, ``seed`` — and every
+    cell of the grid is expanded once per entry, with the cell's
+    heuristic serving as the policy's planner.  Online entries are
+    hashed into the cell key, so policy × arrival × noise sweeps cache
+    and resume like any other campaign.
     """
 
     name: str
@@ -222,6 +257,7 @@ class CampaignSpec:
     comm_ratio: float = DEFAULT_COMM_RATIO
     graph_params: dict[str, dict] = field(default_factory=dict)
     improve: list[dict | None] = field(default_factory=list)
+    online: list[dict | None] = field(default_factory=list)
     validate: bool = True
 
     def __post_init__(self) -> None:
@@ -297,6 +333,52 @@ class CampaignSpec:
                 raise ConfigurationError(
                     f"campaign {self.name!r}: bad improve entry {entry!r}: {exc}"
                 ) from None
+        for entry in self.online:
+            if entry is None:
+                continue
+            if not isinstance(entry, dict):
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: online entries must be None or "
+                    f"a dict of online parameters, got {entry!r}"
+                )
+            unknown = set(entry) - ONLINE_PARAMS
+            if unknown:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: online entry sets {sorted(unknown)}; "
+                    f"accepted: {sorted(ONLINE_PARAMS)}"
+                )
+            jobs = entry.get("jobs", 8)
+            if not isinstance(jobs, int) or jobs < 1:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: online 'jobs' must be a "
+                    f"positive int, got {jobs!r}"
+                )
+            try:
+                # the online registries own the parameter constraints;
+                # fail here, not mid-campaign inside a worker
+                from ..online import make_arrivals, make_noise, make_policy
+
+                make_policy(entry.get("policy", "static"))
+                make_noise(entry.get("noise", "exact"))
+                make_arrivals(entry.get("arrival", "poisson"), 0)
+            except ConfigurationError as exc:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: bad online entry {entry!r}: {exc}"
+                ) from None
+        if any(isinstance(entry, dict) for entry in self.online):
+            not_one_port = [m for m in self.models if m != "one-port"]
+            if not_one_port:
+                # the online engine shares the one-port platform; other
+                # models have no port semantics to simulate
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: the online axis requires the "
+                    f"one-port model, but the grid also sweeps {not_one_port}"
+                )
+            if any(isinstance(entry, dict) for entry in self.improve):
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: the online and improve axes "
+                    f"cannot be combined in one grid"
+                )
         if any(isinstance(entry, dict) for entry in self.improve):
             # only dict entries generate ils cells; improve=[None] is a
             # no-op axis and must not trip the search-specific guards
@@ -335,14 +417,36 @@ class CampaignSpec:
                 out.append(HeuristicSpec.of("ils", kwargs, label))
         return out
 
+    @staticmethod
+    def _online_label(heuristic: HeuristicSpec, entry: dict) -> str:
+        """Series label of one (heuristic, online entry) pair.
+
+        Distinct policies / noises over the same planner must land in
+        distinct series, so the label spells out the whole scenario
+        (except the planner for ready-dispatch, which has none).
+        """
+        policy = entry.get("policy", "static")
+        pol = policy if isinstance(policy, str) else policy.get("name", "?")
+        if _online_policy_name(entry) == "ready-dispatch":
+            parts = [pol]
+        else:
+            parts = [f"{pol}[{heuristic.display}]"]
+        noise = entry.get("noise", "exact")
+        if noise != "exact":
+            parts.append(noise if isinstance(noise, str) else noise.get("name", "?"))
+        arrival = entry.get("arrival", "poisson")
+        parts.append(arrival if isinstance(arrival, str) else arrival.get("kind", "?"))
+        return " ".join(parts)
+
     def expand(self) -> list[CampaignCell]:
         """Materialize the grid in deterministic order.
 
-        Order: testbed, size, seed, platform, model, heuristic×improve —
-        the same nesting a handwritten sweep loop would use, so progress
-        output reads naturally.
+        Order: testbed, size, seed, platform, model, heuristic×improve,
+        online — the same nesting a handwritten sweep loop would use,
+        so progress output reads naturally.
         """
         heuristics = self.expanded_heuristics()
+        online_axis: list[dict | None] = list(self.online) or [None]
         cells: list[CampaignCell] = []
         for testbed in self.testbeds:
             seeded = "seed" in generator_params(testbed)
@@ -352,21 +456,39 @@ class CampaignSpec:
                 for seed in seeds:
                     for platform in self.platforms:
                         for model in self.models:
-                            for heuristic in heuristics:
-                                cells.append(
-                                    CampaignCell(
-                                        campaign=self.name,
-                                        testbed=testbed,
-                                        size=size,
-                                        seed=seed,
-                                        params=params,
-                                        comm_ratio=self.comm_ratio,
-                                        platform=platform,
-                                        model=model,
-                                        heuristic=heuristic,
-                                        validate=self.validate,
+                            for hix, heuristic in enumerate(heuristics):
+                                for entry in online_axis:
+                                    label = heuristic
+                                    if entry is not None:
+                                        if (
+                                            hix
+                                            and _online_policy_name(entry)
+                                            == "ready-dispatch"
+                                        ):
+                                            # planner-free: one cell per
+                                            # grid point, not one per
+                                            # heuristic
+                                            continue
+                                        label = HeuristicSpec(
+                                            heuristic.name,
+                                            heuristic.kwargs,
+                                            self._online_label(heuristic, entry),
+                                        )
+                                    cells.append(
+                                        CampaignCell(
+                                            campaign=self.name,
+                                            testbed=testbed,
+                                            size=size,
+                                            seed=seed,
+                                            params=params,
+                                            comm_ratio=self.comm_ratio,
+                                            platform=platform,
+                                            model=model,
+                                            heuristic=label,
+                                            validate=self.validate,
+                                            online=entry,
+                                        )
                                     )
-                                )
         return cells
 
     # ------------------------------------------------------------------
@@ -384,6 +506,7 @@ class CampaignSpec:
             "comm_ratio": self.comm_ratio,
             "graph_params": {k: dict(v) for k, v in self.graph_params.items()},
             "improve": [None if e is None else dict(e) for e in self.improve],
+            "online": [None if e is None else dict(e) for e in self.online],
             "validate": self.validate,
         }
 
@@ -406,6 +529,10 @@ class CampaignSpec:
                 improve=[
                     None if e is None else dict(e)
                     for e in payload.get("improve", [])
+                ],
+                online=[
+                    None if e is None else dict(e)
+                    for e in payload.get("online", [])
                 ],
                 validate=bool(payload.get("validate", True)),
             )

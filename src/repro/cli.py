@@ -24,7 +24,14 @@ Subcommands
     ``campaign run`` executes (worker pool + content-addressed cache),
     ``campaign status`` reports cache coverage, ``campaign export``
     writes cached cells as CSV/JSON.  ``--improve-budgets`` sweeps an
-    ``ils`` post-pass over the heuristic axis.
+    ``ils`` post-pass over the heuristic axis; ``--online-policies``
+    (crossed with ``--online-arrivals``/``--online-noises``) turns the
+    grid into dynamic-workload simulations.
+``online``
+    Event-driven dynamic-workload simulation (``repro.online``): a
+    seeded stream of jobs arriving over time, executed under a noise
+    model by a rescheduling policy; prints per-job flow/stretch and
+    platform aggregates (``--json`` for machines).
 """
 
 from __future__ import annotations
@@ -60,8 +67,38 @@ from .graphs import available_testbeds, make_testbed
 from .heuristics import available_schedulers, get_scheduler
 
 
-def _cmd_info(_args) -> int:
+def _cmd_info(args) -> int:
+    import json
+
+    from .campaign.spec import KNOWN_MODELS
+    from .online import available_arrivals, available_noise_models, available_policies
+
     plat = paper_platform()
+    if getattr(args, "json", False):
+        payload = {
+            "platform": {
+                "processors": plat.num_processors,
+                "cycle_times": list(plat.cycle_times),
+                "speedup_bound": plat.speedup_bound(),
+                "perfect_balance": plat.perfect_balance_count(),
+                "weight_shares": weight_shares(plat.cycle_times),
+            },
+            "paper": {
+                "best_b": PAPER_BEST_B,
+                "comm_ratio": PAPER_COMM_RATIO,
+            },
+            "registries": {
+                "testbeds": available_testbeds(),
+                "schedulers": available_schedulers(),
+                "models": list(KNOWN_MODELS),
+                "figures": available_figures(),
+                "policies": available_policies(),
+                "noise_models": available_noise_models(),
+                "arrivals": available_arrivals(),
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print("paper platform (Section 5.2)")
     print(f"  processors        : {plat.num_processors} {plat.cycle_times}")
     print(f"  speedup bound     : {plat.speedup_bound():.2f}")
@@ -72,6 +109,9 @@ def _cmd_info(_args) -> int:
     print(f"  best B per testbed: {PAPER_BEST_B}")
     print(f"  testbeds          : {', '.join(available_testbeds())}")
     print(f"  schedulers        : {', '.join(available_schedulers())}")
+    print(f"  policies          : {', '.join(available_policies())}")
+    print(f"  noise models      : {', '.join(available_noise_models())}")
+    print(f"  arrivals          : {', '.join(available_arrivals())}")
     return 0
 
 
@@ -172,6 +212,61 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_online(args) -> int:
+    import json
+
+    from .online import (
+        check_execution,
+        format_jobs,
+        make_policy,
+        make_workload,
+        simulate_online,
+    )
+    from .online.harness import online_result_summary
+
+    testbed = _TESTBED_ALIASES.get(args.testbed, args.testbed)
+    heuristic = _parse_heuristic(args.heuristic)
+    overrides = {}
+    if args.policy.partition(":")[0] != "ready-dispatch":
+        overrides = {
+            "heuristic": heuristic.name,
+            "heuristic_kwargs": dict(heuristic.kwargs),
+        }
+    try:
+        policy = make_policy(args.policy, **overrides)
+        workload = make_workload(
+            testbed,
+            args.size,
+            args.jobs,
+            arrival=args.arrival,
+            seed=args.seed,
+            comm_ratio=args.comm_ratio,
+            vary_graphs=args.vary_graphs,
+        )
+        result = simulate_online(
+            workload,
+            paper_platform(),
+            policy=policy,
+            noise=args.noise,
+            seed=args.seed,
+            log_events=False,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    check_execution(result)
+    if args.json:
+        print(json.dumps(online_result_summary(result), indent=2))
+        return 0
+    planner = f" (planner {heuristic.display})" if overrides else ""
+    print(
+        f"policy {args.policy}{planner}  "
+        f"noise {args.noise}  arrival {args.arrival}  seed {args.seed}"
+    )
+    print(format_jobs(result))
+    print(f"throughput: {result.events_per_s:,.0f} events/s")
+    return 0
+
+
 def _cmd_bottleneck(args) -> int:
     graph, platform = _make(args)
     scheduler = get_scheduler(args.heuristic, **({"b": args.b} if args.b else {}))
@@ -221,6 +316,19 @@ def _campaign_spec(args) -> CampaignSpec:
             improve.append(None)
         else:
             improve.append({"budget": budget, "seed": args.improve_seed})
+    online: list[dict | None] = []
+    for policy in args.online_policies or []:
+        for arrival in args.online_arrivals:
+            for noise in args.online_noises:
+                online.append(
+                    {
+                        "policy": policy,
+                        "arrival": arrival,
+                        "noise": noise,
+                        "jobs": args.online_jobs,
+                        "seed": args.online_seed,
+                    }
+                )
     return CampaignSpec(
         name=args.name,
         testbeds=args.testbeds,
@@ -230,6 +338,7 @@ def _campaign_spec(args) -> CampaignSpec:
         seeds=args.seeds,
         comm_ratio=args.comm_ratio,
         improve=improve,
+        online=online,
     )
 
 
@@ -300,7 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="paper constants and registries").set_defaults(fn=_cmd_info)
+    p = sub.add_parser("info", help="paper constants and registries")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of the text report")
+    p.set_defaults(fn=_cmd_info)
 
     def add_graph_args(p):
         p.add_argument("--testbed", default="lu", choices=available_testbeds())
@@ -344,6 +456,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gantt", type=int, nargs="?", const=78, default=None)
     p.set_defaults(fn=_cmd_search)
 
+    p = sub.add_parser("online", help="dynamic-workload simulation")
+    p.add_argument("--testbed", default="lu",
+                   choices=sorted([*available_testbeds(), *_TESTBED_ALIASES]),
+                   help="job template (accepts 'forkjoin' for 'fork-join')")
+    p.add_argument("--size", type=int, default=10)
+    p.add_argument("--comm-ratio", type=float, default=PAPER_COMM_RATIO)
+    p.add_argument("--jobs", type=int, default=8, help="number of jobs in the stream")
+    p.add_argument("--arrival", default="poisson:rate=0.002",
+                   help="arrival process, e.g. poisson:rate=0.01, "
+                        "burst:size=4,gap=500, trace:0,100,250")
+    p.add_argument("--noise", default="exact",
+                   help="duration noise, e.g. lognormal:sigma=0.3, "
+                        "straggler:prob=0.05,factor=5")
+    p.add_argument("--policy", default="static",
+                   help="rescheduling policy: static, periodic:period=T, "
+                        "reactive:threshold=X, ready-dispatch")
+    p.add_argument("--heuristic", default="heft",
+                   help="planning heuristic of the policy, "
+                        "optionally name:key=val,key=val")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for arrivals, noise, and seeded testbeds")
+    p.add_argument("--vary-graphs", action="store_true",
+                   help="derive a distinct graph seed per job "
+                        "(seeded testbeds only)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of the table")
+    p.set_defaults(fn=_cmd_online)
+
     p = sub.add_parser("bottleneck", help="critical-chain attribution")
     add_graph_args(p)
     p.add_argument("--heuristic", default="heft", choices=available_schedulers())
@@ -371,6 +511,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sweep an ils post-pass per heuristic; 0 = no search")
         cp.add_argument("--improve-seed", type=int, default=0,
                         help="search seed for the --improve-budgets entries")
+        cp.add_argument("--online-policies", nargs="+", default=None,
+                        help="turn cells into dynamic-workload simulations "
+                             "with these policies (crossed with the arrival "
+                             "and noise lists)")
+        cp.add_argument("--online-arrivals", nargs="+",
+                        default=["poisson:rate=0.002"],
+                        help="arrival specs of the online axis")
+        cp.add_argument("--online-noises", nargs="+", default=["exact"],
+                        help="noise specs of the online axis")
+        cp.add_argument("--online-jobs", type=int, default=8,
+                        help="jobs per online cell")
+        cp.add_argument("--online-seed", type=int, default=0,
+                        help="engine seed of the online cells")
         cp.add_argument("--cache-dir", default=".repro-cache",
                         help="content-addressed result cache directory")
         cp.add_argument("--no-cache", action="store_true",

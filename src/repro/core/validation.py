@@ -24,15 +24,9 @@ from collections.abc import Hashable
 
 from .exceptions import ValidationError
 from .schedule import CommEvent, Schedule
-from .tolerance import TIME_EPS, time_tol
+from .tolerance import time_tol
 
 TaskId = Hashable
-
-#: Floor tolerance for float comparisons between chained time values;
-#: actual comparisons scale it by magnitude via :func:`time_tol`, so
-#: accumulated float error on long chains at large magnitude (where one
-#: ULP exceeds any fixed absolute epsilon) is never a spurious failure.
-TOL = TIME_EPS
 
 MACRO_DATAFLOW = "macro-dataflow"
 ONE_PORT = "one-port"

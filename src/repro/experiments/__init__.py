@@ -20,6 +20,7 @@ from .config import (
 from .figures import FIGURES, FigureSpec, available_figures, run_figure
 from .harness import CellResult, ExperimentRun, run_cell, run_sweep
 from .io import read_csv, read_json, write_csv, write_json
+from .online_study import format_online_study, online_policy_study
 from .report import format_cells, format_comparison, format_run
 
 __all__ = [
@@ -41,6 +42,8 @@ __all__ = [
     "model_comparison",
     "search_budget_ablation",
     "format_cells",
+    "format_online_study",
+    "online_policy_study",
     "format_comparison",
     "format_run",
     "paper_platform",

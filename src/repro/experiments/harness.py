@@ -23,7 +23,13 @@ from ..models.base import CommunicationModel
 
 @dataclass(frozen=True)
 class CellResult:
-    """Metrics of one scheduled cell."""
+    """Metrics of one scheduled cell.
+
+    ``extra`` carries scenario-specific metrics that have no offline
+    counterpart (the online axis stores flow/stretch/events there); it
+    defaults to empty so rows cached before the field existed load
+    unchanged.
+    """
 
     figure: str
     testbed: str
@@ -38,9 +44,13 @@ class CellResult:
     utilization: float
     lower_bound: float
     runtime_s: float
+    extra: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        return asdict(self)
+        out = asdict(self)
+        if not out["extra"]:
+            del out["extra"]
+        return out
 
 
 @dataclass

@@ -64,7 +64,11 @@ def write_csv(
         writer = csv.DictWriter(fh, fieldnames=_FIELDS)
         writer.writeheader()
         for cell in cells:
-            writer.writerow(cell.as_dict())
+            row = cell.as_dict()
+            if "extra" in row:
+                # dicts do not survive CSV; embed as canonical JSON text
+                row["extra"] = json.dumps(row["extra"], sort_keys=True)
+            writer.writerow(row)
 
     return _atomic_write(path, overwrite, body)
 
@@ -89,6 +93,7 @@ def read_csv(path: str | Path) -> list[CellResult]:
                     utilization=float(row["utilization"]),
                     lower_bound=float(row["lower_bound"]),
                     runtime_s=float(row["runtime_s"]),
+                    extra=json.loads(row["extra"]) if row.get("extra") else {},
                 )
             )
     return out

@@ -1,0 +1,101 @@
+"""Policy-versus-noise study: how rescheduling pays off as estimates degrade.
+
+The online analogue of the paper's figure sweeps: one job stream
+(testbed × size × arrival × seed), simulated once per (policy, noise)
+pair, reporting mean flow / mean stretch / utilization per cell.  The
+qualitative expectation mirrors the online-scheduling literature:
+open-loop ``static`` degrades fastest as noise grows, ``periodic`` /
+``reactive`` buy robustness with rescheduling work, and the
+non-clairvoyant ``ready-dispatch`` is insensitive to estimate quality
+(it never trusts estimates beyond one dispatch decision).
+
+Used by ``benchmarks/bench_online.py`` for the committed policy-vs-noise
+figure and importable for ad-hoc studies.
+"""
+
+from __future__ import annotations
+
+from ..core.platform import Platform
+from ..online import check_execution, make_policy, make_workload, simulate_online
+from .config import paper_platform
+
+#: Default axes of the study.
+DEFAULT_POLICIES = (
+    "static",
+    "periodic:period=1000",
+    "reactive:threshold=0.1",
+    "ready-dispatch",
+)
+DEFAULT_NOISES = ("exact", "lognormal:sigma=0.1", "lognormal:sigma=0.3", "straggler")
+
+
+def online_policy_study(
+    testbed: str = "lu",
+    size: int = 10,
+    jobs: int = 8,
+    arrival: str = "poisson:rate=0.002",
+    policies=DEFAULT_POLICIES,
+    noises=DEFAULT_NOISES,
+    heuristic: str = "heft",
+    seed: int = 0,
+    platform: Platform | None = None,
+    validate: bool = True,
+) -> list[dict]:
+    """One row per (policy, noise) cell of the study grid."""
+    platform = platform or paper_platform()
+    workload = make_workload(testbed, size, jobs, arrival=arrival, seed=seed)
+    rows = []
+    for policy_spec in policies:
+        for noise in noises:
+            overrides = {}
+            if policy_spec.partition(":")[0] != "ready-dispatch":
+                overrides = {"heuristic": heuristic}
+            policy = make_policy(policy_spec, **overrides)
+            result = simulate_online(
+                workload, platform, policy=policy, noise=noise,
+                seed=seed, log_events=False,
+            )
+            if validate:
+                check_execution(result)
+            agg = result.aggregate()
+            rows.append(
+                {
+                    "testbed": testbed,
+                    "size": size,
+                    "policy": policy_spec,
+                    "noise": noise,
+                    "jobs": agg["jobs"],
+                    "events": agg["events"],
+                    "mean_flow": agg["mean_flow"],
+                    "max_flow": agg["max_flow"],
+                    "mean_stretch": agg["mean_stretch"],
+                    "weighted_flow": agg["weighted_flow"],
+                    "utilization": agg["utilization"],
+                    "reschedules": agg["reschedules"],
+                    "events_per_s": round(result.events_per_s, 1),
+                }
+            )
+    return rows
+
+
+def format_online_study(rows: list[dict]) -> str:
+    """Mean stretch as a policy × noise matrix (plus reschedule counts)."""
+    noises = list(dict.fromkeys(r["noise"] for r in rows))
+    policies = list(dict.fromkeys(r["policy"] for r in rows))
+    by_cell = {(r["policy"], r["noise"]): r for r in rows}
+    width = max(12, *(len(n) for n in noises)) + 2
+    head = "mean stretch".ljust(26) + "".join(n.rjust(width) for n in noises)
+    lines = [head, "-" * len(head)]
+    for policy in policies:
+        cells = []
+        for noise in noises:
+            r = by_cell.get((policy, noise))
+            if r is None:
+                cells.append("-".rjust(width))
+                continue
+            label = f"{r['mean_stretch']:.2f}"
+            if r["reschedules"]:
+                label += f" ({r['reschedules']}r)"
+            cells.append(label.rjust(width))
+        lines.append(policy.ljust(26) + "".join(cells))
+    return "\n".join(lines)

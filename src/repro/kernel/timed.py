@@ -90,6 +90,7 @@ class TimedKernel:
         "active",
         "num_active",
         "hop_list",
+        "hop_procs",
         "dur",
         "preds",
         "succs",
@@ -115,6 +116,11 @@ class TimedKernel:
         #: Edge index per booked transfer, in decision insertion order
         #: (``from_decisions`` only; parallels ``decisions.hops.items()``).
         self.hop_list: list[int] = []
+        #: ``(from_proc, to_proc)`` per entry of :attr:`hop_list` — the
+        #: port pair each transfer occupies (online engine hook: a
+        #: transfer activity seizes the send port of ``from_proc`` and
+        #: the receive port of ``to_proc`` simultaneously).
+        self.hop_procs: list[tuple[int, int]] = []
         self.dur: list[float] = [0.0] * (n + m)
         #: Predecessor lists (``from_point`` builds these; the one-shot
         #: ``from_decisions`` path builds :attr:`succs`/:attr:`indeg`).
@@ -199,6 +205,7 @@ class TimedKernel:
             e = node - n
             active[e] = 1
             hop_list.append(e)
+            self.hop_procs.append((a, b))
             indeg[node] = 1
             if not (0 <= a < num_procs and 0 <= b < num_procs):
                 # match Platform._check_proc (negative list indices would
@@ -344,7 +351,42 @@ class TimedKernel:
         out.extend(n + e for e in range(self.statics.num_edges) if self.active[e])
         return out
 
-    def propagate_kahn(self) -> float:
+    def one_shot_successors(self, node: int) -> list[int]:
+        """Constraint successors of ``node`` in the one-shot form.
+
+        Online-engine hook: enumerates the same successor set
+        :meth:`propagate_kahn` walks — graph successors from the statics
+        CSR (task nodes), the destination task (transfer slots), plus
+        the next-pointer order edges — without materializing adjacency
+        lists for the whole DAG.  Requires :meth:`from_decisions`.
+        """
+        st = self.statics
+        n = st.num_tasks
+        out: list[int] = []
+        if node < n:
+            active, edst = self.active, st.edst
+            for e in st.succ_rows[node]:
+                out.append(n + e if active[e] else edst[e])
+            nxt = self.next_proc[node]
+            if nxt >= 0:
+                out.append(nxt)
+        else:
+            e = node - n
+            out.append(st.edst[e])
+            nxt = self.next_send[e]
+            if nxt >= 0:
+                out.append(nxt)
+            nxt = self.next_recv[e]
+            if nxt >= 0:
+                out.append(nxt)
+        return out
+
+    def propagate_kahn(
+        self,
+        dur: list[float] | None = None,
+        out_start: list[float] | None = None,
+        out_finish: list[float] | None = None,
+    ) -> float:
         """Full forward pass in Kahn order; raises on cyclic orders.
 
         Requires the one-shot form (:meth:`from_decisions`): successors
@@ -354,12 +396,21 @@ class TimedKernel:
         maximum of finished predecessors, which equals the object-level
         replay's ``max`` over the full predecessor list exactly (same
         operands, any order).
+
+        Online-engine hook: ``dur`` substitutes observed durations for
+        the compiled estimates, and ``out_start`` / ``out_finish``
+        (full-size arrays) receive the resulting times without touching
+        the base plan state — passing either leaves :attr:`start`,
+        :attr:`finish`, and :attr:`makespan` unchanged.
         """
         st = self.statics
         n = st.num_tasks
         srows, edst = st.succ_rows, st.edst
-        dur, active = self.dur, self.active
-        start, finish = self.start, self.finish
+        active = self.active
+        if dur is None:
+            dur = self.dur
+        start = self.start if out_start is None else out_start
+        finish = self.finish if out_finish is None else out_finish
         next_proc, next_send, next_recv = self.next_proc, self.next_send, self.next_recv
         indeg = self.indeg.copy()
         est = [0.0] * (n + st.num_edges)
@@ -420,7 +471,10 @@ class TimedKernel:
             raise SchedulingError(
                 "constraint DAG has a cycle: the decision orders are inconsistent"
             )
-        return self._scan_makespan()
+        ms = max(finish[:n], default=0.0)
+        if finish is self.finish:
+            self.makespan = ms
+        return ms
 
     def propagate_order(self, order: list[int]) -> float:
         """Full forward pass over a pre-sorted topological node order."""

@@ -33,7 +33,8 @@ from collections.abc import Hashable, Sequence
 from ..core.exceptions import ValidationError
 from ..core.schedule import Schedule
 from ..core.timeline import Timeline, TimelineOverlay, earliest_joint_fit
-from ..core.validation import TOL, ONE_PORT, validate_schedule
+from ..core.tolerance import time_tol
+from ..core.validation import ONE_PORT, validate_schedule
 from .base import CommState, CommTrial, CommunicationModel
 
 TaskId = Hashable
@@ -229,7 +230,7 @@ def validate_uni_port(schedule: Schedule) -> None:
     for proc, events in by_proc.items():
         events.sort(key=lambda e: (e.start, e.finish))
         for a, b in zip(events, events[1:]):
-            if a.finish > b.start + TOL:
+            if a.finish > b.start + time_tol(a.finish, b.start):
                 raise ValidationError(
                     f"uni-port violation on P{proc}: {a} overlaps {b}"
                 )
@@ -242,7 +243,10 @@ def validate_no_overlap(schedule: Schedule) -> None:
     for e in schedule.comm_events:
         for proc in (e.src_proc, e.dst_proc):
             for p in schedule.tasks_on(proc):
-                if e.start < p.finish - TOL and p.start < e.finish - TOL:
+                if (
+                    e.start < p.finish - time_tol(e.start, p.finish)
+                    and p.start < e.finish - time_tol(p.start, e.finish)
+                ):
                     raise ValidationError(
                         f"no-overlap violation on P{proc}: transfer "
                         f"{e.src_task!r}->{e.dst_task!r} [{e.start}, {e.finish}) "

@@ -1,0 +1,79 @@
+"""Online scheduling: event-driven dynamic workloads on the one-port platform.
+
+Everything in the rest of the repository is offline — one DAG, known
+costs, schedule once, replay.  This package opens the *online* regime
+(the setting of SELFISHMIGRATE and the scalable power-heterogeneous
+schedulers): jobs arrive over time via seeded arrival processes, actual
+durations deviate from estimates via pluggable noise models, and
+registered rescheduling policies react — all over the same flat kernel
+the offline paths use, so simulation runs at flat-array speed.
+
+Quick start::
+
+    from repro.experiments import paper_platform
+    from repro.online import make_workload, simulate_online
+
+    wl = make_workload("lu", 10, count=8, arrival="poisson:rate=0.002", seed=0)
+    result = simulate_online(wl, paper_platform(),
+                             policy="periodic:period=1000",
+                             noise="lognormal:sigma=0.3", seed=0)
+    print(result.aggregate()["mean_stretch"])
+"""
+
+from .engine import Activity, JobState, OnlineEngine, simulate_online
+from .harness import run_online_cell
+from .metrics import JobMetrics, OnlineResult, check_execution, format_jobs
+from .noise import (
+    ExactNoise,
+    LognormalNoise,
+    NoiseModel,
+    StragglerNoise,
+    available_noise_models,
+    make_noise,
+)
+from .policies import (
+    PeriodicPolicy,
+    Policy,
+    ReactivePolicy,
+    ReadyDispatchPolicy,
+    StaticPolicy,
+    available_policies,
+    make_policy,
+)
+from .workload import (
+    Job,
+    Workload,
+    available_arrivals,
+    make_arrivals,
+    make_workload,
+)
+
+__all__ = [
+    "Activity",
+    "ExactNoise",
+    "Job",
+    "JobMetrics",
+    "JobState",
+    "LognormalNoise",
+    "NoiseModel",
+    "OnlineEngine",
+    "OnlineResult",
+    "PeriodicPolicy",
+    "Policy",
+    "ReactivePolicy",
+    "ReadyDispatchPolicy",
+    "StaticPolicy",
+    "StragglerNoise",
+    "Workload",
+    "available_arrivals",
+    "available_noise_models",
+    "available_policies",
+    "check_execution",
+    "format_jobs",
+    "make_arrivals",
+    "make_noise",
+    "make_policy",
+    "make_workload",
+    "run_online_cell",
+    "simulate_online",
+]

@@ -1,0 +1,154 @@
+"""Campaign bridge: one online-simulation cell -> one CellResult row.
+
+The campaign engine's ``online`` axis turns a (testbed, size, platform,
+heuristic) cell into a dynamic-workload simulation instead of a single
+offline schedule.  This module maps the :class:`OnlineResult` onto the
+offline :class:`~repro.experiments.harness.CellResult` vocabulary so
+online cells flow through the existing cache, aggregation, and export
+machinery unchanged:
+
+* ``makespan`` — the batch horizon (first arrival to last completion);
+* ``speedup`` — total sequential work over the horizon (the stream
+  analogue of the paper's ratio: how many fastest-processor-seconds of
+  work the platform retired per wall second);
+* ``lower_bound`` — ``max_j (arrival_j + LB_j)``, a valid bound on the
+  last completion;
+* the online-only numbers (flow, stretch, events/s, ...) ride in
+  ``CellResult.extra``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.platform import Platform
+from ..core.taskgraph import TaskGraph
+from .engine import OnlineEngine
+from .metrics import OnlineResult
+from .workload import Job, Workload, make_arrivals
+
+
+def build_workload_from_payload(
+    graph: TaskGraph, online: dict, name: str = "job"
+) -> Workload:
+    """The job stream of one online cell: ``jobs`` instances of the
+    cell's graph released by the cell's arrival process."""
+    count = int(online.get("jobs", 8))
+    seed = int(online.get("seed", 0))
+    arrival = online.get("arrival", "poisson")
+    times = make_arrivals(arrival, count, seed=seed)
+    return Workload(
+        [Job(j, f"{name}#{j}", graph, t) for j, t in enumerate(times)]
+    )
+
+
+def run_online_cell(
+    task: dict, graph: TaskGraph, platform: Platform
+) -> dict:
+    """Execute one campaign cell's online simulation; returns the
+    JSON-able ``CellResult`` row (the worker-side analogue of
+    :func:`repro.experiments.harness.run_cell`)."""
+    from ..experiments.harness import CellResult
+    from .policies import make_policy
+
+    online = task["online"]
+    heuristic = task["heuristic"]
+    spec = online.get("policy", "static")
+    name = spec["name"] if isinstance(spec, dict) else spec.partition(":")[0]
+    overrides = {}
+    if name != "ready-dispatch":
+        # the campaign's heuristic axis is the policy's planner
+        overrides = {
+            "heuristic": heuristic["name"],
+            "heuristic_kwargs": heuristic["kwargs"],
+            "model": task["model"],
+        }
+    policy = make_policy(spec, **overrides)
+    workload = build_workload_from_payload(
+        graph, online, name=f"{task['graph']['testbed']}-{task['graph']['size']}"
+    )
+    engine = OnlineEngine(
+        platform,
+        policy,
+        noise=online.get("noise", "exact"),
+        seed=int(online.get("seed", 0)),
+        log_events=False,
+    )
+    t0 = time.perf_counter()
+    result = engine.run(workload)
+    runtime = time.perf_counter() - t0
+    if task.get("validate", True):
+        from .metrics import check_execution
+
+        check_execution(result)
+    agg = result.aggregate()
+    sequential = sum(
+        platform.sequential_time(j.graph.total_weight()) for j in workload
+    )
+    horizon = result.horizon
+    cell = CellResult(
+        figure=task["campaign"],
+        testbed=task["graph"]["testbed"],
+        size=task["graph"]["size"],
+        num_tasks=agg["tasks"],
+        heuristic=task["label"],
+        model=task["model"],
+        makespan=horizon,
+        speedup=sequential / horizon if horizon > 0 else float("inf"),
+        num_comms=agg["total_comms"],
+        total_comm_time=agg["total_comm_time"],
+        utilization=result.utilization,
+        lower_bound=max(
+            (j.arrival + m.lower_bound for j, m in zip(workload, result.jobs)),
+            default=0.0,
+        ) - result.horizon_start,
+        runtime_s=runtime,
+        extra={
+            "online": True,
+            "policy": agg["policy"],
+            "noise": agg["noise"],
+            "jobs": agg["jobs"],
+            "events": agg["events"],
+            "events_per_s": round(result.events_per_s, 1),
+            "mean_flow": agg["mean_flow"],
+            "max_flow": agg["max_flow"],
+            "mean_stretch": agg["mean_stretch"],
+            "max_stretch": agg["max_stretch"],
+            "weighted_flow": agg["weighted_flow"],
+            "reschedules": agg["reschedules"],
+        },
+    )
+    return cell.as_dict()
+
+
+def online_result_summary(result: OnlineResult) -> dict:
+    """Flat JSON-able summary (CLI ``--json`` payload)."""
+    agg = result.aggregate()
+    return {
+        "policy": result.policy,
+        "noise": result.noise,
+        "seed": result.seed,
+        "aggregate": agg,
+        "events_per_s": round(result.events_per_s, 1),
+        "jobs": [
+            {
+                "index": j.index,
+                "name": j.name,
+                "tasks": j.tasks,
+                "weight": j.weight,
+                "arrival": j.arrival,
+                "first_start": j.first_start,
+                "completion": j.completion,
+                "flow": j.flow,
+                "makespan": j.makespan,
+                "stretch": j.stretch,
+                "weighted_flow": j.weighted_flow,
+                "lower_bound": j.lower_bound,
+                "planned_makespan": j.planned_makespan,
+                "reschedules": j.reschedules,
+                "comms": j.comms,
+                "comm_time": j.comm_time,
+            }
+            for j in result.jobs
+        ],
+    }

@@ -1,0 +1,261 @@
+"""Online-scheduling metrics: per-job flow/stretch, platform aggregates.
+
+The metric vocabulary follows the online-scheduling literature (flow
+time, stretch, weighted flow — the objectives of SELFISHMIGRATE-style
+analyses) rather than the single-DAG makespan the offline harness
+reports:
+
+* **flow time** ``F_j = C_j - r_j`` — completion minus release;
+* **stretch** ``F_j / LB_j`` — flow relative to the job's offline
+  makespan *lower bound* on this platform (a policy-independent
+  denominator, so stretches are comparable across policies);
+* **weighted flow** ``w_j * F_j``;
+* **job makespan** ``C_j`` minus the job's first activity start — time
+  the job spent in service, excluding queueing delay before it touched
+  the platform.
+
+:func:`check_execution` is the online analogue of the offline schedule
+validator: it re-checks resource exclusivity (compute, send port,
+receive port — across *all* jobs), precedence, and release-time
+causality from the raw executed activities, independent of the engine's
+bookkeeping.  Durations are whatever the noise model drew, so the
+offline duration check does not apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean
+
+from ..core.exceptions import ValidationError
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..core.tolerance import guard_tol
+
+
+@dataclass(frozen=True)
+class JobMetrics:
+    """Final metrics of one job."""
+
+    index: int
+    name: str
+    tasks: int
+    weight: float
+    arrival: float
+    first_start: float
+    completion: float
+    flow: float
+    makespan: float
+    stretch: float
+    weighted_flow: float
+    lower_bound: float
+    planned_makespan: float
+    reschedules: int
+    comms: int
+    comm_time: float
+
+
+@dataclass
+class OnlineResult:
+    """Everything one engine run produced."""
+
+    policy: dict
+    noise: dict
+    seed: int
+    workload: object
+    platform: Platform
+    jobs: list[JobMetrics]
+    #: Per job index: executed ``(task, proc, start, finish)`` rows.
+    placements: dict[int, list]
+    #: Executed transfers: ``(job, src, dst, from_proc, to_proc, start,
+    #: finish, data)``.
+    transfers: list[tuple]
+    horizon_start: float
+    horizon_end: float
+    utilization: float
+    events: int
+    wall_s: float
+    event_log: list[tuple] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> float:
+        return self.horizon_end - self.horizon_start
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def aggregate(self) -> dict:
+        """Headline numbers of the whole run as a plain dict."""
+        jobs = self.jobs
+        flows = [j.flow for j in jobs]
+        stretches = [j.stretch for j in jobs]
+        return {
+            "policy": self.policy.get("name", "?"),
+            "noise": self.noise.get("name", "?"),
+            "jobs": len(jobs),
+            "tasks": sum(j.tasks for j in jobs),
+            "events": self.events,
+            "horizon": self.horizon,
+            "batch_makespan": self.horizon,
+            "utilization": self.utilization,
+            "mean_flow": fmean(flows) if flows else 0.0,
+            "max_flow": max(flows, default=0.0),
+            "mean_stretch": fmean(stretches) if stretches else 0.0,
+            "max_stretch": max(stretches, default=0.0),
+            "weighted_flow": sum(j.weighted_flow for j in jobs),
+            "total_comms": sum(j.comms for j in jobs),
+            "total_comm_time": sum(j.comm_time for j in jobs),
+            "reschedules": sum(j.reschedules for j in jobs),
+        }
+
+    # ------------------------------------------------------------------
+    # per-job schedules
+    # ------------------------------------------------------------------
+    def schedule_of(self, index: int) -> Schedule:
+        """The executed (actual-time) schedule of one job."""
+        jobs = {j.index: j for j in self.workload}
+        job = jobs[index]
+        out = Schedule(
+            job.graph,
+            self.platform,
+            model="one-port",
+            heuristic=f"online({self.policy.get('name', '?')})",
+        )
+        for task, proc, start, finish in self.placements[index]:
+            out.place(task, proc, start, finish)
+        for jix, src, dst, a, b, start, finish, data in self.transfers:
+            if jix == index:
+                out.record_comm(src, dst, a, b, start, finish - start, data)
+        return out
+
+    def schedules(self) -> list[Schedule]:
+        return [self.schedule_of(j.index) for j in self.jobs]
+
+
+def check_execution(result: OnlineResult) -> None:
+    """Independent validity check of an executed online run.
+
+    Re-derives, from the raw placement/transfer rows alone:
+
+    * every job's every task executed exactly once, at or after arrival;
+    * compute exclusivity per processor across all jobs;
+    * one-port exclusivity per send port and per receive port across
+      all jobs;
+    * precedence: a transfer starts no earlier than its source task
+      finishes, a task starts no earlier than each incoming transfer
+      finishes (and no earlier than co-located parents finish).
+
+    Raises :class:`~repro.core.exceptions.ValidationError` on the first
+    violation.  Overlap comparisons use the internal guard tolerance —
+    the engine chains exact floats, so only ULP-level slack is allowed.
+    """
+    arrivals = {j.index: j.arrival for j in result.jobs}
+    graphs = {j.index: j.graph for j in result.workload}
+
+    by_proc: dict[int, list] = {}
+    #: ``(job, task) -> (proc, start, finish)`` of the executed task.
+    times: dict[tuple, tuple[int, float, float]] = {}
+    for jix, rows in result.placements.items():
+        graph = graphs[jix]
+        seen = set()
+        for task, proc, start, finish in rows:
+            if task in seen:
+                raise ValidationError(f"job {jix}: task {task!r} executed twice")
+            seen.add(task)
+            if start < arrivals[jix] - guard_tol(start, arrivals[jix]):
+                raise ValidationError(
+                    f"job {jix}: task {task!r} starts at {start} before "
+                    f"its arrival at {arrivals[jix]}"
+                )
+            by_proc.setdefault(proc, []).append((start, finish, jix, task))
+            times[(jix, task)] = (proc, start, finish)
+        missing = [v for v in graph.tasks() if v not in seen]
+        if missing:
+            raise ValidationError(
+                f"job {jix}: {len(missing)} task(s) never executed, "
+                f"e.g. {missing[:5]!r}"
+            )
+    for proc, rows in by_proc.items():
+        rows.sort(key=lambda r: (r[0], r[1]))
+        for a, b in zip(rows, rows[1:]):
+            if a[1] > b[0] + guard_tol(a[1], b[0]):
+                raise ValidationError(
+                    f"P{proc}: task {a[3]!r} (job {a[2]}) [{a[0]}, {a[1]}) "
+                    f"overlaps {b[3]!r} (job {b[2]}) [{b[0]}, {b[1]})"
+                )
+
+    send: dict[int, list] = {}
+    recv: dict[int, list] = {}
+    arrival_via: dict[tuple, float] = {}
+    for jix, src, dst, a, b, start, finish, _data in result.transfers:
+        sproc, _sstart, sfinish = times[(jix, src)]
+        if sproc != a:
+            raise ValidationError(
+                f"job {jix}: transfer {src!r}->{dst!r} leaves P{a} but "
+                f"{src!r} ran on P{sproc}"
+            )
+        if start < sfinish - guard_tol(start, sfinish):
+            raise ValidationError(
+                f"job {jix}: transfer {src!r}->{dst!r} starts at {start} "
+                f"before {src!r} finishes at {sfinish}"
+            )
+        send.setdefault(a, []).append((start, finish, jix, src, dst))
+        recv.setdefault(b, []).append((start, finish, jix, src, dst))
+        arrival_via[(jix, src, dst)] = finish
+    for direction, groups in (("send", send), ("receive", recv)):
+        for proc, rows in groups.items():
+            rows.sort(key=lambda r: (r[0], r[1]))
+            for a, b in zip(rows, rows[1:]):
+                if a[1] > b[0] + guard_tol(a[1], b[0]):
+                    raise ValidationError(
+                        f"one-port violation on P{proc} ({direction}): "
+                        f"{a[3]!r}->{a[4]!r} (job {a[2]}) [{a[0]}, {a[1]}) "
+                        f"overlaps {b[3]!r}->{b[4]!r} (job {b[2]}) "
+                        f"[{b[0]}, {b[1]})"
+                    )
+
+    for jix, graph in graphs.items():
+        for u, v in graph.edges():
+            pu, _su, fu = times[(jix, u)]
+            pv, start_v, _fv = times[(jix, v)]
+            arr = arrival_via.get((jix, u, v))
+            if arr is None:
+                if pu != pv:
+                    raise ValidationError(
+                        f"job {jix}: remote edge {u!r}->{v!r} "
+                        f"(P{pu} -> P{pv}) executed without a transfer"
+                    )
+                arr = fu
+            if start_v < arr - guard_tol(start_v, arr):
+                raise ValidationError(
+                    f"job {jix}: task {v!r} starts at {start_v} before its "
+                    f"data from {u!r} arrives at {arr}"
+                )
+
+
+def format_jobs(result: OnlineResult) -> str:
+    """Human-readable per-job table plus the aggregate line."""
+    lines = [
+        f"{'job':>4} {'tasks':>6} {'arrival':>10} {'complete':>10} "
+        f"{'flow':>10} {'stretch':>8} {'resch':>6} {'comms':>6}"
+    ]
+    for j in result.jobs:
+        lines.append(
+            f"{j.index:>4} {j.tasks:>6} {j.arrival:>10.1f} {j.completion:>10.1f} "
+            f"{j.flow:>10.1f} {j.stretch:>8.2f} {j.reschedules:>6} {j.comms:>6}"
+        )
+    agg = result.aggregate()
+    lines.append(
+        f"\n{agg['jobs']} job(s), {agg['tasks']} tasks, {agg['events']} events "
+        f"in horizon {agg['horizon']:.1f} (utilization {agg['utilization']:.0%})"
+    )
+    lines.append(
+        f"mean flow {agg['mean_flow']:.1f}  max flow {agg['max_flow']:.1f}  "
+        f"mean stretch {agg['mean_stretch']:.2f}  "
+        f"weighted flow {agg['weighted_flow']:.1f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Execution-time noise models: how actual durations deviate from estimates.
+
+The schedulers plan with the platform's cost model (``w * t`` exec
+times, ``data * link`` transfer times); the online engine executes with
+*actual* durations drawn from a noise model.  Policies never see a draw
+before the activity finishes — the simulation is non-clairvoyant.
+
+Determinism: the engine derives one :class:`random.Random` per activity
+from ``(engine seed, job index, activity identity)``, so an activity's
+actual duration is a pure function of the workload content and the
+seed — independent of event interleaving, the policy in charge, or how
+many campaign workers share the sweep.
+
+Built-in models
+---------------
+``exact``
+    Actual == estimate (the zero-noise regime the static cross-check
+    tests rely on; the engine skips RNG construction entirely).
+``lognormal``
+    Mean-preserving multiplicative jitter: estimate times
+    ``Lognormal(-sigma^2/2, sigma)`` (mean 1.0).
+``straggler``
+    Lognormal jitter plus a rare slowdown: with probability ``prob``
+    the activity takes ``factor`` times longer (the fat tail of shared
+    clusters).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from ..core.exceptions import ConfigurationError
+from .workload import resolve_spec
+
+
+class NoiseModel:
+    """Base: draw an actual duration from an estimate."""
+
+    name: str = ""
+    #: True when draws never need an RNG (the engine skips seeding).
+    exact: bool = False
+
+    def draw(self, estimate: float, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def payload(self) -> dict:
+        """JSON-able content identity (hashed into campaign cell keys)."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class ExactNoise(NoiseModel):
+    name = "exact"
+    exact = True
+
+    def draw(self, estimate: float, rng: random.Random) -> float:
+        return estimate
+
+
+class LognormalNoise(NoiseModel):
+    name = "lognormal"
+
+    def __init__(self, sigma: float = 0.2) -> None:
+        if sigma < 0:
+            raise ConfigurationError(f"lognormal noise needs sigma >= 0, got {sigma}")
+        self.sigma = sigma
+        # E[lognormvariate(mu, sigma)] = exp(mu + sigma^2/2) = 1.0
+        self._mu = -0.5 * sigma * sigma
+
+    def draw(self, estimate: float, rng: random.Random) -> float:
+        if self.sigma == 0.0 or estimate == 0.0:
+            return estimate
+        return estimate * rng.lognormvariate(self._mu, self.sigma)
+
+    def payload(self) -> dict:
+        return {"name": self.name, "sigma": self.sigma}
+
+
+class StragglerNoise(NoiseModel):
+    name = "straggler"
+
+    def __init__(
+        self, prob: float = 0.02, factor: float = 5.0, sigma: float = 0.1
+    ) -> None:
+        if not 0.0 <= prob <= 1.0:
+            raise ConfigurationError(f"straggler prob must be in [0, 1], got {prob}")
+        if factor < 1.0:
+            raise ConfigurationError(f"straggler factor must be >= 1, got {factor}")
+        self.prob = prob
+        self.factor = factor
+        self.jitter = LognormalNoise(sigma)
+
+    def draw(self, estimate: float, rng: random.Random) -> float:
+        actual = self.jitter.draw(estimate, rng)
+        if self.prob and rng.random() < self.prob:
+            actual *= self.factor
+        return actual
+
+    def payload(self) -> dict:
+        return {
+            "name": self.name,
+            "prob": self.prob,
+            "factor": self.factor,
+            "sigma": self.jitter.sigma,
+        }
+
+
+_NOISES: dict[str, Callable[..., NoiseModel]] = {
+    "exact": ExactNoise,
+    "lognormal": LognormalNoise,
+    "straggler": StragglerNoise,
+}
+
+#: Primary parameter bound by the ``name:value`` positional shorthand.
+_NOISE_PRIMARY = {"lognormal": "sigma", "straggler": "prob"}
+
+
+def available_noise_models() -> list[str]:
+    return sorted(_NOISES)
+
+
+def make_noise(spec: str | dict | NoiseModel) -> NoiseModel:
+    """Build a noise model from ``"lognormal:sigma=0.3"`` / dict / instance."""
+    if isinstance(spec, NoiseModel):
+        return spec
+    name, params = resolve_spec(
+        spec,
+        key="name",
+        primaries=_NOISE_PRIMARY,
+        available=available_noise_models(),
+        what="noise model",
+    )
+    try:
+        return _NOISES[name](**params)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad noise spec {spec!r}: {exc}") from None

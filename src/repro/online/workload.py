@@ -1,0 +1,276 @@
+"""Dynamic workloads: jobs, and the seeded arrival processes that emit them.
+
+A :class:`Job` is one instance of a task graph submitted to the platform
+at a release time; a :class:`Workload` is the finite, sorted stream of
+jobs one online simulation processes.  Arrival processes are registered
+by name — mirroring the heuristic/testbed registries — and are fully
+determined by their parameters and a seed, so a workload is content:
+two engines fed the same spec build bit-identical job streams.
+
+Built-in arrival processes
+--------------------------
+``poisson``
+    Exponential inter-arrival gaps at ``rate`` jobs per time unit
+    (the classic memoryless stream of queueing models).
+``burst``
+    Jobs arrive in bursts of ``size`` simultaneous submissions every
+    ``gap`` time units — the adversarial load pattern for port
+    contention.
+``trace``
+    An explicit list of arrival ``times`` (recycled if shorter than the
+    requested job count, offset by the trace span per cycle).
+"""
+
+from __future__ import annotations
+
+import ast
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..core.exceptions import ConfigurationError
+from ..core.taskgraph import TaskGraph
+from ..graphs import generator_params, make_testbed
+from ..graphs.base import PAPER_COMM_RATIO
+
+ArrivalFn = Callable[..., list[float]]
+
+_ARRIVALS: dict[str, ArrivalFn] = {}
+
+
+def register_arrival(name: str) -> Callable[[ArrivalFn], ArrivalFn]:
+    """Decorator registering an arrival process under ``name``.
+
+    The wrapped function receives ``(count, rng, **params)`` and returns
+    ``count`` non-negative release times (any order; callers sort).
+    """
+
+    def wrap(fn: ArrivalFn) -> ArrivalFn:
+        if name in _ARRIVALS:
+            raise ConfigurationError(f"duplicate arrival process {name!r}")
+        _ARRIVALS[name] = fn
+        return fn
+
+    return wrap
+
+
+def available_arrivals() -> list[str]:
+    return sorted(_ARRIVALS)
+
+
+@register_arrival("poisson")
+def poisson_arrivals(count: int, rng: random.Random, rate: float = 0.01) -> list[float]:
+    if rate <= 0:
+        raise ConfigurationError(f"poisson arrivals need rate > 0, got {rate}")
+    t = 0.0
+    out = []
+    for _ in range(count):
+        t += rng.expovariate(rate)
+        out.append(t)
+    return out
+
+
+@register_arrival("burst")
+def burst_arrivals(
+    count: int, rng: random.Random, size: int = 4, gap: float = 100.0
+) -> list[float]:
+    if size < 1:
+        raise ConfigurationError(f"burst arrivals need size >= 1, got {size}")
+    if gap < 0:
+        raise ConfigurationError(f"burst arrivals need gap >= 0, got {gap}")
+    return [gap * (j // size) for j in range(count)]
+
+
+@register_arrival("trace")
+def trace_arrivals(
+    count: int, rng: random.Random, times: Sequence[float] = (0.0,)
+) -> list[float]:
+    if not times:
+        raise ConfigurationError("trace arrivals need a non-empty times list")
+    times = sorted(float(t) for t in times)
+    if times[0] < 0:
+        raise ConfigurationError(f"trace arrivals must be >= 0, got {times[0]}")
+    span = max(times[-1] - times[0], 1.0)
+    # recycle the trace for counts beyond its length, shifting each
+    # cycle past the previous one so release times stay non-decreasing
+    return [times[j % len(times)] + span * (j // len(times)) for j in range(count)]
+
+
+def parse_spec(text: str) -> tuple[str, dict]:
+    """Parse ``name`` or ``name:key=val,key=val`` into (name, params).
+
+    Shared grammar of the online registries (arrivals, noise models,
+    policies) and the CLI's heuristic syntax: values go through
+    :func:`ast.literal_eval`, and a lone ``name:value`` shorthand binds
+    the registry's primary parameter (e.g. ``poisson:0.02``).
+    """
+    name, _, rest = text.partition(":")
+    params: dict = {}
+    if rest:
+        for pair in rest.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep:
+                params.setdefault("_positional", []).append(_literal(key))
+                continue
+            params[key] = _literal(value)
+    return name, params
+
+
+def _literal(text: str):
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def resolve_spec(
+    spec: str | dict,
+    *,
+    key: str,
+    primaries: dict[str, str],
+    available: list[str],
+    what: str,
+    list_primary: str | None = None,
+) -> tuple[str, dict]:
+    """Shared spec resolution of the online registries: ``(name, params)``.
+
+    Handles both forms every registry accepts — a string
+    (``"lognormal:sigma=0.3"``, with ``name:value`` binding the
+    registry's primary parameter from ``primaries``) and a dict keyed
+    by ``key`` (``"name"`` or ``"kind"``).  ``list_primary`` names the
+    one registry entry whose positional shorthand collects *all* bare
+    values (``trace:0,5,10``).  Unknown names raise with the available
+    set in the message.
+    """
+    if isinstance(spec, dict):
+        params = dict(spec)
+        try:
+            name = params.pop(key)
+        except KeyError:
+            raise ConfigurationError(
+                f"{what} spec dict needs a {key!r} key, got {spec!r}"
+            ) from None
+    else:
+        name, params = parse_spec(spec)
+    positional = params.pop("_positional", None)
+    if positional:
+        primary = primaries.get(name)
+        if (
+            primary is None
+            or (name != list_primary and len(positional) > 1)
+            or primary in params
+        ):
+            raise ConfigurationError(f"bad {what} spec {spec!r}")
+        params[primary] = positional if name == list_primary else positional[0]
+    if name not in available:
+        raise ConfigurationError(
+            f"unknown {what} {name!r}; available: {sorted(available)}"
+        )
+    return name, params
+
+
+#: Primary parameter bound by the ``name:value`` positional shorthand.
+_ARRIVAL_PRIMARY = {"poisson": "rate", "burst": "size", "trace": "times"}
+
+
+def make_arrivals(spec: str | dict, count: int, seed: int = 0) -> list[float]:
+    """Release times of ``count`` jobs under an arrival spec.
+
+    ``spec`` is a registry name with optional parameters (string form
+    ``"poisson:rate=0.02"`` or dict form ``{"kind": "poisson",
+    "rate": 0.02}``).  Times are sorted and non-negative; randomized
+    processes draw from ``random.Random(seed)`` only.
+    """
+    name, params = resolve_spec(
+        spec,
+        key="kind",
+        primaries=_ARRIVAL_PRIMARY,
+        available=available_arrivals(),
+        what="arrival process",
+        list_primary="trace",
+    )
+    fn = _ARRIVALS[name]
+    if count < 0:
+        raise ConfigurationError(f"job count must be >= 0, got {count}")
+    try:
+        times = fn(count, random.Random(f"arrivals:{name}:{seed}"), **params)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad arrival spec {spec!r}: {exc}") from None
+    times = sorted(times)
+    if times and times[0] < 0:
+        raise ConfigurationError(f"arrival process {name!r} produced a negative time")
+    return times
+
+
+@dataclass(frozen=True)
+class Job:
+    """One submitted task-graph instance."""
+
+    index: int
+    name: str
+    graph: TaskGraph
+    arrival: float
+    weight: float = 1.0
+
+
+@dataclass
+class Workload:
+    """A finite stream of jobs, sorted by arrival time."""
+
+    jobs: list[Job] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.jobs.sort(key=lambda j: (j.arrival, j.index))
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(j.graph.num_tasks for j in self.jobs)
+
+
+def make_workload(
+    testbed: str,
+    size: int,
+    count: int,
+    arrival: str | dict = "poisson",
+    seed: int = 0,
+    comm_ratio: float = PAPER_COMM_RATIO,
+    vary_graphs: bool = False,
+    weights: Sequence[float] | None = None,
+    graph_params: dict | None = None,
+) -> Workload:
+    """A workload of ``count`` instances of one registered testbed.
+
+    All jobs share a single graph object by default, so the kernel
+    statics of the (graph, platform) pair compile once for the whole
+    stream; ``vary_graphs=True`` derives a distinct generator seed per
+    job for the seeded testbed families instead.  ``weights`` cycles
+    over the job stream (for weighted flow time); default all 1.0.
+    """
+    params = dict(graph_params or {})
+    seeded = "seed" in generator_params(testbed)
+    if seeded:
+        params.setdefault("seed", seed)
+    elif vary_graphs:
+        raise ConfigurationError(
+            f"testbed {testbed!r} is deterministic; vary_graphs has no effect"
+        )
+    times = make_arrivals(arrival, count, seed=seed)
+    jobs = []
+    shared = None if vary_graphs else make_testbed(
+        testbed, size, comm_ratio=comm_ratio, **params
+    )
+    for j, t in enumerate(times):
+        if shared is None:
+            params["seed"] = seed * 1_000_003 + j
+            graph = make_testbed(testbed, size, comm_ratio=comm_ratio, **params)
+        else:
+            graph = shared
+        weight = float(weights[j % len(weights)]) if weights else 1.0
+        jobs.append(Job(j, f"{testbed}-{size}#{j}", graph, t, weight))
+    return Workload(jobs)

@@ -29,7 +29,9 @@ class TestTimeTol:
         from repro.core import validation
         from repro.core.tolerance import GUARD_FACTOR, guard_tol
 
-        assert validation.TOL == TIME_EPS
+        # the legacy absolute alias is retired: every comparison goes
+        # through the scale-aware time_tol / guard_tol helpers
+        assert not hasattr(validation, "TOL")
         # timeline overlap guards are internal-consistency checks: three
         # orders tighter than the validator epsilon (1e-9 floor)
         assert guard_tol(0.0) == GUARD_FACTOR * TIME_EPS

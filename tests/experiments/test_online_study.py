@@ -1,0 +1,38 @@
+"""The policy-vs-noise study grid and its formatter."""
+
+from repro.experiments import format_online_study, online_policy_study
+
+
+def test_study_grid_shape_and_formatting():
+    rows = online_policy_study(
+        testbed="fork-join", size=6, jobs=3, arrival="poisson:rate=0.01",
+        policies=("static", "ready-dispatch"),
+        noises=("exact", "lognormal:sigma=0.3"),
+        seed=2,
+    )
+    assert len(rows) == 4
+    assert {(r["policy"], r["noise"]) for r in rows} == {
+        ("static", "exact"),
+        ("static", "lognormal:sigma=0.3"),
+        ("ready-dispatch", "exact"),
+        ("ready-dispatch", "lognormal:sigma=0.3"),
+    }
+    for r in rows:
+        assert r["jobs"] == 3
+        assert r["mean_stretch"] >= 1.0
+        assert r["events"] > 0
+    table = format_online_study(rows)
+    assert "static" in table
+    assert "ready-dispatch" in table
+    assert "lognormal:sigma=0.3" in table
+
+
+def test_study_is_deterministic():
+    kwargs = dict(testbed="fork-join", size=6, jobs=3,
+                  arrival="poisson:rate=0.01",
+                  policies=("static",), noises=("straggler",), seed=4)
+    a = online_policy_study(**kwargs)
+    b = online_policy_study(**kwargs)
+    for row in (*a, *b):
+        row.pop("events_per_s")
+    assert a == b

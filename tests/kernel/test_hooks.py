@@ -1,0 +1,79 @@
+"""The online-engine hooks of the flat kernel: successor enumeration,
+transfer port pairs, and observed-duration re-propagation."""
+
+import pytest
+
+from repro.graphs import lu_graph
+from repro.heuristics import HEFT
+from repro.kernel import TimedKernel, compile_statics
+from repro.simulate import extract_decisions
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    from repro import Platform
+
+    platform = Platform.from_groups([(5, 6), (3, 10), (2, 15)])
+    graph = lu_graph(8)
+    schedule = HEFT().run(graph, platform, "one-port")
+    statics = compile_statics(graph, platform)
+    kern = TimedKernel.from_decisions(statics, extract_decisions(schedule))
+    kern.propagate_kahn()
+    return statics, kern
+
+
+class TestOneShotSuccessors:
+    def test_covers_every_active_node_edge_exactly(self, compiled):
+        """The hook enumerates exactly the constraint edges the Kahn
+        pass walks: rebuild in-degrees from it and compare."""
+        statics, kern = compiled
+        n = statics.num_tasks
+        indeg = [0] * (n + statics.num_edges)
+        for node in kern.active_nodes():
+            for succ in kern.one_shot_successors(node):
+                indeg[succ] += 1
+        assert indeg == kern.indeg
+
+    def test_successors_respect_transfer_activation(self, compiled):
+        statics, kern = compiled
+        n = statics.num_tasks
+        for node in kern.active_nodes():
+            for succ in kern.one_shot_successors(node):
+                if succ >= n:
+                    assert kern.active[succ - n], "successor is an inactive slot"
+
+    def test_hop_procs_parallel_hop_list(self, compiled):
+        statics, kern = compiled
+        assert len(kern.hop_procs) == len(kern.hop_list)
+        al = kern.alloc
+        for e, (a, b) in zip(kern.hop_list, kern.hop_procs):
+            assert a != b
+            assert al[statics.esrc[e]] == a
+            assert al[statics.edst[e]] == b
+
+
+class TestPropagateOverrides:
+    def test_dur_override_with_out_arrays_is_pure(self, compiled):
+        statics, kern = compiled
+        base_start = list(kern.start)
+        base_finish = list(kern.finish)
+        base_ms = kern.makespan
+        size = len(kern.dur)
+        dur = [d * 2.0 for d in kern.dur]
+        out_start, out_finish = [0.0] * size, [0.0] * size
+        ms = kern.propagate_kahn(dur=dur, out_start=out_start, out_finish=out_finish)
+        # doubling every duration doubles every least time exactly
+        n = statics.num_tasks
+        for node in kern.active_nodes():
+            assert out_start[node] == 2.0 * base_start[node]
+            assert out_finish[node] == 2.0 * base_finish[node]
+        assert ms == 2.0 * base_ms
+        # the base state is untouched
+        assert kern.start == base_start
+        assert kern.finish == base_finish
+        assert kern.makespan == base_ms
+
+    def test_default_call_still_updates_base_state(self, compiled):
+        _, kern = compiled
+        ms = kern.propagate_kahn()
+        assert ms == kern.makespan

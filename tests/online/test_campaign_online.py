@@ -1,0 +1,161 @@
+"""The campaign ``online`` axis: keys, determinism, caching, validation."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, HeuristicSpec, ResultCache, run_campaign
+from repro.core.exceptions import ConfigurationError
+
+ENTRY_STATIC = {
+    "policy": "static",
+    "arrival": "poisson:rate=0.01",
+    "noise": "exact",
+    "jobs": 3,
+    "seed": 0,
+}
+ENTRY_NOISY = {
+    "policy": "periodic:period=200",
+    "arrival": "burst:size=3,gap=100",
+    "noise": "lognormal:sigma=0.3",
+    "jobs": 3,
+    "seed": 1,
+}
+
+
+def online_spec(name="online-test", online=None, **kwargs):
+    return CampaignSpec(
+        name=name,
+        testbeds=kwargs.pop("testbeds", ["fork-join"]),
+        sizes=kwargs.pop("sizes", [6]),
+        heuristics=kwargs.pop("heuristics", [HeuristicSpec.of("heft")]),
+        online=online if online is not None else [ENTRY_STATIC],
+        **kwargs,
+    )
+
+
+def normalized(cells):
+    """Cell dicts with the wall-clock measurements zeroed."""
+    out = []
+    for cell in cells:
+        d = cell.as_dict()
+        d["runtime_s"] = 0.0
+        if "extra" in d:
+            d["extra"] = {k: v for k, v in d["extra"].items()
+                          if k != "events_per_s"}
+        out.append(d)
+    return out
+
+
+class TestExpansion:
+    def test_online_entries_multiply_cells(self):
+        spec = online_spec(online=[ENTRY_STATIC, ENTRY_NOISY, None])
+        cells = spec.expand()
+        assert len(cells) == 3
+        assert [c.online is not None for c in cells] == [True, True, False]
+
+    def test_online_block_hashes_into_keys(self):
+        a = online_spec(online=[ENTRY_STATIC]).expand()[0]
+        b = online_spec(online=[{**ENTRY_STATIC, "seed": 9}]).expand()[0]
+        offline = online_spec(online=[None]).expand()[0]
+        assert len({a.key, b.key, offline.key}) == 3
+        assert "online" in a.key_payload()
+        assert "online" not in offline.key_payload()
+
+    def test_offline_keys_unchanged_by_the_axis(self):
+        """Adding the field must not invalidate existing caches."""
+        plain = CampaignSpec(name="x", testbeds=["fork-join"], sizes=[6],
+                             heuristics=[HeuristicSpec.of("heft")])
+        with_axis = online_spec(online=[None])
+        assert plain.expand()[0].key == with_axis.expand()[0].key
+
+    def test_labels_distinguish_policies(self):
+        spec = online_spec(online=[ENTRY_STATIC, ENTRY_NOISY])
+        labels = [c.heuristic.display for c in spec.expand()]
+        assert len(set(labels)) == 2
+        assert "static[heft]" in labels[0]
+        assert "periodic:period=200[heft]" in labels[1]
+
+    def test_spec_round_trips_through_json(self, tmp_path):
+        spec = online_spec(online=[ENTRY_STATIC, None])
+        path = spec.to_json(tmp_path / "spec.json")
+        loaded = CampaignSpec.from_json(path)
+        assert loaded.online == [ENTRY_STATIC, None]
+        assert [c.key for c in loaded.expand()] == [c.key for c in spec.expand()]
+
+
+class TestValidation:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            online_spec(online=[{"policy": "static", "tempo": 3}])
+
+    def test_bad_policy_noise_arrival_rejected(self):
+        for entry in (
+            {"policy": "nonsense"},
+            {"noise": "gaussian"},
+            {"arrival": "poisson:rate=-2"},
+            {"jobs": 0},
+        ):
+            with pytest.raises(ConfigurationError):
+                online_spec(online=[entry])
+
+    def test_online_requires_one_port(self):
+        with pytest.raises(ConfigurationError):
+            online_spec(online=[ENTRY_STATIC],
+                        models=["one-port", "macro-dataflow"])
+
+    def test_online_and_improve_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            online_spec(online=[ENTRY_STATIC], improve=[{"budget": 50}])
+
+
+class TestExecution:
+    def test_workers_and_cache_deterministic(self, tmp_path):
+        """Identical metrics for 1 worker, 2 workers, and warm cache."""
+        spec = online_spec(online=[ENTRY_STATIC, ENTRY_NOISY, None])
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_campaign(spec, workers=1, cache=cache)
+        two = run_campaign(spec, workers=2, cache=ResultCache(tmp_path / "c2"))
+        warm = run_campaign(spec, workers=1, cache=cache)
+        assert warm.cache_hits == len(warm.outcomes)
+        assert normalized(cold.cells) == normalized(two.cells)
+        assert normalized(cold.cells) == normalized(warm.cells)
+
+    def test_online_cells_carry_extra_metrics(self, tmp_path):
+        result = run_campaign(online_spec(online=[ENTRY_NOISY]), workers=1)
+        (cell,) = result.cells
+        assert cell.extra["online"] is True
+        assert cell.extra["policy"] == "periodic"
+        assert cell.extra["noise"] == "lognormal"
+        assert cell.extra["jobs"] == 3
+        assert cell.extra["mean_flow"] > 0
+        assert cell.extra["mean_stretch"] >= 1.0
+        assert cell.makespan > 0
+        assert cell.speedup > 0
+
+    def test_offline_cells_have_empty_extra(self):
+        result = run_campaign(online_spec(online=[None]), workers=1)
+        (cell,) = result.cells
+        assert cell.extra == {}
+        assert "extra" not in cell.as_dict()
+
+    def test_ready_dispatch_decoupled_from_heuristic_axis(self):
+        """ready-dispatch has no planner: its cells collapse to one per
+        grid point, share cache keys across heuristic axes, and carry a
+        planner-free label."""
+        entry = {**ENTRY_STATIC, "policy": "ready-dispatch"}
+        one = online_spec(online=[entry], heuristics=[HeuristicSpec.of("heft")])
+        other = online_spec(online=[entry],
+                            heuristics=[HeuristicSpec.of("min-min")])
+        many = online_spec(online=[entry],
+                           heuristics=[HeuristicSpec.of("heft"),
+                                       HeuristicSpec.of("min-min")])
+        assert len(many.expand()) == 1  # not one per heuristic
+        (key_a,) = [c.key for c in one.expand()]
+        (key_b,) = [c.key for c in other.expand()]
+        assert key_a == key_b
+        result = run_campaign(one, workers=1)
+        (cell,) = result.cells
+        assert "heft" not in cell.heuristic
+        assert cell.heuristic.startswith("ready-dispatch")
+        za = normalized(result.cells)
+        zb = normalized(run_campaign(other, workers=1).cells)
+        assert za == zb

@@ -1,0 +1,80 @@
+"""CLI coverage: ``repro online`` and the machine-readable ``info --json``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestOnlineCommand:
+    def test_default_run(self, capsys):
+        assert main([
+            "online", "--testbed", "lu", "--size", "8", "--jobs", "3",
+            "--arrival", "poisson:rate=0.01", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean flow" in out
+        assert "events/s" in out
+
+    def test_policies_and_noise(self, capsys):
+        for policy in ["periodic:period=400", "reactive:threshold=0.1",
+                       "ready-dispatch"]:
+            assert main([
+                "online", "--testbed", "forkjoin", "--size", "6",
+                "--jobs", "3", "--policy", policy,
+                "--noise", "lognormal:sigma=0.3", "--seed", "2",
+            ]) == 0
+            assert "job(s)" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert main([
+            "online", "--testbed", "lu", "--size", "8", "--jobs", "3",
+            "--policy", "static", "--heuristic", "ilha:b=4", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"]["name"] == "static"
+        assert payload["policy"]["heuristic"] == {"name": "ilha", "kwargs": {"b": 4}}
+        assert len(payload["jobs"]) == 3
+        assert payload["aggregate"]["jobs"] == 3
+        for job in payload["jobs"]:
+            assert job["flow"] == job["completion"] - job["arrival"]
+
+    def test_json_deterministic(self, capsys):
+        argv = ["online", "--testbed", "lu", "--size", "8", "--jobs", "4",
+                "--noise", "straggler", "--seed", "5", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        first.pop("events_per_s"), second.pop("events_per_s")
+        assert first == second
+
+    def test_bad_specs_exit_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["online", "--policy", "nonsense"])
+        with pytest.raises(SystemExit):
+            main(["online", "--arrival", "poisson:rate=-1"])
+        with pytest.raises(SystemExit):
+            main(["online", "--noise", "gaussian"])
+
+
+class TestInfoJson:
+    def test_json_registries(self, capsys):
+        assert main(["info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        regs = payload["registries"]
+        assert "heft" in regs["schedulers"]
+        assert "lu" in regs["testbeds"]
+        assert regs["policies"] == ["periodic", "reactive", "ready-dispatch",
+                                    "static"]
+        assert regs["noise_models"] == ["exact", "lognormal", "straggler"]
+        assert regs["arrivals"] == ["burst", "poisson", "trace"]
+        assert payload["platform"]["processors"] == 10
+        assert payload["platform"]["speedup_bound"] == pytest.approx(7.6)
+
+    def test_text_mode_lists_online_registries(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "policies" in out
+        assert "ready-dispatch" in out

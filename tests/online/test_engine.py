@@ -1,0 +1,217 @@
+"""Engine behavior: determinism, contention validity, policy reactions."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.graphs import lu_graph
+from repro.online import (
+    Job,
+    OnlineEngine,
+    Workload,
+    check_execution,
+    make_workload,
+    simulate_online,
+)
+
+POLICIES = [
+    "static",
+    "periodic:period=300",
+    "reactive:threshold=0.05",
+    "ready-dispatch",
+]
+
+NOISES = ["exact", "lognormal:sigma=0.3", "straggler:prob=0.1,factor=4"]
+
+
+@pytest.fixture(scope="module")
+def contended_workload():
+    return make_workload("lu", 8, count=6, arrival="poisson:rate=0.005", seed=3)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_identical_seeds_identical_runs(self, policy, paper_platform,
+                                            contended_workload):
+        """Event logs and metrics are bit-identical across repeat runs."""
+        runs = [
+            simulate_online(contended_workload, paper_platform, policy=policy,
+                            noise="lognormal:sigma=0.3", seed=7)
+            for _ in range(2)
+        ]
+        assert runs[0].event_log == runs[1].event_log
+        assert runs[0].jobs == runs[1].jobs
+        assert runs[0].placements == runs[1].placements
+        assert sorted(runs[0].transfers) == sorted(runs[1].transfers)
+        assert runs[0].utilization == runs[1].utilization
+
+    def test_noise_is_per_activity_not_per_event_order(self, paper_platform):
+        """An activity's actual duration depends only on (seed, job,
+        activity), so two policies observe the same luck for the work
+        they both execute in the same placement."""
+        wl = make_workload("fork-join", 6, count=1, arrival="trace:0.0", seed=0)
+        a = simulate_online(wl, paper_platform, policy="static",
+                            noise="lognormal:sigma=0.4", seed=11)
+        b = simulate_online(wl, paper_platform, policy="periodic:period=1e9",
+                            noise="lognormal:sigma=0.4", seed=11)
+        dur_a = {t: f - s for t, _p, s, f in a.placements[0]}
+        dur_b = {t: f - s for t, _p, s, f in b.placements[0]}
+        assert dur_a == dur_b
+
+    def test_seed_changes_change_durations(self, paper_platform):
+        wl = make_workload("fork-join", 6, count=1, arrival="trace:0.0", seed=0)
+        a = simulate_online(wl, paper_platform, noise="lognormal:sigma=0.4", seed=1)
+        b = simulate_online(wl, paper_platform, noise="lognormal:sigma=0.4", seed=2)
+        assert a.jobs[0].completion != b.jobs[0].completion
+
+
+class TestContention:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("noise", NOISES)
+    def test_execution_always_valid(self, policy, noise, paper_platform,
+                                    contended_workload):
+        """Multi-job contention never violates compute or port
+        exclusivity, precedence, or release causality."""
+        result = simulate_online(contended_workload, paper_platform,
+                                 policy=policy, noise=noise, seed=7)
+        check_execution(result)
+        assert all(j.completion >= j.arrival for j in result.jobs)
+        assert result.events > 0
+
+    def test_simultaneous_burst_arrivals(self, paper_platform):
+        wl = make_workload("fork-join", 6, count=6, arrival="burst:size=3,gap=50",
+                           seed=0)
+        for policy in POLICIES:
+            result = simulate_online(wl, paper_platform, policy=policy, seed=0)
+            check_execution(result)
+
+    def test_contended_stream_is_serialized(self, paper_platform):
+        """Two identical jobs at t=0 cannot both finish in one job's
+        standalone makespan (they share the platform)."""
+        g = lu_graph(8)
+        wl = Workload([Job(0, "a", g, 0.0), Job(1, "b", g, 0.0)])
+        solo = simulate_online(
+            Workload([Job(0, "solo", g, 0.0)]), paper_platform, policy="static",
+            seed=0,
+        )
+        both = simulate_online(wl, paper_platform, policy="static", seed=0)
+        check_execution(both)
+        solo_ms = solo.jobs[0].completion
+        assert max(j.completion for j in both.jobs) > solo_ms
+        # ... but the engine still interleaves rather than fully
+        # serializing: better than one-after-the-other
+        assert max(j.completion for j in both.jobs) < 2 * solo_ms
+
+
+class TestReactions:
+    def test_periodic_replans(self, paper_platform, contended_workload):
+        result = simulate_online(contended_workload, paper_platform,
+                                 policy="periodic:period=200",
+                                 noise="lognormal:sigma=0.3", seed=7)
+        check_execution(result)
+        assert sum(j.reschedules for j in result.jobs) > 0
+
+    def test_reactive_replans_only_under_noise(self, paper_platform,
+                                               contended_workload):
+        quiet = simulate_online(contended_workload, paper_platform,
+                                policy="reactive:threshold=0.05", seed=7)
+        noisy = simulate_online(contended_workload, paper_platform,
+                                policy="reactive:threshold=0.05",
+                                noise="straggler:prob=0.2,factor=6", seed=7)
+        check_execution(quiet)
+        check_execution(noisy)
+        assert sum(j.reschedules for j in quiet.jobs) == 0
+        assert sum(j.reschedules for j in noisy.jobs) > 0
+
+    def test_replanning_through_pinned_interior_tasks(self, paper_platform):
+        """Regression: movability must be transitively closed.
+
+        With in-flight transfers pinning interior tasks, a naive
+        "not started and no started input" movable set hands the
+        heuristic a subgraph missing dependencies that route through
+        pinned tasks; the sub-plan's processor orders then contradict
+        real precedence and the simulation deadlocks.  This workload
+        (heavy stragglers, tight reactive threshold, deep LU chains)
+        reproduced the hang before the transitive-closure fix.
+        """
+        wl = make_workload("lu", 14, count=6, arrival="poisson:rate=0.003",
+                           seed=0)
+        for policy in ["reactive:threshold=0.03", "periodic:period=120"]:
+            result = simulate_online(wl, paper_platform, policy=policy,
+                                     noise="straggler:prob=0.15,factor=8",
+                                     seed=0, log_events=False)
+            check_execution(result)
+            assert sum(j.reschedules for j in result.jobs) > 0
+
+    def test_reactive_threshold_monotone(self, paper_platform,
+                                         contended_workload):
+        """A looser threshold can only reduce replan triggers."""
+        tight = simulate_online(contended_workload, paper_platform,
+                                policy="reactive:threshold=0.02",
+                                noise="lognormal:sigma=0.4", seed=7)
+        loose = simulate_online(contended_workload, paper_platform,
+                                policy="reactive:threshold=10.0",
+                                noise="lognormal:sigma=0.4", seed=7)
+        assert sum(j.reschedules for j in loose.jobs) == 0
+        assert (sum(j.reschedules for j in tight.jobs)
+                >= sum(j.reschedules for j in loose.jobs))
+
+
+class TestEngineApi:
+    def test_result_metrics_shape(self, paper_platform):
+        wl = make_workload("lu", 8, count=3, arrival="poisson:rate=0.01", seed=1)
+        result = simulate_online(wl, paper_platform, policy="static", seed=1)
+        agg = result.aggregate()
+        assert agg["jobs"] == 3
+        assert agg["tasks"] == sum(j.tasks for j in result.jobs)
+        for j in result.jobs:
+            assert j.flow == j.completion - j.arrival
+            assert j.weighted_flow == j.weight * j.flow
+            assert j.stretch >= 1.0  # flow can never beat the lower bound
+            assert j.makespan <= j.flow
+        assert 0.0 < result.utilization <= 1.0
+
+    def test_job_weights_flow_into_weighted_flow(self, paper_platform):
+        wl = make_workload("fork-join", 6, count=4, arrival="burst:size=2,gap=100",
+                           seed=0, weights=[1.0, 3.0])
+        result = simulate_online(wl, paper_platform, policy="static", seed=0)
+        assert result.aggregate()["weighted_flow"] == pytest.approx(
+            sum(j.weight * j.flow for j in result.jobs)
+        )
+        assert {j.weight for j in result.jobs} == {1.0, 3.0}
+
+    def test_engine_reusable_across_runs(self, paper_platform):
+        engine = OnlineEngine(paper_platform, "static", seed=0)
+        wl = make_workload("fork-join", 6, count=2, arrival="burst:size=2,gap=0",
+                           seed=0)
+        a = engine.run(wl)
+        b = engine.run(wl)
+        assert a.event_log == b.event_log
+
+    def test_bad_policy_spec_rejected(self, paper_platform):
+        with pytest.raises(ConfigurationError):
+            OnlineEngine(paper_platform, "nonsense")
+        with pytest.raises(ConfigurationError):
+            OnlineEngine(paper_platform, "periodic:period=-5")
+        with pytest.raises(ConfigurationError):
+            OnlineEngine(paper_platform, "reactive:threshold=0")
+
+    def test_macro_dataflow_plan_runs_under_one_port(self, paper_platform):
+        """A macro-dataflow plan books transfers assuming unlimited port
+        overlap; the engine executes it anyway, serializing the ports —
+        the execution is one-port valid and no faster than the plan."""
+        from repro.online import StaticPolicy
+        from repro.simulate import replay_schedule
+
+        wl = make_workload("lu", 6, count=1, arrival="trace:0.0", seed=0)
+        graph = wl.jobs[0].graph
+        alloc = {v: i % 3 for i, v in enumerate(graph.tasks())}
+        policy = StaticPolicy(
+            heuristic="fixed",
+            heuristic_kwargs={"alloc": alloc},
+            model="macro-dataflow",
+        )
+        result = simulate_online(wl, paper_platform, policy=policy, seed=0)
+        check_execution(result)  # one-port exclusivity holds regardless
+        plan = policy.scheduler.run(graph, paper_platform, "macro-dataflow")
+        least = replay_schedule(plan)
+        assert result.jobs[0].completion >= least.makespan()
