@@ -1,0 +1,154 @@
+"""Construction throughput: the flat builder EFT engine vs the object path.
+
+Standalone script (not a pytest-benchmark module) so CI can run it and
+archive the result::
+
+    python benchmarks/bench_sched.py --quick --out BENCH_SCHED.json
+
+Measures, per heuristic x testbed:
+
+* **schedules/s** — full construction runs through the default flat
+  ``SchedulerState`` vs the retained ``ObjectSchedulerState`` reference
+  (forced with :func:`repro.heuristics.force_object_state`), interleaved
+  inside each round so CPU-load drift cannot skew the ratio, with exact
+  makespan agreement asserted on every pair.
+* **candidate-evaluations/s** — the same latency expressed per
+  (task, processor) EFT probe, the unit the paper's Section 4.3
+  tentative-booking mechanism is invoked at.
+
+The acceptance bar for the builder PR is >= 3x on lu-20, lu-40 and
+irregular-1000.  ``--quick`` trims repetition counts and the testbed
+list for CI smoke; the committed ``BENCH_SCHED.json`` at the repo root
+is produced by a full run and seeds the perf trajectory (regenerate and
+commit alongside builder changes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import HEFT, ILHA  # noqa: E402
+from repro.experiments import paper_platform  # noqa: E402
+from repro.graphs import irregular_testbed, layered_testbed, lu_graph  # noqa: E402
+from repro.heuristics import force_object_state, get_scheduler  # noqa: E402
+
+#: (label, factory) — representative constructions: the paper's two
+#: protagonists (ILHA at its recommended default B and at a small B)
+#: plus the classic insertion and non-insertion EFT baselines.
+HEURISTICS = [
+    ("heft", lambda: HEFT()),
+    ("ilha", lambda: ILHA()),
+    ("ilha:b=8", lambda: ILHA(b=8)),
+    ("pct", lambda: get_scheduler("pct")),
+]
+
+
+def bench_cell(label, hname, scheduler, graph, plat, rounds, repeats):
+    flat_sched = scheduler.run(graph, plat, "one-port")
+    with force_object_state():
+        ref_sched = scheduler.run(graph, plat, "one-port")
+    assert flat_sched.makespan() == ref_sched.makespan(), (
+        f"flat/object drift for {hname} on {label}"
+    )
+
+    flat_s = obj_s = float("inf")
+    obj_repeats = max(1, repeats // 3)
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            scheduler.run(graph, plat, "one-port")
+        flat_s = min(flat_s, (time.perf_counter() - t0) / repeats)
+        t0 = time.perf_counter()
+        with force_object_state():
+            for _ in range(obj_repeats):
+                scheduler.run(graph, plat, "one-port")
+        obj_s = min(obj_s, (time.perf_counter() - t0) / obj_repeats)
+
+    # candidate probes: every task is evaluated on every processor by
+    # the EFT sweep (upper bound for chunked ILHA, whose step-1 tasks
+    # commit without a sweep — the ratio is unaffected)
+    candidates = graph.num_tasks * plat.num_processors
+    row = {
+        "testbed": label,
+        "heuristic": hname,
+        "tasks": graph.num_tasks,
+        "edges": graph.num_edges,
+        "flat_ms": round(flat_s * 1e3, 4),
+        "object_ms": round(obj_s * 1e3, 4),
+        "speedup": round(obj_s / flat_s, 2),
+        "schedules_per_s": round(1.0 / flat_s, 1),
+        "cand_evals_per_s": round(candidates / flat_s),
+        "makespan": ref_sched.makespan(),
+    }
+    print(
+        f"{label:<16} {hname:<9} {row['tasks']:>5} tasks  "
+        f"flat {row['flat_ms']:8.3f} ms  object {row['object_ms']:8.3f} ms  "
+        f"x{row['speedup']:<5.2f} {row['schedules_per_s']:>7.1f} sched/s  "
+        f"{row['cand_evals_per_s']:>8} cand/s"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer rounds, smaller testbeds")
+    parser.add_argument("--out", default="BENCH_SCHED.json",
+                        help="output JSON path (default: BENCH_SCHED.json)")
+    args = parser.parse_args(argv)
+
+    plat = paper_platform()
+    if args.quick:
+        rounds = 3
+        beds = [
+            ("lu-20", lu_graph(20), 10),
+            ("irregular-300", irregular_testbed(300, seed=0), 4),
+        ]
+    else:
+        rounds = 6
+        beds = [
+            ("lu-20", lu_graph(20), 12),
+            ("lu-40", lu_graph(40), 4),
+            ("layered-big", layered_testbed(160, seed=0, width=10, density=0.25), 4),
+            ("irregular-1000", irregular_testbed(1000, seed=0), 4),
+        ]
+
+    rows = [
+        bench_cell(label, hname, factory(), graph, plat, rounds, repeats)
+        for label, graph, repeats in beds
+        for hname, factory in HEURISTICS
+    ]
+
+    result = {
+        "benchmark": "sched-construction",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform_mod.python_version(),
+        "quick": args.quick,
+        "construction": rows,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if not args.quick:
+        for bed in ("lu-20", "lu-40", "irregular-1000"):
+            worst = min(
+                (r["speedup"] for r in rows if r["testbed"] == bed), default=0.0
+            )
+            if worst < 3.0:
+                print(
+                    f"WARNING: {bed} construction speedup {worst}x is below "
+                    f"the 3x target"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from ..experiments.config import PAPER_PROCESSOR_GROUPS
 from ..graphs import available_testbeds, generator_params
 from ..graphs.base import PAPER_COMM_RATIO
 from ..heuristics import available_schedulers
+from ..models import available_models
 
 #: Version of the cell-key payload schema; bump to invalidate old caches
 #: when the payload layout changes.
@@ -39,8 +40,10 @@ PAPER_GROUPS = tuple(tuple(g) for g in PAPER_PROCESSOR_GROUPS)
 #: The paper's communication-to-computation ratio.
 DEFAULT_COMM_RATIO = PAPER_COMM_RATIO
 
-#: Communication-model names :func:`repro.heuristics.base.make_model` accepts.
-KNOWN_MODELS = ("one-port", "macro-dataflow")
+#: Communication-model names :func:`repro.models.make_model` accepts —
+#: the models registry is the single resolution path shared with the
+#: heuristics and the CLI.
+KNOWN_MODELS = tuple(available_models())
 
 #: ``ils`` parameters an ``improve`` stage entry may set.
 IMPROVE_PARAMS = frozenset(

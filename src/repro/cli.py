@@ -65,12 +65,12 @@ from .experiments import (
 from .experiments.config import PAPER_BEST_B, PAPER_COMM_RATIO
 from .graphs import available_testbeds, make_testbed
 from .heuristics import available_schedulers, get_scheduler
+from .models import available_models
 
 
 def _cmd_info(args) -> int:
     import json
 
-    from .campaign.spec import KNOWN_MODELS
     from .online import available_arrivals, available_noise_models, available_policies
 
     plat = paper_platform()
@@ -90,7 +90,7 @@ def _cmd_info(args) -> int:
             "registries": {
                 "testbeds": available_testbeds(),
                 "schedulers": available_schedulers(),
-                "models": list(KNOWN_MODELS),
+                "models": available_models(),
                 "figures": available_figures(),
                 "policies": available_policies(),
                 "noise_models": available_noise_models(),
@@ -419,7 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--size", type=int, default=20)
         p.add_argument("--comm-ratio", type=float, default=PAPER_COMM_RATIO)
         p.add_argument("--model", default="one-port",
-                       choices=["one-port", "macro-dataflow"])
+                       choices=available_models())
 
     p = sub.add_parser("schedule", help="run one heuristic on one testbed")
     add_graph_args(p)
@@ -503,7 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--heuristics", nargs="+", default=["heft", "ilha"],
                         help="registry names, optionally name:key=val,key=val")
         cp.add_argument("--models", nargs="+", default=["one-port"],
-                        choices=["one-port", "macro-dataflow"])
+                        choices=available_models())
         cp.add_argument("--seeds", nargs="+", type=int, default=[0],
                         help="seeds for the seeded (random) testbeds")
         cp.add_argument("--comm-ratio", type=float, default=PAPER_COMM_RATIO)

@@ -1,19 +1,37 @@
 """Shared machinery for list-scheduling heuristics.
 
 :class:`SchedulerState` owns everything a heuristic mutates while
-building a schedule: one compute :class:`~repro.core.timeline.Timeline`
-per processor, the communication state of the chosen model, the
-:class:`~repro.core.schedule.Schedule` under construction, and the
-finish times seen so far.  Its :meth:`~SchedulerState.evaluate` /
+building a schedule, and its :meth:`~SchedulerState.evaluate` /
 :meth:`~SchedulerState.commit` pair implements the earliest-finish-time
 (EFT) engine all heuristics in this package are built on: evaluating a
-candidate books the task's incoming communications *tentatively* through
-the model's trial mechanism (Section 4.3 of the paper), so rejected
-candidates leave no trace.
+candidate books the task's incoming communications *tentatively*
+through the model's trial mechanism (Section 4.3 of the paper), so
+rejected candidates leave no trace.
+
+Since the builder layer (PR 5) the default implementation is **flat**:
+resource state lives in a :class:`~repro.kernel.builder.FlatBuilder`
+(per-processor compute rows plus the model's port rows, all contiguous
+sorted float lists indexed by interned ids), placements and finish
+times are arrays indexed by task index, and a trial is a generation
+stamp — rejecting a candidate is O(1) with zero object churn.  Message
+booking is delegated to the model's
+:class:`~repro.models.base.FlatBooker`; models without one (multi-hop
+routing) and callers inside :func:`force_object_state` transparently
+get :class:`~repro.heuristics.state_object.ObjectSchedulerState`, the
+retained object-level reference implementation that the flat path is
+asserted bit-identical against.
+
+:meth:`~SchedulerState.evaluate_all` is the batched sweep behind
+:meth:`~SchedulerState.best_candidate`: it resolves and sorts the
+task's parents once and books all processors in one pass.
+:meth:`~SchedulerState.mark` / :meth:`~SchedulerState.restore` give
+O(changed) scratch runs (ILHA's chunk pre-allocation) through the
+builder's undo journal.
 
 :class:`ReadyQueue` maintains the ready set ordered by priority, and the
 :func:`register_scheduler` registry lets experiments construct heuristics
-by name.
+by name.  :func:`make_model` re-exports the models registry's single
+resolution path.
 """
 
 from __future__ import annotations
@@ -21,46 +39,68 @@ from __future__ import annotations
 import heapq
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Hashable, Iterable, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..core.exceptions import ConfigurationError, SchedulingError
 from ..core.platform import Platform
 from ..core.schedule import Schedule
 from ..core.taskgraph import TaskGraph
-from ..core.timeline import Timeline
 from ..kernel import compile_statics
+from ..kernel.builder import FlatBuilder, row_next_fit
+from ..models import make_model
 from ..models.base import CommTrial, CommunicationModel
-from ..models.macro_dataflow import MacroDataflowModel
-from ..models.one_port import OnePortModel
 
 TaskId = Hashable
 PriorityKey = Callable[[TaskId], tuple]
 
+_INF = float("inf")
 
-def make_model(platform: Platform, model: str | CommunicationModel) -> CommunicationModel:
-    """Resolve a model name (``"one-port"`` / ``"macro-dataflow"``) or pass through."""
-    if isinstance(model, CommunicationModel):
-        return model
-    if model == "one-port":
-        return OnePortModel(platform)
-    if model == "macro-dataflow":
-        return MacroDataflowModel(platform)
-    raise ConfigurationError(f"unknown communication model {model!r}")
+#: When True, ``SchedulerState(...)`` builds the object reference path
+#: for every model (see :func:`force_object_state`).
+_FORCE_OBJECT = False
+
+
+@contextmanager
+def force_object_state():
+    """Route every ``SchedulerState`` in the block through the object path.
+
+    The equivalence suite wraps whole heuristic runs in this to produce
+    reference schedules the flat path is compared against bit-for-bit.
+    """
+    global _FORCE_OBJECT
+    prev = _FORCE_OBJECT
+    _FORCE_OBJECT = True
+    try:
+        yield
+    finally:
+        _FORCE_OBJECT = prev
 
 
 @dataclass(slots=True)
 class Candidate:
-    """Outcome of evaluating one (task, processor) placement."""
+    """Outcome of evaluating one (task, processor) placement.
+
+    ``trial`` carries the object path's tentative bookings; flat-path
+    candidates leave it ``None`` — their bookings are re-derived at
+    commit time from the unchanged committed state.
+    """
 
     task: TaskId
     proc: int
     start: float
     finish: float
-    trial: CommTrial
+    trial: CommTrial | None = None
 
 
 class SchedulerState:
-    """Mutable state of one scheduling run (see module docstring)."""
+    """Mutable state of one scheduling run (see module docstring).
+
+    The commit contract, which every list heuristic here satisfies: a
+    candidate handed to :meth:`commit` was produced by :meth:`evaluate`
+    against the *current* committed state (evaluations in between are
+    fine, commits are not).
+    """
 
     __slots__ = (
         "graph",
@@ -68,12 +108,28 @@ class SchedulerState:
         "model",
         "maps",
         "kernel",
-        "compute",
-        "comm",
         "schedule",
         "finish",
         "insertion",
+        "builder",
+        "booker",
+        "_proc_a",
+        "_start_a",
+        "_finish_a",
+        "_ev_buf",
+        "_pcache",
+        "_place_log",
+        "_compute_views",
     )
+
+    def __new__(cls, graph, platform, model, heuristic="", insertion=True):
+        if cls is SchedulerState and (
+            _FORCE_OBJECT or not getattr(model, "supports_flat", False)
+        ):
+            from .state_object import ObjectSchedulerState
+
+            cls = ObjectSchedulerState
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -88,51 +144,108 @@ class SchedulerState:
         self.platform = platform
         self.model = model
         self.maps = graph.as_maps()
-        #: Shared flat arrays (interning, CSR parents, cost tables) —
-        #: the candidate-trial inner loop reads these instead of
-        #: per-call dict/attribute lookups.
+        #: Shared flat arrays (interning, CSR parents, cost tables).
         self.kernel = compile_statics(graph, platform)
-        self.compute = [Timeline() for _ in platform.processors]
-        if getattr(model, "wants_compute", False):
-            # variant models (e.g. no communication/computation overlap)
-            # book transfers on the compute timelines too
-            model.bind_compute(self.compute)
-        self.comm = model.new_state()
+        #: Flat resource rows: compute rows 0..p-1 + the model's ports.
+        self.builder = FlatBuilder(platform.num_processors)
+        self.booker = model.flat_booker(self.builder, self.kernel)
         self.schedule = Schedule(graph, platform, model=model.name, heuristic=heuristic)
         self.finish: dict[TaskId, float] = {}
         self.insertion = insertion
+        n = self.kernel.num_tasks
+        self._proc_a: list[int] = [-1] * n
+        self._start_a: list[float] = [0.0] * n
+        self._finish_a: list[float] = [0.0] * n
+        self._ev_buf: list[tuple] = []
+        self._pcache: tuple | None = None
+        self._place_log: list[int] | None = None
+        self._compute_views = None
 
     # ------------------------------------------------------------------
     # EFT engine
     # ------------------------------------------------------------------
-    def parents_info(self, task: TaskId) -> list[tuple[TaskId, int, float, float]]:
-        """Incoming edges as ``(parent, parent_proc, parent_finish, data)``.
+    def _parents(self, ti: int) -> list[tuple[float, int, int, int]]:
+        """Interned parent rows ``(finish, parent_ix, edge_ix, proc)``.
 
-        Sorted by (finish, insertion index): the order in which the
-        task's incoming messages are greedily booked on the ports.  The
-        paper does not fix this order; first-finished-first is the
-        natural greedy choice (data that exists earliest ships earliest).
+        Sorted by (finish, parent index): the order in which the task's
+        incoming messages are greedily booked on the ports.  The paper
+        does not fix this order; first-finished-first is the natural
+        greedy choice (data that exists earliest ships earliest).
 
-        Reads the kernel's CSR parent rows and contiguous data-volume
-        array — one edge index reaches parent, volume, and sort rank.
+        One-slot cache keyed by (task, commit epoch): commit re-reads
+        the very list the evaluation sweep just built.  The epoch is
+        the builder's monotone commit counter, so entries can never be
+        revived by a rollback or by a placement-count coincidence.
         """
+        key = (ti, self.builder.commit_count)
+        cached = self._pcache
+        if cached is not None and cached[0] == key:
+            return cached[1]
         kernel = self.kernel
-        placements = self.schedule.placements
-        tasks, esrc, edata = kernel.tasks, kernel.esrc, kernel.edata
-        keyed = []
-        for e in kernel.pred_rows[kernel.intern(task)]:
+        esrc = kernel.esrc
+        proc_a, finish_a = self._proc_a, self._finish_a
+        out = []
+        for e in kernel.pred_rows[ti]:
             pi = esrc[e]
-            parent = tasks[pi]
-            placement = placements.get(parent)
-            if placement is None:
+            pproc = proc_a[pi]
+            if pproc < 0:
                 raise SchedulingError(
-                    f"task {task!r} evaluated before its parent {parent!r} was scheduled"
+                    f"task {kernel.tasks[ti]!r} evaluated before its parent "
+                    f"{kernel.tasks[pi]!r} was scheduled"
                 )
-            keyed.append(
-                (placement.finish, pi, (parent, placement.proc, placement.finish, edata[e]))
-            )
-        keyed.sort()
-        return [item[2] for item in keyed]
+            out.append((finish_a[pi], pi, e, pproc))
+        out.sort()
+        self._pcache = (key, out)
+        return out
+
+    def parent_procs(self, task: TaskId) -> set[int]:
+        """Processors hosting ``task``'s already-scheduled parents."""
+        kernel = self.kernel
+        esrc = kernel.esrc
+        proc_a = self._proc_a
+        out = set()
+        for e in kernel.pred_rows[kernel.intern(task)]:
+            pproc = proc_a[esrc[e]]
+            if pproc < 0:
+                raise SchedulingError(
+                    f"parent {kernel.tasks[esrc[e]]!r} of {task!r} is not scheduled"
+                )
+            out.add(pproc)
+        return out
+
+    def parents_info(self, task: TaskId) -> list[tuple[TaskId, int, float, float]]:
+        """Incoming edges as ``(parent, parent_proc, parent_finish, data)``,
+        in greedy booking order (see :meth:`_parents`)."""
+        kernel = self.kernel
+        tasks, edata = kernel.tasks, kernel.edata
+        return [
+            (tasks[pi], pproc, pfinish, edata[e])
+            for pfinish, pi, e, pproc in self._parents(kernel.intern(task))
+        ]
+
+    def _flat_parents_from(self, task: TaskId, parents) -> list:
+        """Re-intern public ``parents_info`` rows (order preserved)."""
+        kernel = self.kernel
+        eindex, tindex = kernel.eindex, kernel.tindex
+        return [
+            (pfinish, tindex[parent], eindex[(parent, task)], pproc)
+            for parent, pproc, pfinish, _data in parents
+        ]
+
+    def _eval_one(
+        self, task: TaskId, ti: int, proc: int, parents, insertion: bool | None
+    ) -> Candidate:
+        builder = self.builder
+        builder.gen += 1  # begin_trial: rejecting this candidate is free
+        est = self.booker.trial_est(parents, proc)
+        duration = self.kernel.exec_[ti][proc]
+        if self.insertion if insertion is None else insertion:
+            start = row_next_fit(builder.rows_s[proc], builder.rows_e[proc], est, duration)
+        else:
+            ce = builder.rows_e[proc]
+            last = ce[-1] if ce else 0.0
+            start = est if est >= last else last
+        return Candidate(task, proc, start, start + duration)
 
     def evaluate(
         self,
@@ -143,26 +256,23 @@ class SchedulerState:
     ) -> Candidate:
         """EFT of ``task`` on ``proc``: tentative comms + compute slot.
 
-        Incoming messages are booked through a fresh model trial; the
-        compute slot is the earliest free window of length
-        ``w(task) * t_proc`` at or after the latest arrival (insertion
-        scheduling by default).  Nothing is committed.
+        Incoming messages are booked tentatively through the model's
+        flat booker; the compute slot is the earliest free window of
+        length ``w(task) * t_proc`` at or after the latest arrival
+        (insertion scheduling by default).  Nothing is committed.
+
+        ``parents``, when given, must be :meth:`parents_info` rows for
+        the *current* placements (passing it only saves recomputation).
+        A candidate probed under hypothetical parent rows is
+        evaluate-only: :meth:`commit` re-derives bookings from the
+        actual placements and would not honor the adjustment.
         """
+        ti = self.kernel.intern(task)
         if parents is None:
-            parents = self.parents_info(task)
-        trial = self.comm.trial()
-        est = 0.0
-        for parent, pproc, pfinish, data in parents:
-            arrival = trial.edge_arrival(parent, task, pproc, proc, pfinish, data)
-            if arrival > est:
-                est = arrival
-        duration = self.kernel.exec_[self.kernel.intern(task)][proc]
-        use_insertion = self.insertion if insertion is None else insertion
-        if use_insertion:
-            start = self.compute[proc].next_fit(est, duration)
+            flat = self._parents(ti)
         else:
-            start = self.compute[proc].next_after_last(est)
-        return Candidate(task, proc, start, start + duration, trial)
+            flat = self._flat_parents_from(task, parents)
+        return self._eval_one(task, ti, proc, flat, insertion)
 
     def evaluate_all(
         self,
@@ -170,10 +280,15 @@ class SchedulerState:
         procs: Iterable[int] | None = None,
         insertion: bool | None = None,
     ) -> list[Candidate]:
-        """Evaluate ``task`` on every processor (or the given subset)."""
-        parents = self.parents_info(task)
+        """Evaluate ``task`` on every processor (or the given subset).
+
+        The batched sweep: parents are resolved and sorted once, then
+        every processor is booked in one pass over the flat rows.
+        """
+        ti = self.kernel.intern(task)
+        flat = self._parents(ti)
         procs = self.platform.processors if procs is None else procs
-        return [self.evaluate(task, proc, parents, insertion) for proc in procs]
+        return [self._eval_one(task, ti, proc, flat, insertion) for proc in procs]
 
     def best_candidate(
         self,
@@ -182,47 +297,177 @@ class SchedulerState:
         insertion: bool | None = None,
     ) -> Candidate:
         """Minimum-EFT candidate; ties broken by start time then processor
-        index (the paper's toy example sends ties to ``P0``)."""
-        candidates = self.evaluate_all(task, procs, insertion)
-        if not candidates:
+        index (the paper's toy example sends ties to ``P0``).
+
+        Sweeps the processors like :meth:`evaluate_all` but keeps only
+        the running best, so the losing candidates cost no allocation
+        at all.
+        """
+        ti = self.kernel.intern(task)
+        flat = self._parents(ti)
+        procs = self.platform.processors if procs is None else procs
+        builder = self.builder
+        booker = self.booker
+        exec_row = self.kernel.exec_[ti]
+        use_insertion = self.insertion if insertion is None else insertion
+        rows_s, rows_e = builder.rows_s, builder.rows_e
+        # Exact pruning bound: every candidate starts no earlier than
+        # its latest parent finish, so ``maxpf + duration`` is a lower
+        # bound on its finish.  A processor whose bound is *strictly*
+        # above the incumbent finish cannot win (ties still evaluate —
+        # they may win on start time), so skipping it never changes the
+        # selected candidate.  On partially linked platforms pruning is
+        # disabled: the object path probes every (parent, proc) link
+        # and raises PlatformError on a missing one, and skipping a
+        # probe would skip that check too.
+        prunable = self.kernel.all_links_finite
+        maxpf = flat[-1][0] if flat else 0.0
+        bf = bs = _INF
+        bp = None
+        for proc in procs:
+            duration = exec_row[proc]
+            if prunable and maxpf + duration > bf:
+                continue
+            ce = rows_e[proc]
+            last = ce[-1] if ce else 0.0
+            if prunable and not use_insertion and last + duration > bf:
+                continue  # appended slots start no earlier than the frontier
+            builder.gen += 1  # begin_trial
+            est = booker.trial_est(flat, proc, bf if prunable else _INF, duration)
+            if prunable and est + duration > bf:
+                continue  # provably worse (possibly aborted mid-booking)
+            if use_insertion:
+                start = row_next_fit(rows_s[proc], ce, est, duration)
+            else:
+                start = est if est >= last else last
+            finish = start + duration
+            if finish < bf or (
+                finish == bf and (start < bs or (start == bs and proc < bp))
+            ):
+                bf, bs, bp = finish, start, proc
+        if bp is None:
             raise SchedulingError(f"no candidate processors for task {task!r}")
-        return min(candidates, key=lambda c: (c.finish, c.start, c.proc))
+        return Candidate(task, bp, bs, bf)
+
+    def _commit_comms(self, task: TaskId, ti: int, proc: int) -> float:
+        """Re-derive and commit the task's message bookings + events.
+
+        Returns the committed EST (latest arrival over all parents).
+        """
+        flat = self._parents(ti)
+        builder = self.builder
+        builder.gen += 1  # stale any tentative data: commit sees committed rows only
+        out = self._ev_buf
+        del out[:]
+        est = self.booker.commit_est(flat, proc, out)
+        if out:
+            kernel = self.kernel
+            tasks, esrc, edata = kernel.tasks, kernel.esrc, kernel.edata
+            record = self.schedule.record_comm
+            for e, q, start, dur in out:
+                record(tasks[esrc[e]], task, q, proc, start, dur, edata[e])
+        return est
+
+    def _place(self, task: TaskId, ti: int, proc: int, start: float, finish: float) -> None:
+        self.builder.book(proc, start, finish)
+        self._proc_a[ti] = proc
+        self._start_a[ti] = start
+        self._finish_a[ti] = finish
+        self.schedule.place(task, proc, start, finish)
+        self.finish[task] = finish
+        if self._place_log is not None:
+            self._place_log.append(ti)
 
     def commit(self, candidate: Candidate) -> None:
-        """Make a candidate permanent: comms, compute window, placement."""
-        candidate.trial.commit(self.schedule)
-        self.compute[candidate.proc].reserve(
-            candidate.start, candidate.finish, candidate.task
-        )
-        self.schedule.place(
-            candidate.task, candidate.proc, candidate.start, candidate.finish
-        )
-        self.finish[candidate.task] = candidate.finish
+        """Make a candidate permanent: comms, compute window, placement.
+
+        Flat candidates carry no trial object; their bookings are
+        re-derived from the actual placements against the committed
+        rows, which reproduces the evaluation's floats exactly under
+        the commit contract (class docstring) — candidates evaluated
+        with a hand-modified ``parents`` list are not committable.
+        """
+        task = candidate.task
+        ti = self.kernel.intern(task)
+        self._commit_comms(task, ti, candidate.proc)
+        self._place(task, ti, candidate.proc, candidate.start, candidate.finish)
 
     def schedule_on(
         self, task: TaskId, proc: int, insertion: bool | None = None
     ) -> Candidate:
-        """Evaluate-and-commit ``task`` on a fixed processor."""
-        candidate = self.evaluate(task, proc, insertion=insertion)
-        self.commit(candidate)
-        return candidate
+        """Evaluate-and-commit ``task`` on a fixed processor (one pass)."""
+        ti = self.kernel.intern(task)
+        builder = self.builder
+        est = self._commit_comms(task, ti, proc)
+        duration = self.kernel.exec_[ti][proc]
+        if self.insertion if insertion is None else insertion:
+            # committed transfer windows of this very task (no-overlap
+            # model) all end at or before est, so the slot search sees
+            # exactly what a tentative evaluation would have
+            start = row_next_fit(builder.rows_s[proc], builder.rows_e[proc], est, duration)
+        else:
+            ce = builder.rows_e[proc]
+            last = ce[-1] if ce else 0.0
+            start = est if est >= last else last
+        finish = start + duration
+        self._place(task, ti, proc, start, finish)
+        return Candidate(task, proc, start, finish)
 
     # ------------------------------------------------------------------
-    # snapshots (for chunk-rescheduling variants)
+    # compute-row views (debugging / tests; mirrors the object path's
+    # ``state.compute`` timelines)
     # ------------------------------------------------------------------
+    @property
+    def compute(self):
+        """Per-processor compute-row views with a Timeline-like surface."""
+        views = self._compute_views
+        if views is None:
+            views = self._compute_views = [
+                ComputeRowView(self.builder, p)
+                for p in range(self.platform.num_processors)
+            ]
+        return views
+
+    # ------------------------------------------------------------------
+    # scratch runs (chunk-rescheduling variants) and snapshots
+    # ------------------------------------------------------------------
+    def mark(self):
+        """Checkpoint; undo everything after it with :meth:`restore`.
+
+        O(changed): while a mark is active every committed mutation
+        appends one undo record to the builder's journal.
+        """
+        cursor = self.builder.mark()
+        if self._place_log is None:
+            self._place_log = []
+        return (cursor, len(self._place_log), len(self.schedule.comm_events))
+
+    def restore(self, mark) -> None:
+        """Roll back to ``mark``, undoing bookings/placements/events."""
+        cursor, place_cursor, events_len = mark
+        self.builder.rollback(cursor)
+        tasks = self.kernel.tasks
+        log = self._place_log
+        for ti in reversed(log[place_cursor:]):
+            self._proc_a[ti] = -1
+            task = tasks[ti]
+            del self.schedule.placements[task]
+            del self.finish[task]
+        del log[place_cursor:]
+        if self.builder.log is None:  # outermost mark resolved
+            self._place_log = None
+        del self.schedule.comm_events[events_len:]
+
     def snapshot(self) -> "SchedulerState":
-        """Deep copy: trial-run a whole chunk without touching this state."""
-        dup = object.__new__(SchedulerState)
+        """Independent deep copy (prefer :meth:`mark`/:meth:`restore`)."""
+        dup = object.__new__(type(self))
         dup.graph = self.graph
         dup.platform = self.platform
         dup.model = self.model
         dup.maps = self.maps
         dup.kernel = self.kernel  # immutable statics, shared
-        dup.compute = [t.copy() for t in self.compute]
-        dup.comm = self.comm.copy()
-        if hasattr(dup.comm, "compute"):
-            # compute-sharing models must follow the copied timelines
-            dup.comm.compute = dup.compute
+        dup.builder = self.builder.copy()
+        dup.booker = self.booker.rebind(dup.builder)
         dup.schedule = Schedule(
             self.graph,
             self.platform,
@@ -233,7 +478,46 @@ class SchedulerState:
         dup.schedule.comm_events = list(self.schedule.comm_events)
         dup.finish = dict(self.finish)
         dup.insertion = self.insertion
+        dup._proc_a = list(self._proc_a)
+        dup._start_a = list(self._start_a)
+        dup._finish_a = list(self._finish_a)
+        dup._ev_buf = []
+        dup._pcache = None
+        dup._place_log = None
+        dup._compute_views = None
         return dup
+
+
+class ComputeRowView:
+    """Timeline-like view over one builder compute row (committed layer)."""
+
+    __slots__ = ("_builder", "_proc")
+
+    def __init__(self, builder: FlatBuilder, proc: int) -> None:
+        self._builder = builder
+        self._proc = proc
+
+    def is_empty(self) -> bool:
+        return not self._builder.rows_s[self._proc]
+
+    def last_end(self) -> float:
+        ce = self._builder.rows_e[self._proc]
+        return ce[-1] if ce else 0.0
+
+    def intervals(self) -> list[tuple[float, float]]:
+        return self._builder.committed(self._proc)
+
+    def next_fit(self, ready: float, duration: float) -> float:
+        return self._builder.next_fit(self._proc, ready, duration)
+
+    def next_after_last(self, ready: float) -> float:
+        return self._builder.next_after_last(self._proc, ready)
+
+    def reserve(self, start: float, end: float, tag=None) -> None:
+        self._builder.book(self._proc, start, end)
+
+    def __len__(self) -> int:
+        return len(self._builder.rows_s[self._proc])
 
 
 class ReadyQueue:

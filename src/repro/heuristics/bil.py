@@ -91,12 +91,10 @@ class BIL(Scheduler):
         queue = ReadyQueue(graph, lambda v: (-priority[v],))
         while queue:
             task = queue.pop()
-            parents = state.parents_info(task)
             best = None
             best_key = None
-            for proc in procs:
-                cand = state.evaluate(task, proc, parents)
-                key = (cand.start + bil[(task, proc)], cand.finish, proc)
+            for cand in state.evaluate_all(task, procs):
+                key = (cand.start + bil[(task, cand.proc)], cand.finish, cand.proc)
                 if best_key is None or key < best_key:
                     best_key = key
                     best = cand

@@ -68,9 +68,8 @@ class GDL(Scheduler):
             best: Candidate | None = None
             best_key: tuple | None = None
             for task in ready:
-                parents = state.parents_info(task)
-                for proc in platform.processors:
-                    cand = state.evaluate(task, proc, parents)
+                for cand in state.evaluate_all(task):
+                    proc = cand.proc
                     delta = node_cost[task] - maps.weight[task] * platform.cycle_time(proc)
                     dl = sl[task] - cand.start + delta
                     # Maximize DL; break ties towards earlier finish, then

@@ -182,9 +182,12 @@ class ILHA(Scheduler):
         while queue:
             chunk = queue.pop_chunk(b)
             if self.reschedule:
-                # Pre-allocate on a scratch copy, then rebuild the chunk's
-                # timing on the real state with the allocation fixed.
-                alloc = self._run_chunk(state.snapshot(), chunk)
+                # Pre-allocate on a scratch run (rolled back through the
+                # state's undo journal — O(chunk), not a deep copy), then
+                # rebuild the chunk's timing with the allocation fixed.
+                mark = state.mark()
+                alloc = self._run_chunk(state, chunk)
+                state.restore(mark)
                 for task in chunk:
                     state.schedule_on(task, alloc[task])
             else:
@@ -213,7 +216,7 @@ class ILHA(Scheduler):
         for task in chunk:
             parents = maps.preds[task]
             if parents:
-                procs = {state.schedule.placements[p].proc for p in parents}
+                procs = state.parent_procs(task)
                 if len(procs) == 1:
                     proc = next(iter(procs))
                     if tracker.fits(proc, maps.weight[task]):

@@ -21,6 +21,13 @@ Layout
   ``exec_`` and the ``p x p`` plain-list link matrix ``link_rows``.
   Statics are cached per (graph, platform) on the graph itself and
   invalidated when the graph mutates.
+* **Flat construction state** (:class:`FlatBuilder`): the mutable
+  counterpart of the statics for *building* schedules — per-resource
+  committed interval rows (compute rows then the model's port rows),
+  generation-stamped tentative layers so a candidate trial is O(1) to
+  reject, and an undo journal for O(changed) scratch runs.  The
+  heuristics' ``SchedulerState`` and the models' flat bookers live on
+  top of it.
 * **Timed constraint DAG** (:class:`TimedKernel`): node ``i < n`` is
   task ``i``; node ``n + e`` is the transfer slot of edge ``e``, active
   only while the edge is remote.  ``compile`` (from replay decisions or
@@ -39,18 +46,23 @@ Who routes through the kernel
 * :class:`repro.search.IncrementalEvaluator` — load is ``from_point`` +
   one ordered pass; previews and commits are ``patch`` / ``apply``.
 * :class:`repro.heuristics.base.SchedulerState` — the HEFT/ILHA
-  candidate-trial inner loop reads parents, execution times, and link
-  costs from the statics tables instead of per-call dict/numpy lookups.
+  EFT engine runs entirely on :class:`FlatBuilder` rows: candidate
+  trials, port bookings, compute slots, placements and finish times are
+  all flat arrays over the statics' interned ids (the object-level
+  reference implementation is retained in
+  :mod:`repro.heuristics.state_object`).
 
 The kernel computes bit-identical times to the object-level replay:
 same ``max`` over the same operands, same single addition per node —
 the cross-check suite in ``tests/kernel`` asserts exact agreement.
 """
 
+from .builder import FlatBuilder
 from .statics import KernelStatics, compile_statics
 from .timed import KernelIneligible, KernelPatch, TimedKernel
 
 __all__ = [
+    "FlatBuilder",
     "KernelIneligible",
     "KernelPatch",
     "KernelStatics",

@@ -1,6 +1,18 @@
-"""Communication models: macro-dataflow, one-port, routed one-port."""
+"""Communication models: macro-dataflow, one-port, variants, routed.
 
-from .base import CommState, CommTrial, CommunicationModel
+Importing this package registers every model with the registry, so
+``make_model(platform, "uni-port")`` works after ``import repro.models``.
+"""
+
+from .base import (
+    CommState,
+    CommTrial,
+    CommunicationModel,
+    FlatBooker,
+    available_models,
+    make_model,
+    register_model,
+)
 from .macro_dataflow import MacroDataflowModel, MacroDataflowState
 from .one_port import OnePortModel, OnePortState
 from .routing import RoutedOnePortModel, RoutedOnePortState, build_routing_table
@@ -15,6 +27,7 @@ __all__ = [
     "CommState",
     "CommTrial",
     "CommunicationModel",
+    "FlatBooker",
     "MacroDataflowModel",
     "MacroDataflowState",
     "NoOverlapOnePortModel",
@@ -23,7 +36,10 @@ __all__ = [
     "RoutedOnePortModel",
     "RoutedOnePortState",
     "UniPortModel",
+    "available_models",
     "build_routing_table",
+    "make_model",
+    "register_model",
     "validate_no_overlap",
     "validate_uni_port",
 ]

@@ -30,7 +30,7 @@ from ..core.platform import Platform
 from ..core.ports import PortSet, PortSetOverlay
 from ..core.schedule import Schedule
 from ..core.validation import ONE_PORT
-from .base import CommState, CommTrial, CommunicationModel
+from .base import CommState, CommTrial, CommunicationModel, register_model
 
 TaskId = Hashable
 
@@ -142,8 +142,15 @@ class RoutedOnePortState(CommState):
         return RoutedOnePortState(self._platform, self._routes, self.ports.copy())
 
 
+@register_model("routed")
 class RoutedOnePortModel(CommunicationModel):
-    """One-port model over an arbitrary (connected) topology."""
+    """One-port model over an arbitrary (connected) topology.
+
+    Multi-hop chains have no flat booker (``supports_flat`` stays
+    False), so heuristics run this model through the retained object
+    path — mirroring how :func:`repro.simulate.replay` falls back for
+    multi-hop decision sets.
+    """
 
     name = ONE_PORT
 

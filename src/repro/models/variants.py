@@ -28,16 +28,152 @@ one-port rule still holds), plus extra structure checked by
 
 from __future__ import annotations
 
+import math
 from collections.abc import Hashable, Sequence
 
-from ..core.exceptions import ValidationError
+from ..core.exceptions import PlatformError, ValidationError
 from ..core.schedule import Schedule
 from ..core.timeline import Timeline, TimelineOverlay, earliest_joint_fit
 from ..core.tolerance import time_tol
 from ..core.validation import ONE_PORT, validate_schedule
-from .base import CommState, CommTrial, CommunicationModel
+from .base import (
+    CommState,
+    CommTrial,
+    CommunicationModel,
+    FlatBooker,
+    register_model,
+)
+
+_INF = float("inf")
 
 TaskId = Hashable
+
+
+class _JointRowsFlatBooker(FlatBooker):
+    """Shared flat booking: one joint window over a per-edge row set.
+
+    Subclasses define :meth:`_rows` — the builder rows a transfer
+    ``q -> r`` must occupy simultaneously.  The booking itself is the
+    same greedy rule as one-port: the earliest window at or after the
+    source finish free on *all* rows at once, booked on each.
+    """
+
+    __slots__ = ("builder", "edata", "links", "check_links")
+
+    def __init__(self, builder, statics) -> None:
+        self.builder = builder
+        self.edata = statics.edata
+        self.links = statics.link_rows
+        self.check_links = not statics.all_links_finite
+
+    def rebind(self, builder):
+        # explicit field-by-field copy (subclasses append their row
+        # bases via _rebind_extra): any future mutable builder-derived
+        # state must be reset here, not silently shared
+        dup = object.__new__(type(self))
+        dup.builder = builder
+        dup.edata = self.edata
+        dup.links = self.links
+        dup.check_links = self.check_links
+        self._rebind_extra(dup)
+        return dup
+
+    def _rebind_extra(self, dup) -> None:
+        raise NotImplementedError
+
+    def _rows(self, q: int, r: int) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def _cost(self, q: int, r: int) -> float:
+        cost = self.links[q][r]
+        if self.check_links and not math.isfinite(cost):
+            raise PlatformError(f"no direct link from P{q} to P{r}")
+        return cost
+
+    def trial_est(self, parents, proc: int, cutoff: float = _INF, duration: float = 0.0) -> float:
+        b = self.builder
+        edata = self.edata
+        est = 0.0
+        for pfinish, _pi, e, pproc in parents:
+            if pproc == proc:
+                arr = pfinish
+            else:
+                dur = edata[e] * self._cost(pproc, proc)
+                if dur == 0.0:
+                    arr = pfinish
+                else:
+                    rows = self._rows(pproc, proc)
+                    start = b.joint_next_fit(rows, pfinish, dur)
+                    end = start + dur
+                    for r in rows:
+                        b.book_tentative(r, start, end)
+                    arr = end
+            if arr > est:
+                est = arr
+        return est
+
+    def commit_est(self, parents, proc: int, out: list) -> float:
+        b = self.builder
+        edata = self.edata
+        est = 0.0
+        for pfinish, _pi, e, pproc in parents:
+            if pproc == proc:
+                arr = pfinish
+            else:
+                dur = edata[e] * self._cost(pproc, proc)
+                if dur == 0.0:
+                    out.append((e, pproc, pfinish, 0.0))
+                    arr = pfinish
+                else:
+                    rows = self._rows(pproc, proc)
+                    start = b.joint_next_fit(rows, pfinish, dur)
+                    end = start + dur
+                    for r in rows:
+                        b.book(r, start, end)
+                    out.append((e, pproc, start, dur))
+                    arr = end
+            if arr > est:
+                est = arr
+        return est
+
+
+class UniPortFlatBooker(_JointRowsFlatBooker):
+    """One shared send+receive port row per processor."""
+
+    __slots__ = ("port0",)
+
+    def __init__(self, builder, statics) -> None:
+        super().__init__(builder, statics)
+        self.port0 = builder.new_rows(statics.num_procs)
+
+    def _rebind_extra(self, dup) -> None:
+        dup.port0 = self.port0
+
+    def _rows(self, q: int, r: int) -> tuple[int, int]:
+        return (self.port0 + q, self.port0 + r)
+
+
+class NoOverlapFlatBooker(_JointRowsFlatBooker):
+    """Send/recv ports plus both endpoints' compute rows (CPU-driven IO).
+
+    The compute rows are the builder's own rows ``0 .. p-1`` — the same
+    rows task executions occupy — so a transfer excludes computation on
+    its endpoints exactly as the object path's bound compute timelines.
+    """
+
+    __slots__ = ("send0", "recv0")
+
+    def __init__(self, builder, statics) -> None:
+        super().__init__(builder, statics)
+        self.send0 = builder.new_rows(statics.num_procs)
+        self.recv0 = builder.new_rows(statics.num_procs)
+
+    def _rebind_extra(self, dup) -> None:
+        dup.send0 = self.send0
+        dup.recv0 = self.recv0
+
+    def _rows(self, q: int, r: int) -> tuple[int, int, int, int]:
+        return (self.send0 + q, self.recv0 + r, q, r)
 
 
 class _SinglePortSet:
@@ -104,13 +240,18 @@ class UniPortState(CommState):
         return UniPortState(self._platform, self.ports.copy())
 
 
+@register_model("uni-port")
 class UniPortModel(CommunicationModel):
     """Uni-directional one-port: one shared port per processor."""
 
     name = ONE_PORT  # schedules satisfy (and exceed) the one-port rules
+    supports_flat = True
 
     def new_state(self) -> UniPortState:
         return UniPortState(self.platform)
+
+    def flat_booker(self, builder, statics) -> UniPortFlatBooker:
+        return UniPortFlatBooker(builder, statics)
 
 
 class NoOverlapTrial(CommTrial):
@@ -194,16 +335,24 @@ class NoOverlapState(CommState):
         return dup
 
 
+@register_model("no-overlap")
 class NoOverlapOnePortModel(CommunicationModel):
     """One-port without communication/computation overlap.
 
-    The scheduler's compute timelines must be bound before trials are
-    created; :class:`~repro.heuristics.base.SchedulerState` does this
-    automatically when the model exposes ``wants_compute``.
+    On the object path the scheduler's compute timelines must be bound
+    before trials are created;
+    :class:`~repro.heuristics.state_object.ObjectSchedulerState` does
+    this automatically when the model exposes ``wants_compute``.  The
+    flat path needs no binding — the booker occupies the builder's own
+    compute rows.
     """
 
     name = ONE_PORT
     wants_compute = True
+    supports_flat = True
+
+    def flat_booker(self, builder, statics) -> NoOverlapFlatBooker:
+        return NoOverlapFlatBooker(builder, statics)
 
     def __init__(self, platform) -> None:
         super().__init__(platform)

@@ -40,6 +40,7 @@ from ..core.exceptions import ConfigurationError
 from ..core.taskgraph import TaskGraph
 from ..heuristics import get_scheduler
 from ..kernel import TimedKernel, compile_statics
+from ..models import available_models
 from .engine import (
     BLOCKED,
     CANCELLED,
@@ -84,7 +85,12 @@ class Policy:
 
 
 class PlanningPolicy(Policy):
-    """Shared base of the plan-carrying policies: heuristic + model."""
+    """Shared base of the plan-carrying policies: heuristic + model.
+
+    Planning and re-planning run the heuristic through the flat builder
+    ``SchedulerState`` (every registered heuristic does), so policy
+    wake-ups pay the flat construction cost, not the object path's.
+    """
 
     def __init__(
         self,
@@ -96,8 +102,13 @@ class PlanningPolicy(Policy):
         self.heuristic = heuristic
         self.heuristic_kwargs = dict(heuristic_kwargs or {})
         self.model = model
-        # fail on a bad heuristic here, not mid-simulation
+        # fail on a bad heuristic or model name here, not mid-simulation
         self.scheduler = get_scheduler(heuristic, **self.heuristic_kwargs)
+        if isinstance(model, str) and model not in available_models():
+            raise ConfigurationError(
+                f"unknown communication model {model!r}; "
+                f"available: {available_models()}"
+            )
         self._plan_cache: dict[int, tuple] = {}
 
     def bind(self, engine: OnlineEngine) -> None:

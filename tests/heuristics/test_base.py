@@ -1,16 +1,27 @@
-"""Unit tests for the shared scheduler machinery (state, queue, registry)."""
+"""Unit tests for the shared scheduler machinery (state, queue, registry).
+
+``state_cls`` parametrizes the behavioral tests over both
+implementations of the ``SchedulerState`` contract: the flat builder
+path (the default) and the retained object reference path.
+"""
 
 import pytest
 
 from repro.core import ConfigurationError, Platform, SchedulingError, TaskGraph
 from repro.heuristics import available_schedulers, get_scheduler, make_model
 from repro.heuristics.base import ReadyQueue, SchedulerState
+from repro.heuristics.state_object import ObjectSchedulerState
 from repro.models import MacroDataflowModel, OnePortModel
 
 
 @pytest.fixture
 def platform():
     return Platform.homogeneous(2, cycle_time=1.0, link=1.0)
+
+
+@pytest.fixture(params=["flat", "object"])
+def state_cls(request):
+    return SchedulerState if request.param == "flat" else ObjectSchedulerState
 
 
 @pytest.fixture
@@ -39,66 +50,125 @@ class TestMakeModel:
 
 
 class TestSchedulerState:
-    def test_evaluate_does_not_mutate(self, vee, platform):
+    def test_dispatch_picks_flat_path(self, vee, platform):
         state = SchedulerState(vee, platform, OnePortModel(platform))
+        assert type(state) is SchedulerState
+        from repro.heuristics import force_object_state
+
+        with force_object_state():
+            forced = SchedulerState(vee, platform, OnePortModel(platform))
+        assert type(forced) is ObjectSchedulerState
+
+    def test_routed_model_falls_back_to_object_path(self, vee, platform):
+        from repro.models import RoutedOnePortModel
+
+        state = SchedulerState(vee, platform, RoutedOnePortModel(platform))
+        assert type(state) is ObjectSchedulerState
+
+    def test_evaluate_does_not_mutate(self, vee, platform, state_cls):
+        state = state_cls(vee, platform, OnePortModel(platform))
         state.schedule_on("a", 0)
         state.schedule_on("b", 1)
         before = len(state.schedule.comm_events)
+        c0 = state.evaluate("c", 0)
+        c1 = state.evaluate("c", 1)
+        assert len(state.schedule.comm_events) == before
+        # the rejected trials left no trace: committing either candidate
+        # still produces its evaluated times
+        state.commit(c0)
+        assert state.schedule.finish_of("c") == c0.finish
+
+    def test_object_trial_leaves_ports_untouched(self, vee, platform):
+        state = ObjectSchedulerState(vee, platform, OnePortModel(platform))
+        state.schedule_on("a", 0)
+        state.schedule_on("b", 1)
         state.evaluate("c", 0)
         state.evaluate("c", 1)
-        assert len(state.schedule.comm_events) == before
         assert state.comm.ports.send[1].is_empty()
 
-    def test_commit_books_everything(self, vee, platform):
-        state = SchedulerState(vee, platform, OnePortModel(platform))
+    def test_commit_books_everything(self, vee, platform, state_cls):
+        state = state_cls(vee, platform, OnePortModel(platform))
         state.schedule_on("a", 0)
         state.schedule_on("b", 1)
         cand = state.evaluate("c", 0)
         state.commit(cand)
-        # b -> c message booked: P1 send port busy
-        assert not state.comm.ports.send[1].is_empty()
+        # b -> c message booked from P1
+        assert any(e.src_proc == 1 for e in state.schedule.comm_events)
         assert state.schedule.is_complete()
 
-    def test_parents_info_requires_scheduled_parents(self, vee, platform):
-        state = SchedulerState(vee, platform, OnePortModel(platform))
+    def test_parents_info_requires_scheduled_parents(self, vee, platform, state_cls):
+        state = state_cls(vee, platform, OnePortModel(platform))
         with pytest.raises(SchedulingError, match="before its parent"):
             state.parents_info("c")
 
-    def test_parents_sorted_by_finish(self, vee, platform):
-        state = SchedulerState(vee, platform, OnePortModel(platform))
+    def test_parents_sorted_by_finish(self, vee, platform, state_cls):
+        state = state_cls(vee, platform, OnePortModel(platform))
         state.schedule_on("b", 1)  # finish 2
         state.schedule_on("a", 0)  # finish 1
         info = state.parents_info("c")
         assert [p[0] for p in info] == ["a", "b"]
 
-    def test_best_candidate_tie_goes_to_lowest_proc(self, platform):
+    def test_parent_procs(self, vee, platform, state_cls):
+        state = state_cls(vee, platform, OnePortModel(platform))
+        state.schedule_on("a", 0)
+        state.schedule_on("b", 1)
+        assert state.parent_procs("c") == {0, 1}
+
+    def test_best_candidate_tie_goes_to_lowest_proc(self, platform, state_cls):
         g = TaskGraph()
         g.add_task("solo", 1.0)
-        state = SchedulerState(g, platform, OnePortModel(platform))
+        state = state_cls(g, platform, OnePortModel(platform))
         best = state.best_candidate("solo")
         assert best.proc == 0
 
-    def test_insertion_vs_append(self, platform):
+    def test_insertion_vs_append(self, platform, state_cls):
         g = TaskGraph()
         for v in ("w", "x", "y"):
             g.add_task(v, 2.0)
-        state = SchedulerState(g, platform, OnePortModel(platform))
+        state = state_cls(g, platform, OnePortModel(platform))
         state.compute[0].reserve(4.0, 8.0, "blocker")
         ins = state.evaluate("w", 0, insertion=True)
         app = state.evaluate("w", 0, insertion=False)
         assert ins.start == 0.0  # fills the [0, 4) gap
         assert app.start == 8.0
 
-    def test_snapshot_isolated(self, vee, platform):
-        state = SchedulerState(vee, platform, OnePortModel(platform))
+    def test_snapshot_isolated(self, vee, platform, state_cls):
+        state = state_cls(vee, platform, OnePortModel(platform))
         state.schedule_on("a", 0)
         snap = state.snapshot()
         snap.schedule_on("b", 1)
         assert "b" in snap.schedule.placements
         assert "b" not in state.schedule.placements
-        # ports isolated too
+        # resource state isolated too: the original books "b" and "c"
+        # exactly as the snapshot did, proving the snapshot's bookings
+        # never leaked back
         snap.schedule_on("c", 0)
-        assert state.comm.ports.send[1].is_empty()
+        b1 = state.schedule_on("b", 1)
+        c1 = state.schedule_on("c", 0)
+        assert b1.finish == snap.schedule.finish_of("b")
+        assert c1.finish == snap.schedule.finish_of("c")
+        assert state.schedule.is_complete()
+
+    def test_mark_restore_roundtrip(self, vee, platform, state_cls):
+        state = state_cls(vee, platform, OnePortModel(platform))
+        state.schedule_on("a", 0)
+        reference = state_cls(vee, platform, OnePortModel(platform))
+        reference.schedule_on("a", 0)
+        mark = state.mark()
+        state.schedule_on("b", 1)
+        state.schedule_on("c", 0)
+        state.restore(mark)
+        assert set(state.schedule.placements) == {"a"}
+        assert set(state.finish) == {"a"}
+        # after the rollback the state behaves exactly like one that
+        # never ran the scratch chunk
+        for task, proc in (("b", 1), ("c", 0)):
+            got = state.schedule_on(task, proc)
+            want = reference.schedule_on(task, proc)
+            assert (got.start, got.finish) == (want.start, want.finish)
+        assert sorted(state.schedule.comm_events) == sorted(
+            reference.schedule.comm_events
+        )
 
 
 class TestReadyQueue:

@@ -1,0 +1,303 @@
+"""Flat builder vs object reference: bit-identical construction.
+
+The acceptance property of the builder layer: for every registered
+heuristic x flat-capable model x testbed, running the heuristic through
+the default flat ``SchedulerState`` produces *bit-identical* schedules
+(placements and communication events, exact float equality — no
+tolerance) to the retained object-level implementation forced by
+:func:`repro.heuristics.force_object_state`.
+
+Also here: the no-trace property (rejected candidates leave the flat
+state untouched) and golden schedules pinning the flat path to the
+hand-checked figures.
+"""
+
+import pytest
+
+from repro import HEFT, ILHA, Platform
+from repro.graphs import (
+    fork_join_graph,
+    irregular_testbed,
+    layered_testbed,
+    lu_graph,
+    toy_graph,
+)
+from repro.heuristics import (
+    available_schedulers,
+    force_object_state,
+    get_scheduler,
+)
+from repro.heuristics.base import SchedulerState
+from repro.heuristics.state_object import ObjectSchedulerState
+from repro.models import (
+    MacroDataflowModel,
+    NoOverlapOnePortModel,
+    OnePortModel,
+    UniPortModel,
+    make_model,
+)
+
+TESTBEDS = {
+    "lu": lambda: lu_graph(8),
+    "layered": lambda: layered_testbed(5, seed=7),
+    "irregular": lambda: irregular_testbed(40, seed=3),
+}
+
+#: Constructor overrides for schedulers that need arguments; ``None``
+#: marks schedulers excluded from the sweep (fixed needs a per-graph
+#: allocation and is exercised separately below; ils improves through
+#: replay, not through SchedulerState, and multiplies runtime).
+SCHEDULER_KWARGS = {
+    "fixed": None,
+    "ils": None,
+    "ilha": {"b": 4, "single_comm_scan": True, "reschedule": True},
+}
+
+MODELS = ["one-port", "macro-dataflow", "uni-port", "no-overlap"]
+
+
+def assert_identical(flat, ref):
+    """Exact equality of two schedules, field by field."""
+    assert flat.placements.keys() == ref.placements.keys()
+    for task, placement in flat.placements.items():
+        other = ref.placements[task]
+        assert placement.proc == other.proc, f"proc drift on {task!r}"
+        assert placement.start == other.start, f"start drift on {task!r}"
+        assert placement.finish == other.finish, f"finish drift on {task!r}"
+    assert sorted(flat.comm_events) == sorted(ref.comm_events)
+    assert flat.makespan() == ref.makespan()
+
+
+def run_both(scheduler, graph, platform, model_name):
+    flat = scheduler.run(graph, platform, make_model(platform, model_name))
+    with force_object_state():
+        ref = scheduler.run(graph, platform, make_model(platform, model_name))
+    return flat, ref
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+@pytest.mark.parametrize("testbed", sorted(TESTBEDS))
+@pytest.mark.parametrize("name", [n for n in available_schedulers()
+                                  if SCHEDULER_KWARGS.get(n, {}) is not None])
+def test_flat_matches_object_for_every_heuristic(
+    name, testbed, model_name, paper_platform
+):
+    graph = TESTBEDS[testbed]()
+    scheduler = get_scheduler(name, **SCHEDULER_KWARGS.get(name, {}))
+    flat, ref = run_both(scheduler, graph, paper_platform, model_name)
+    assert_identical(flat, ref)
+
+
+def test_fixed_allocation_equivalence(paper_platform):
+    graph = lu_graph(6)
+    alloc = {v: i % 3 for i, v in enumerate(graph.tasks())}
+    scheduler = get_scheduler("fixed", alloc=alloc)
+    for model_name in MODELS:
+        flat, ref = run_both(scheduler, graph, paper_platform, model_name)
+        assert_identical(flat, ref)
+
+
+def test_heterogeneous_links_equivalence():
+    """Non-uniform link matrix: per-pair durations through both paths."""
+    platform = Platform(
+        [1.0, 2.0, 3.0],
+        [[0.0, 1.0, 2.5], [1.5, 0.0, 0.5], [2.0, 1.0, 0.0]],
+    )
+    graph = layered_testbed(4, seed=11)
+    for model_name in MODELS:
+        flat, ref = run_both(HEFT(), graph, platform, model_name)
+        assert_identical(flat, ref)
+
+
+def test_zero_data_edges_equivalence(paper_platform):
+    """Zero-volume edges book zero-length transfers in both paths."""
+    graph = toy_graph()
+    for u, v in list(graph.edges())[:2]:
+        graph.set_data(u, v, 0.0)
+    flat, ref = run_both(HEFT(), graph, paper_platform, "one-port")
+    assert_identical(flat, ref)
+    assert any(e.duration == 0.0 for e in flat.comm_events)
+
+
+# ----------------------------------------------------------------------
+# golden schedules: the flat path reproduces the hand-checked figures
+# ----------------------------------------------------------------------
+class TestGolden:
+    def test_toy_example_heft_one_port(self, two_identical):
+        """Figure 4's toy graph under one-port HEFT (paper tie order)."""
+        schedule = HEFT().run(toy_graph(), two_identical, "one-port")
+        assert type(schedule).__name__ == "Schedule"
+        with force_object_state():
+            ref = HEFT().run(toy_graph(), two_identical, "one-port")
+        assert_identical(schedule, ref)
+
+    def test_fork_join_ilha(self, paper_platform):
+        flat, ref = run_both(
+            ILHA(b=4), fork_join_graph(16), paper_platform, "one-port"
+        )
+        assert_identical(flat, ref)
+
+
+# ----------------------------------------------------------------------
+# no-trace property: rejected candidates leave flat state untouched
+# ----------------------------------------------------------------------
+class TestNoTrace:
+    def _fingerprint(self, state):
+        return (
+            state.builder.fingerprint(),
+            dict(state.schedule.placements),
+            list(state.schedule.comm_events),
+            dict(state.finish),
+        )
+
+    @pytest.mark.parametrize("model_cls", [
+        OnePortModel, MacroDataflowModel, UniPortModel, NoOverlapOnePortModel,
+    ])
+    def test_rejected_candidates_leave_no_trace(self, paper_platform, model_cls):
+        graph = lu_graph(6)
+        state = SchedulerState(graph, paper_platform, model_cls(paper_platform))
+        assert type(state) is SchedulerState  # flat path in effect
+        order = list(graph.topological_order())
+        for task in order[: len(order) // 2]:
+            state.schedule_on(task, 0)
+        before = self._fingerprint(state)
+        next_task = order[len(order) // 2]
+        # evaluate every processor several times and commit nothing
+        for _ in range(3):
+            state.evaluate_all(next_task)
+            state.best_candidate(next_task)
+            state.evaluate(next_task, 1, insertion=False)
+        assert self._fingerprint(state) == before
+
+    def test_rejection_is_constant_time(self, paper_platform):
+        """Rejecting = bumping one counter: no rows are cleared eagerly."""
+        graph = lu_graph(6)
+        state = SchedulerState(graph, paper_platform, OnePortModel(paper_platform))
+        for task in list(graph.topological_order())[:6]:
+            state.schedule_on(task, 0)
+        gen_before = state.builder.gen
+        state.evaluate(list(graph.topological_order())[6], 1)
+        assert state.builder.gen == gen_before + 1
+
+
+def test_hypothetical_parents_do_not_poison_later_evaluations(two_identical):
+    """evaluate(parents=...) with made-up finish times is evaluate-only,
+    and must not corrupt the booker's memoized state (regression: the
+    one-port seed cache used to be keyed without the ready time)."""
+    from repro.core import TaskGraph
+
+    g = TaskGraph.from_specs([("a", 1.0), ("c", 1.0)], [("a", "c", 2.0)])
+    state = SchedulerState(g, two_identical, OnePortModel(two_identical))
+    state.schedule_on("a", 0)
+    genuine = state.evaluate("c", 1)
+    state.evaluate("c", 1, parents=[("a", 0, 100.0, 2.0)])
+    again = state.evaluate("c", 1)
+    assert (again.start, again.finish) == (genuine.start, genuine.finish)
+
+
+def test_relocated_parent_probe_does_not_poison_seed():
+    """A hypothetical probe that *relocates* a parent (same finish, other
+    processor) must neither use nor pollute the real send row's seed
+    (regression: the seed key used to omit the source processor)."""
+    from repro.core import TaskGraph
+
+    platform = Platform.homogeneous(3)
+    g = TaskGraph.from_specs(
+        [("a", 1.0), ("b", 1.0), ("d", 1.0), ("c", 1.0)],
+        [("a", "b", 3.0), ("d", "c", 2.0)],
+    )
+    state = SchedulerState(g, platform, OnePortModel(platform))
+    state.schedule_on("a", 1)
+    state.schedule_on("d", 0)
+    state.schedule_on("b", 2)  # books P1's send port [1, 4)
+    genuine = state.evaluate("c", 2)
+    # hypothetical: d on busy-sender P1 instead of idle P0
+    info = state.parents_info("c")
+    parent, _pproc, pfinish, data = info[0]
+    state.evaluate("c", 2, parents=[(parent, 1, pfinish, data)])
+    again = state.evaluate("c", 2)
+    assert (again.start, again.finish) == (genuine.start, genuine.finish)
+
+
+@pytest.mark.parametrize("model_cls", [
+    OnePortModel, MacroDataflowModel, UniPortModel, NoOverlapOnePortModel,
+])
+def test_snapshot_rebinds_booker_per_model(model_cls):
+    """snapshot() gives every flat booker an independent builder binding;
+    the copy and the original book identically from the shared base."""
+    from repro.core import TaskGraph
+
+    platform = Platform.homogeneous(3)
+    g = TaskGraph.from_specs(
+        [("a", 1.0), ("b", 1.0), ("c", 1.0)],
+        [("a", "c", 2.0), ("b", "c", 1.0)],
+    )
+    state = SchedulerState(g, platform, model_cls(platform))
+    state.schedule_on("a", 0)
+    state.schedule_on("b", 1)
+    snap = state.snapshot()
+    c_snap = snap.schedule_on("c", 2)
+    c_real = state.schedule_on("c", 2)
+    assert (c_snap.start, c_snap.finish) == (c_real.start, c_real.finish)
+    assert snap.builder is not state.builder
+
+
+def test_parent_procs_requires_scheduled_parents(paper_platform):
+    from repro.core import TaskGraph
+    from repro.core.exceptions import SchedulingError
+
+    g = TaskGraph.from_specs([("a", 1.0), ("c", 1.0)], [("a", "c", 2.0)])
+    for state_cls in (SchedulerState, ObjectSchedulerState):
+        state = state_cls(g, paper_platform, OnePortModel(paper_platform))
+        with pytest.raises((SchedulingError, KeyError)):
+            state.parent_procs("c")
+
+
+def test_missing_link_raises_like_object_path():
+    """Partially linked platform + one-port: both paths raise
+    PlatformError from the unlinked probe — pruning must not skip it."""
+    import math
+
+    from repro.core import TaskGraph
+    from repro.core.exceptions import PlatformError
+
+    inf = math.inf
+    platform = Platform(
+        [1.0, 1.0, 100.0],
+        [[0.0, 1.0, 1.0], [1.0, 0.0, inf], [1.0, inf, 0.0]],
+    )
+    g = TaskGraph.from_specs([("p", 1.0), ("x", 1.0)], [("p", "x", 1.0)])
+    state = SchedulerState(g, platform, OnePortModel(platform))
+    state.schedule_on("p", 1)
+    with pytest.raises(PlatformError):
+        state.best_candidate("x")
+    ref = ObjectSchedulerState(g, platform, OnePortModel(platform))
+    ref.schedule_on("p", 1)
+    with pytest.raises(PlatformError):
+        ref.best_candidate("x")
+
+
+# ----------------------------------------------------------------------
+# scratch runs: mark/restore equals never-having-run
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("state_cls", [SchedulerState, ObjectSchedulerState])
+def test_ilha_reschedule_equivalence(paper_platform, state_cls):
+    """The mark/run/restore pre-allocation produces the same schedules
+    through both state implementations (ILHA's reschedule variant)."""
+    graph = lu_graph(8)
+    scheduler = ILHA(b=4, reschedule=True)
+    flat, ref = run_both(scheduler, graph, paper_platform, "one-port")
+    assert_identical(flat, ref)
+
+
+# ----------------------------------------------------------------------
+# 1000-task sweep (excluded from tier-1)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(5))
+def test_large_testbed_fuzz(seed, paper_platform):
+    graph = irregular_testbed(1000, seed=seed)
+    for scheduler in (HEFT(), ILHA(b=8)):
+        for model_name in ("one-port", "macro-dataflow"):
+            flat, ref = run_both(scheduler, graph, paper_platform, model_name)
+            assert_identical(flat, ref)
