@@ -1,26 +1,31 @@
-"""Construction throughput: the flat builder EFT engine vs the object path.
+"""Construction throughput: flat-kernel backends vs the object path.
 
 Standalone script (not a pytest-benchmark module) so CI can run it and
 archive the result::
 
-    python benchmarks/bench_sched.py --quick --out BENCH_SCHED.json
+    python benchmarks/bench_sched.py --quick --backend numpy --out BENCH_SCHED.json
 
-Measures, per heuristic x testbed:
+Measures, per heuristic x testbed x kernel backend:
 
-* **schedules/s** — full construction runs through the default flat
-  ``SchedulerState`` vs the retained ``ObjectSchedulerState`` reference
-  (forced with :func:`repro.heuristics.force_object_state`), interleaved
-  inside each round so CPU-load drift cannot skew the ratio, with exact
-  makespan agreement asserted on every pair.
+* **schedules/s** — full construction runs through the selected flat
+  ``SchedulerState`` backend (``python`` scalar loops or ``numpy``
+  fused sweeps + gap-indexed rows) vs the retained
+  ``ObjectSchedulerState`` reference (forced with
+  :func:`repro.heuristics.force_object_state`), interleaved inside each
+  round so CPU-load drift cannot skew the ratio, with exact makespan
+  agreement asserted across every backend pair.
 * **candidate-evaluations/s** — the same latency expressed per
   (task, processor) EFT probe, the unit the paper's Section 4.3
   tentative-booking mechanism is invoked at.
 
-The acceptance bar for the builder PR is >= 3x on lu-20, lu-40 and
-irregular-1000.  ``--quick`` trims repetition counts and the testbed
-list for CI smoke; the committed ``BENCH_SCHED.json`` at the repo root
-is produced by a full run and seeds the perf trajectory (regenerate and
-commit alongside builder changes).
+The ``irregular-10000`` bed runs HEFT only and skips the (much slower)
+object reference: it exists to show that a 10k-task random DAG is a
+routine sub-second construction, not to re-measure the object ratio.
+
+``--quick`` trims repetition counts and the testbed list for CI smoke;
+the committed ``BENCH_SCHED.json`` at the repo root is produced by a
+full ``--backend both`` run and seeds the perf trajectory (regenerate
+and commit alongside kernel changes).
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from repro import HEFT, ILHA  # noqa: E402
 from repro.experiments import paper_platform  # noqa: E402
 from repro.graphs import irregular_testbed, layered_testbed, lu_graph  # noqa: E402
 from repro.heuristics import force_object_state, get_scheduler  # noqa: E402
+from repro.kernel.backends import use_backend  # noqa: E402
 
 #: (label, factory) — representative constructions: the paper's two
 #: protagonists (ILHA at its recommended default B and at a small B)
@@ -51,80 +57,117 @@ HEURISTICS = [
 ]
 
 
-def bench_cell(label, hname, scheduler, graph, plat, rounds, repeats):
-    flat_sched = scheduler.run(graph, plat, "one-port")
-    with force_object_state():
-        ref_sched = scheduler.run(graph, plat, "one-port")
-    assert flat_sched.makespan() == ref_sched.makespan(), (
-        f"flat/object drift for {hname} on {label}"
-    )
+def bench_cell(label, hname, scheduler, graph, plat, rounds, repeats, backends,
+               with_object=True):
+    # correctness gate before timing: every backend (and the object
+    # reference, when it runs) must agree on the makespan exactly
+    ref_makespan = None
+    for be in backends:
+        with use_backend(be):
+            ms = scheduler.run(graph, plat, "one-port").makespan()
+        if ref_makespan is None:
+            ref_makespan = ms
+        assert ms == ref_makespan, f"backend drift for {hname} on {label}"
+    if with_object:
+        with force_object_state():
+            ms = scheduler.run(graph, plat, "one-port").makespan()
+        assert ms == ref_makespan, f"flat/object drift for {hname} on {label}"
 
-    flat_s = obj_s = float("inf")
+    flat_s = {be: float("inf") for be in backends}
+    obj_s = float("inf")
     obj_repeats = max(1, repeats // 3)
     for _ in range(rounds):
-        t0 = time.perf_counter()
-        for _ in range(repeats):
-            scheduler.run(graph, plat, "one-port")
-        flat_s = min(flat_s, (time.perf_counter() - t0) / repeats)
-        t0 = time.perf_counter()
-        with force_object_state():
-            for _ in range(obj_repeats):
-                scheduler.run(graph, plat, "one-port")
-        obj_s = min(obj_s, (time.perf_counter() - t0) / obj_repeats)
+        for be in backends:
+            with use_backend(be):
+                t0 = time.perf_counter()
+                for _ in range(repeats):
+                    scheduler.run(graph, plat, "one-port")
+                flat_s[be] = min(flat_s[be], (time.perf_counter() - t0) / repeats)
+        if with_object:
+            t0 = time.perf_counter()
+            with force_object_state():
+                for _ in range(obj_repeats):
+                    scheduler.run(graph, plat, "one-port")
+            obj_s = min(obj_s, (time.perf_counter() - t0) / obj_repeats)
 
     # candidate probes: every task is evaluated on every processor by
     # the EFT sweep (upper bound for chunked ILHA, whose step-1 tasks
     # commit without a sweep — the ratio is unaffected)
     candidates = graph.num_tasks * plat.num_processors
-    row = {
-        "testbed": label,
-        "heuristic": hname,
-        "tasks": graph.num_tasks,
-        "edges": graph.num_edges,
-        "flat_ms": round(flat_s * 1e3, 4),
-        "object_ms": round(obj_s * 1e3, 4),
-        "speedup": round(obj_s / flat_s, 2),
-        "schedules_per_s": round(1.0 / flat_s, 1),
-        "cand_evals_per_s": round(candidates / flat_s),
-        "makespan": ref_sched.makespan(),
-    }
-    print(
-        f"{label:<16} {hname:<9} {row['tasks']:>5} tasks  "
-        f"flat {row['flat_ms']:8.3f} ms  object {row['object_ms']:8.3f} ms  "
-        f"x{row['speedup']:<5.2f} {row['schedules_per_s']:>7.1f} sched/s  "
-        f"{row['cand_evals_per_s']:>8} cand/s"
-    )
-    return row
+    rows = []
+    for be in backends:
+        s = flat_s[be]
+        row = {
+            "testbed": label,
+            "heuristic": hname,
+            "backend": be,
+            "tasks": graph.num_tasks,
+            "edges": graph.num_edges,
+            "flat_ms": round(s * 1e3, 4),
+            "schedules_per_s": round(1.0 / s, 1),
+            "cand_evals_per_s": round(candidates / s),
+            "makespan": ref_makespan,
+        }
+        if with_object:
+            row["object_ms"] = round(obj_s * 1e3, 4)
+            row["speedup"] = round(obj_s / s, 2)
+        rows.append(row)
+        obj_part = (
+            f"object {row['object_ms']:8.3f} ms  x{row['speedup']:<5.2f}"
+            if with_object
+            else " " * 26
+        )
+        print(
+            f"{label:<16} {hname:<9} {be:<7} {row['tasks']:>5} tasks  "
+            f"flat {row['flat_ms']:9.3f} ms  {obj_part} "
+            f"{row['schedules_per_s']:>7.1f} sched/s  "
+            f"{row['cand_evals_per_s']:>8} cand/s"
+        )
+    return rows
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke: fewer rounds, smaller testbeds")
+    parser.add_argument("--backend", default="both",
+                        choices=["python", "numpy", "both"],
+                        help="kernel backend(s) to measure (default: both)")
     parser.add_argument("--out", default="BENCH_SCHED.json",
                         help="output JSON path (default: BENCH_SCHED.json)")
     args = parser.parse_args(argv)
 
+    backends = ["python", "numpy"] if args.backend == "both" else [args.backend]
+
     plat = paper_platform()
+    # (label, graph, repeats, heuristic filter, include object reference)
     if args.quick:
         rounds = 3
         beds = [
-            ("lu-20", lu_graph(20), 10),
-            ("irregular-300", irregular_testbed(300, seed=0), 4),
+            ("lu-20", lu_graph(20), 10, None, True),
+            ("irregular-300", irregular_testbed(300, seed=0), 4, None, True),
+            ("irregular-10000", irregular_testbed(10000, seed=0), 1,
+             {"heft"}, False),
         ]
     else:
         rounds = 6
         beds = [
-            ("lu-20", lu_graph(20), 12),
-            ("lu-40", lu_graph(40), 4),
-            ("layered-big", layered_testbed(160, seed=0, width=10, density=0.25), 4),
-            ("irregular-1000", irregular_testbed(1000, seed=0), 4),
+            ("lu-20", lu_graph(20), 12, None, True),
+            ("lu-40", lu_graph(40), 4, None, True),
+            ("layered-big", layered_testbed(160, seed=0, width=10, density=0.25),
+             4, None, True),
+            ("irregular-1000", irregular_testbed(1000, seed=0), 4, None, True),
+            ("irregular-10000", irregular_testbed(10000, seed=0), 2,
+             {"heft"}, False),
         ]
 
     rows = [
-        bench_cell(label, hname, factory(), graph, plat, rounds, repeats)
-        for label, graph, repeats in beds
+        row
+        for label, graph, repeats, only, with_object in beds
         for hname, factory in HEURISTICS
+        if only is None or hname in only
+        for row in bench_cell(label, hname, factory(), graph, plat, rounds,
+                              repeats, backends, with_object)
     ]
 
     result = {
@@ -132,6 +175,7 @@ def main(argv=None) -> int:
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform_mod.python_version(),
         "quick": args.quick,
+        "backends": backends,
         "construction": rows,
     }
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
@@ -140,7 +184,9 @@ def main(argv=None) -> int:
     if not args.quick:
         for bed in ("lu-20", "lu-40", "irregular-1000"):
             worst = min(
-                (r["speedup"] for r in rows if r["testbed"] == bed), default=0.0
+                (r["speedup"] for r in rows
+                 if r["testbed"] == bed and "speedup" in r),
+                default=0.0,
             )
             if worst < 3.0:
                 print(

@@ -65,6 +65,12 @@ from .experiments import (
 from .experiments.config import PAPER_BEST_B, PAPER_COMM_RATIO
 from .graphs import available_testbeds, make_testbed
 from .heuristics import available_schedulers, get_scheduler
+from .kernel.backends import (
+    BACKEND_ENV,
+    available_backends,
+    current_backend_name,
+    set_backend,
+)
 from .models import available_models
 
 
@@ -95,7 +101,9 @@ def _cmd_info(args) -> int:
                 "policies": available_policies(),
                 "noise_models": available_noise_models(),
                 "arrivals": available_arrivals(),
+                "backends": available_backends(),
             },
+            "backend": current_backend_name(),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -112,6 +120,10 @@ def _cmd_info(args) -> int:
     print(f"  policies          : {', '.join(available_policies())}")
     print(f"  noise models      : {', '.join(available_noise_models())}")
     print(f"  arrivals          : {', '.join(available_arrivals())}")
+    print(
+        f"  kernel backends   : {', '.join(available_backends())}"
+        f" (active: {current_backend_name()})"
+    )
     return 0
 
 
@@ -407,6 +419,13 @@ def _cmd_campaign_export(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="kernel backend (default: $REPRO_BACKEND or 'python'); "
+        "exported to campaign worker processes",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("info", help="paper constants and registries")
@@ -554,6 +573,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.backend is not None:
+        import os
+
+        # the env var is the cross-process channel: campaign workers
+        # inherit it; set_backend covers this process immediately
+        os.environ[BACKEND_ENV] = args.backend
+        set_backend(args.backend)
     return args.fn(args)
 
 

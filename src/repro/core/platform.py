@@ -58,10 +58,16 @@ class Platform:
 
     Notes
     -----
-    Instances are immutable; all mutating experiments build new platforms.
+    Instances are immutable — and the immutability is *enforced*:
+    attribute assignment raises after construction, the link matrix is
+    a read-only ndarray, and :meth:`link_rows` returns immutable
+    tuples.  Compiled statics (:mod:`repro.kernel.statics`) and flat
+    kernels hold direct references to these tables, so a mutable
+    platform would silently poison every schedule built after the
+    mutation; mutating experiments must build new platforms.
     """
 
-    __slots__ = ("_cycle_times", "_link", "_link_rows", "_p")
+    __slots__ = ("_cycle_times", "_link", "_link_rows", "_p", "_frozen")
 
     def __init__(self, cycle_times: Sequence[float], link: float | Sequence[Sequence[float]] = 1.0):
         cts = tuple(float(t) for t in cycle_times)
@@ -91,11 +97,23 @@ class Platform:
                 raise PlatformError("link matrix entries must be >= 0")
         mat.setflags(write=False)
         self._link = mat
-        # Plain-list mirror of the link matrix: hot loops (kernel replay,
-        # one-port trial bookings) index it without numpy scalar boxing.
-        self._link_rows: list[list[float]] = [
-            [float(x) for x in row] for row in mat
-        ]
+        # Immutable mirror of the link matrix: hot loops (kernel replay,
+        # one-port trial bookings) index it without numpy scalar boxing,
+        # and compiled statics share the reference — tuples make any
+        # attempted in-place mutation an immediate TypeError.
+        self._link_rows: tuple[tuple[float, ...], ...] = tuple(
+            tuple(float(x) for x in row) for row in mat
+        )
+        self._frozen = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if getattr(self, "_frozen", False):
+            raise PlatformError(
+                f"Platform is frozen: cannot set {name!r}. Compiled statics "
+                "and flat kernels cache platform-derived tables; build a new "
+                "Platform instead of mutating this one."
+            )
+        object.__setattr__(self, name, value)
 
     # ------------------------------------------------------------------
     # basic queries
@@ -136,8 +154,8 @@ class Platform:
         self._check_proc(dst)
         return self._link_rows[src][dst]
 
-    def link_rows(self) -> list[list[float]]:
-        """The ``p x p`` link matrix as plain nested lists (do not mutate)."""
+    def link_rows(self) -> tuple[tuple[float, ...], ...]:
+        """The ``p x p`` link matrix as nested tuples (immutable)."""
         return self._link_rows
 
     def has_link(self, src: ProcId, dst: ProcId) -> bool:

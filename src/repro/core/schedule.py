@@ -78,6 +78,11 @@ class Schedule:
     heuristic: str = ""
     placements: dict[TaskId, TaskPlacement] = field(default_factory=dict)
     comm_events: list[CommEvent] = field(default_factory=list)
+    #: Which scheduler-state implementation produced this schedule
+    #: ("flat-python", "flat-numpy", "object"; "" when hand-built) —
+    #: surfaced so cross-backend comparisons can't silently compare
+    #: different code paths.
+    state_impl: str = ""
 
     # ------------------------------------------------------------------
     # recording
@@ -194,6 +199,7 @@ class Schedule:
             "num_comms": self.num_comms(),
             "total_comm_time": self.total_comm_time(),
             "utilization": self.utilization(),
+            "state_impl": self.state_impl,
         }
 
     # ------------------------------------------------------------------

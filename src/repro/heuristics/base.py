@@ -37,6 +37,7 @@ resolution path.
 from __future__ import annotations
 
 import heapq
+import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Hashable, Iterable, Sequence
 from contextlib import contextmanager
@@ -59,6 +60,29 @@ _INF = float("inf")
 #: When True, ``SchedulerState(...)`` builds the object reference path
 #: for every model (see :func:`force_object_state`).
 _FORCE_OBJECT = False
+
+#: Model names already warned about falling back to the object path —
+#: once per process, so campaign sweeps are not flooded.
+_FALLBACK_WARNED: set[str] = set()
+
+
+def _warn_object_fallback(model) -> None:
+    name = (
+        getattr(model, "registry_name", "")
+        or getattr(model, "name", "")
+        or type(model).__name__
+    )
+    if name in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(name)
+    warnings.warn(
+        f"model {name!r} has no flat booker: scheduling falls back to the "
+        f"object reference path (slower; kernel backend selection does not "
+        f"apply). The active implementation is recorded in "
+        f"Schedule.state_impl.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @contextmanager
@@ -122,13 +146,22 @@ class SchedulerState:
         "_compute_views",
     )
 
-    def __new__(cls, graph, platform, model, heuristic="", insertion=True):
-        if cls is SchedulerState and (
-            _FORCE_OBJECT or not getattr(model, "supports_flat", False)
-        ):
-            from .state_object import ObjectSchedulerState
+    #: Recorded in ``Schedule.state_impl`` so cross-backend comparisons
+    #: can verify which engine actually produced a schedule.
+    state_impl_name = "flat-python"
 
-            cls = ObjectSchedulerState
+    def __new__(cls, graph, platform, model, heuristic="", insertion=True):
+        if cls is SchedulerState:
+            if _FORCE_OBJECT or not getattr(model, "supports_flat", False):
+                from .state_object import ObjectSchedulerState
+
+                if not _FORCE_OBJECT:
+                    _warn_object_fallback(model)
+                cls = ObjectSchedulerState
+            else:
+                from ..kernel.backends import current_backend
+
+                cls = current_backend().state_class() or cls
         return object.__new__(cls)
 
     def __init__(
@@ -149,7 +182,13 @@ class SchedulerState:
         #: Flat resource rows: compute rows 0..p-1 + the model's ports.
         self.builder = FlatBuilder(platform.num_processors)
         self.booker = model.flat_booker(self.builder, self.kernel)
-        self.schedule = Schedule(graph, platform, model=model.name, heuristic=heuristic)
+        self.schedule = Schedule(
+            graph,
+            platform,
+            model=model.name,
+            heuristic=heuristic,
+            state_impl=self.state_impl_name,
+        )
         self.finish: dict[TaskId, float] = {}
         self.insertion = insertion
         n = self.kernel.num_tasks
@@ -473,6 +512,7 @@ class SchedulerState:
             self.platform,
             model=self.schedule.model,
             heuristic=self.schedule.heuristic,
+            state_impl=self.schedule.state_impl,
         )
         dup.schedule.placements = dict(self.schedule.placements)
         dup.schedule.comm_events = list(self.schedule.comm_events)

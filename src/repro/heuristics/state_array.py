@@ -1,0 +1,267 @@
+"""The vectorized EFT engine — ``SchedulerState`` on the numpy backend.
+
+:class:`ArraySchedulerState` keeps the flat builder rows as the source
+of truth (so commits, rollbacks and snapshots are shared with the
+scalar path) and accelerates the two construction hot spots:
+
+* **evaluation sweeps** — when the model's booker implements the sweep
+  protocol (:class:`~repro.models.base.FlatBooker`), a candidate's
+  messages are resolved *once* and the resolution shared across every
+  processor whose receive row provably cannot interfere; the remaining
+  processors (parent hosts, busy receivers) are refined individually in
+  lower-bound order with the incumbent-finish cutoff, so most are never
+  evaluated at all.  :meth:`evaluate_all` is the same sweep without the
+  cutoff: one vectorized all-processor pass.
+* **commits** — the windows resolved during the winning evaluation are
+  stashed (keyed by the builder's commit epoch) and booked directly,
+  skipping ``commit_est``'s re-derivation scans.
+
+Compute-slot searches go through :class:`~repro.kernel.array_backend.GapRows`
+— gap-indexed row mirrors that skip blocks too small for the duration —
+once rows grow past the index threshold.
+
+Every result is bit-identical to the scalar path: the shared resolution
+is provably the same fixed point ``trial_est`` computes (see the
+correctness notes in :mod:`repro.models.one_port`), lower-bound skips
+use strict inequality only (ties are still evaluated, exactly like the
+scalar pruning), and the final tie-break comparison is the same
+``(finish, start, proc)`` lexicographic test over the same floats.  The
+cross-backend fuzz suite (``tests/heuristics/test_backend_equivalence.py``)
+asserts this over every registered heuristic × flat model × testbed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from ..core.exceptions import SchedulingError
+from ..kernel.array_backend import GapRows
+from .base import Candidate, SchedulerState
+
+TaskId = Hashable
+
+_INF = float("inf")
+
+
+class _SweepBuffers:
+    """Reusable per-state buffers the booker's sweep fills.
+
+    ``est`` is a plain list, not an ndarray: the per-processor pass is
+    a handful of scalar writes (p is ~10 on every testbed), and numpy's
+    per-call dispatch on such tiny arrays costs more than the whole
+    scalar loop it would replace.
+    """
+
+    __slots__ = ("est", "status", "events")
+
+    def __init__(self, num_procs: int) -> None:
+        #: Exact ESTs (status 2) or safe lower bounds (status 0/1).
+        self.est = [0.0] * num_procs
+        #: 2 = exact + shared events, 1 = parent host (resolve lazily),
+        #: 0 = scalar fallback.
+        self.status = bytearray(num_procs)
+        #: Resolved ``(edge_ix, src_proc, start, dur)`` records, valid
+        #: for every status-2 processor.
+        self.events: list[tuple] | None = None
+
+
+class ArraySchedulerState(SchedulerState):
+    """Scheduler state with vectorized sweeps (see module docstring)."""
+
+    __slots__ = ("_sw", "_gap", "_commit_key", "_commit_events")
+
+    state_impl_name = "flat-numpy"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._init_array_state()
+
+    def _init_array_state(self) -> None:
+        self._sw = _SweepBuffers(self.kernel.num_procs)
+        self._gap = GapRows(self.builder)
+        self._commit_key: tuple | None = None
+        self._commit_events: list[tuple] | None = None
+
+    # ------------------------------------------------------------------
+    # EFT engine
+    # ------------------------------------------------------------------
+    def best_candidate(
+        self,
+        task: TaskId,
+        procs: Iterable[int] | None = None,
+        insertion: bool | None = None,
+    ) -> Candidate:
+        booker = self.booker
+        kernel = self.kernel
+        if booker.sweep_est is None or not kernel.all_links_finite:
+            # no sweep protocol / partially-linked platform: the scalar
+            # path also carries the per-probe missing-link checks
+            self._commit_key = None
+            return super().best_candidate(task, procs, insertion)
+        ti = kernel.intern(task)
+        flat = self._parents(ti)
+        builder = self.builder
+        if booker.sweep_select is not None:
+            # fused sweep + selection (one-port): one booker call per task
+            res = booker.sweep_select(
+                flat,
+                kernel.exec_[ti],
+                kernel.exec_order()[ti],
+                self._gap.next_fit,
+                self.insertion if insertion is None else insertion,
+                procs,
+            )
+            if res is not None:
+                bp, bs, bf, bev = res
+                if bp is None:
+                    raise SchedulingError(
+                        f"no candidate processors for task {task!r}"
+                    )
+                if bev is not None:
+                    self._commit_key = (ti, builder.commit_count, bp)
+                    self._commit_events = bev
+                else:
+                    self._commit_key = None
+                return Candidate(task, bp, bs, bf)
+            self._commit_key = None
+            return super().best_candidate(task, procs, insertion)
+        sw = self._sw
+        if not booker.sweep_est(flat, sw):
+            self._commit_key = None
+            return super().best_candidate(task, procs, insertion)
+        est_list = sw.est
+        status = sw.status
+        exec_row = kernel.exec_[ti]
+        # finish lower bound per processor: ests (or safe lower bounds)
+        # plus the duration row — the refinement order, and the skip
+        # bound (strict: ties still evaluate, they may win on start)
+        lb_list = [est_list[r] + exec_row[r] for r in range(len(exec_row))]
+        if procs is None:
+            order = sorted(range(len(exec_row)), key=lb_list.__getitem__)
+        else:
+            order = sorted(procs, key=lb_list.__getitem__)
+        use_insertion = self.insertion if insertion is None else insertion
+        rows_e = builder.rows_e
+        gap_fit = self._gap.next_fit
+        trial_est = booker.trial_est
+        bf = bs = _INF
+        bp = None
+        bev = None
+        for proc in order:
+            if lb_list[proc] > bf:
+                break
+            duration = exec_row[proc]
+            stat = status[proc]
+            ev = None
+            if stat == 2:
+                est = est_list[proc]
+                ev = sw.events
+            else:
+                res = booker.resolve_dest(proc) if stat == 1 else None
+                if res is not None:
+                    est, ev = res
+                else:
+                    builder.gen += 1  # begin_trial
+                    est = trial_est(flat, proc, bf, duration)
+                    if est + duration > bf:
+                        continue  # provably worse (possibly aborted)
+            ce = rows_e[proc]
+            if use_insertion:
+                if not ce or ce[-1] <= est:
+                    start = est
+                else:
+                    start = gap_fit(proc, est, duration)
+            else:
+                last = ce[-1] if ce else 0.0
+                start = est if est >= last else last
+            finish = start + duration
+            if finish < bf or (
+                finish == bf and (start < bs or (start == bs and proc < bp))
+            ):
+                bf, bs, bp, bev = finish, start, proc, ev
+        if bp is None:
+            raise SchedulingError(f"no candidate processors for task {task!r}")
+        if bev is not None:
+            self._commit_key = (ti, builder.commit_count, bp)
+            self._commit_events = bev
+        else:
+            self._commit_key = None
+        return Candidate(task, bp, bs, bf)
+
+    def evaluate_all(
+        self,
+        task: TaskId,
+        procs: Iterable[int] | None = None,
+        insertion: bool | None = None,
+    ) -> list[Candidate]:
+        booker = self.booker
+        kernel = self.kernel
+        if booker.sweep_est is None or not kernel.all_links_finite:
+            return super().evaluate_all(task, procs, insertion)
+        ti = kernel.intern(task)
+        flat = self._parents(ti)
+        sw = self._sw
+        if not booker.sweep_est(flat, sw):
+            return super().evaluate_all(task, procs, insertion)
+        builder = self.builder
+        status = sw.status
+        est_list = sw.est
+        exec_row = kernel.exec_[ti]
+        use_insertion = self.insertion if insertion is None else insertion
+        rows_e = builder.rows_e
+        gap_fit = self._gap.next_fit
+        out = []
+        for proc in self.platform.processors if procs is None else procs:
+            stat = status[proc]
+            if stat == 2:
+                est = est_list[proc]
+            else:
+                res = booker.resolve_dest(proc) if stat == 1 else None
+                if res is not None:
+                    est = res[0]
+                else:
+                    builder.gen += 1  # begin_trial
+                    est = booker.trial_est(flat, proc)
+            duration = exec_row[proc]
+            ce = rows_e[proc]
+            if use_insertion:
+                if not ce or ce[-1] <= est:
+                    start = est
+                else:
+                    start = gap_fit(proc, est, duration)
+            else:
+                last = ce[-1] if ce else 0.0
+                start = est if est >= last else last
+            out.append(Candidate(task, proc, start, start + duration))
+        return out
+
+    # ------------------------------------------------------------------
+    # commit fast path
+    # ------------------------------------------------------------------
+    def commit(self, candidate: Candidate) -> None:
+        key = self._commit_key
+        if key is not None:
+            self._commit_key = None
+            task = candidate.task
+            ti = self.kernel.intern(task)
+            if key == (ti, self.builder.commit_count, candidate.proc):
+                events = self._commit_events
+                self.booker.commit_resolved(events, candidate.proc)
+                if events:
+                    kernel = self.kernel
+                    tasks, esrc, edata = kernel.tasks, kernel.esrc, kernel.edata
+                    record = self.schedule.record_comm
+                    proc = candidate.proc
+                    for e, q, start, dur in events:
+                        record(tasks[esrc[e]], task, q, proc, start, dur, edata[e])
+                self._place(task, ti, candidate.proc, candidate.start, candidate.finish)
+                return
+        super().commit(candidate)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "ArraySchedulerState":
+        dup = super().snapshot()
+        dup._init_array_state()
+        return dup

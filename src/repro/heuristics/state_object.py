@@ -33,6 +33,8 @@ class ObjectSchedulerState(SchedulerState):
 
     __slots__ = ("compute", "comm")
 
+    state_impl_name = "object"
+
     def __init__(
         self,
         graph,
@@ -56,7 +58,13 @@ class ObjectSchedulerState(SchedulerState):
             # book transfers on the compute timelines too
             model.bind_compute(self.compute)
         self.comm = model.new_state()
-        self.schedule = Schedule(graph, platform, model=model.name, heuristic=heuristic)
+        self.schedule = Schedule(
+            graph,
+            platform,
+            model=model.name,
+            heuristic=heuristic,
+            state_impl=self.state_impl_name,
+        )
         self.finish: dict[TaskId, float] = {}
         self.insertion = insertion
 

@@ -57,6 +57,16 @@ same ``max`` over the same operands, same single addition per node —
 the cross-check suite in ``tests/kernel`` asserts exact agreement.
 """
 
+from . import array_backend as _array_backend  # noqa: F401  (registers "numpy")
+from .backends import (
+    available_backends,
+    current_backend,
+    current_backend_name,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from .builder import FlatBuilder
 from .statics import KernelStatics, compile_statics
 from .timed import KernelIneligible, KernelPatch, TimedKernel
@@ -67,5 +77,12 @@ __all__ = [
     "KernelPatch",
     "KernelStatics",
     "TimedKernel",
+    "available_backends",
     "compile_statics",
+    "current_backend",
+    "current_backend_name",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
 ]

@@ -16,8 +16,9 @@ structures:
   the neighbor task and the edge's data volume;
 * **cost tables** — :attr:`exec_` is the ``n x p`` execution-time table
   (``weight[i] * cycle_time[q]``) and :attr:`link_rows` the ``p x p``
-  per-item link matrix as plain Python lists (no per-lookup numpy
-  scalar boxing).
+  per-item link matrix as plain Python sequences (no per-lookup numpy
+  scalar boxing); ``link_rows`` is the platform's own frozen table, so
+  a platform cannot be mutated out from under a compiled statics.
 
 Statics are cached per (graph, platform) on the graph itself (see
 :func:`compile_statics`) and invalidated on graph mutation, so replay,
@@ -72,6 +73,8 @@ class KernelStatics:
         "base_indeg",
         "base_entries",
         "exec_",
+        "exec_np",
+        "_exec_order",
         "link_rows",
     )
 
@@ -162,10 +165,29 @@ class KernelStatics:
         self.exec_: list[list[float]] = [
             [w * t for t in cts] for w in self.weights
         ]
-        self.link_rows: list[list[float]] = platform.link_rows()
+        #: ``n x p`` numpy mirror of :attr:`exec_` — the array backend's
+        #: all-processor sweeps read whole rows at once.  Same floats:
+        #: built from the already-computed products, not recomputed.
+        self.exec_np = np.array(self.exec_, dtype=np.float64).reshape(n, len(cts))
+        self._exec_order: list[list[int]] | None = None
+        self.link_rows: tuple[tuple[float, ...], ...] = platform.link_rows()
         #: True when every link is finite: hot loops skip the per-edge
         #: ``isfinite`` guard that partially connected platforms need.
         self.all_links_finite: bool = platform.is_fully_connected()
+
+    def exec_order(self) -> list[list[int]]:
+        """Per task, the processors in increasing execution-time order.
+
+        Lazily computed and cached (stable argsort: ties break by
+        processor index).  The array backend's fused selection walks
+        this order so a finish lower bound that only grows with the
+        duration can cut the walk short.
+        """
+        eo = self._exec_order
+        if eo is None:
+            eo = np.argsort(self.exec_np, axis=1, kind="stable").tolist()
+            self._exec_order = eo
+        return eo
 
     @staticmethod
     def _ptr(degrees: list[int]) -> list[int]:

@@ -37,6 +37,7 @@ from heapq import heappop, heappush
 from ..core.exceptions import ConfigurationError, SchedulingError
 from ..core.platform import Platform
 from ..kernel import TimedKernel, compile_statics
+from ..kernel.backends import current_backend
 from .metrics import JobMetrics, OnlineResult
 from .noise import NoiseModel, make_noise
 from .workload import Job, Workload
@@ -465,7 +466,7 @@ class OnlineEngine:
         from ..simulate import extract_decisions
 
         kern = TimedKernel.from_decisions(jstate.statics, extract_decisions(schedule))
-        kern.propagate_kahn()
+        current_backend().propagate(kern)
         jstate.kernel = kern
         jstate.plan_offset = self.now
         jstate.planned_ms = kern.makespan

@@ -40,6 +40,7 @@ from ..core.exceptions import ConfigurationError
 from ..core.taskgraph import TaskGraph
 from ..heuristics import get_scheduler
 from ..kernel import TimedKernel, compile_statics
+from ..kernel.backends import current_backend
 from ..models import available_models
 from .engine import (
     BLOCKED,
@@ -252,7 +253,7 @@ def replan_job(engine: OnlineEngine, jstate: JobState, scheduler, model) -> bool
 
     sub_statics = compile_statics(sub, engine.platform)
     kern = TimedKernel.from_decisions(sub_statics, extract_decisions(schedule))
-    kern.propagate_kahn()
+    current_backend().propagate(kern)
     jstate.kernel = kern
     jstate.plan_offset = now
     jstate.planned_ms = kern.makespan
@@ -425,8 +426,8 @@ class ReactivePolicy(PlanningPolicy):
                     if e is not None:
                         dur[n_sub + e] = d
         size = len(dur)
-        predicted = kern.propagate_kahn(
-            dur=dur, out_start=[0.0] * size, out_finish=[0.0] * size
+        predicted = current_backend().propagate(
+            kern, dur=dur, out_start=[0.0] * size, out_finish=[0.0] * size
         )
         drift = abs(predicted - jstate.planned_ms)
         if drift > self.threshold * max(jstate.planned_ms, 1.0):

@@ -132,3 +132,49 @@ class TestAverages:
 
     def test_identical_processors_balance(self):
         assert Platform.homogeneous(4).perfect_balance_count() == 4
+
+
+class TestFrozenPlatform:
+    """Regression: compiled statics and flat kernels cache
+    platform-derived tables (``link_rows``, flat ``comm_time`` inputs),
+    so mutating a platform after building a schedule used to poison the
+    caches silently.  Platforms are now frozen at construction."""
+
+    def test_attribute_assignment_raises(self):
+        p = Platform.homogeneous(3)
+        with pytest.raises(PlatformError, match="frozen"):
+            p._cycle_times = (2.0, 2.0, 2.0)
+        with pytest.raises(PlatformError, match="frozen"):
+            p.new_field = 1
+
+    def test_link_rows_are_immutable_tuples(self):
+        p = Platform.homogeneous(3, link=2.0)
+        rows = p.link_rows()
+        with pytest.raises(TypeError):
+            rows[0][1] = 99.0
+        with pytest.raises(TypeError):
+            rows[0] = (0.0, 0.0, 0.0)
+
+    def test_link_matrix_is_read_only(self):
+        p = Platform.homogeneous(3, link=2.0)
+        with pytest.raises(ValueError):
+            p.link_matrix[0, 1] = 99.0
+
+    def test_mutation_after_schedule_cannot_poison_caches(self):
+        from repro.graphs import lu_graph
+        from repro.heuristics import get_scheduler
+
+        p = Platform.from_groups([(2, 1.0), (1, 2.0)], link=1.5)
+        graph = lu_graph(5)
+        before = get_scheduler("heft").run(graph, p, "one-port").makespan()
+        for attempt in (
+            lambda: setattr(p, "_link_rows", ((0.0,),)),
+            lambda: setattr(p, "_cycle_times", (9.0, 9.0, 9.0)),
+        ):
+            with pytest.raises(PlatformError):
+                attempt()
+        with pytest.raises(ValueError):
+            p.link_matrix[0, 1] = 0.0
+        # the cached statics still serve the original tables
+        after = get_scheduler("heft").run(graph, p, "one-port").makespan()
+        assert after == before

@@ -1,0 +1,211 @@
+"""Cross-backend equivalence: numpy array backend vs pure Python.
+
+The acceptance property of the backend registry: for every registered
+heuristic x flat-capable model x testbed, the ``numpy`` backend
+(``ArraySchedulerState``: fused sweeps, gap-indexed rows, frontier
+propagation) produces *bit-identical* schedules — placements, starts,
+finishes, and communication events, exact float equality — to the
+pure-Python default.
+
+Also here: the backend registry surface (selection precedence, unknown
+names, the ``REPRO_BACKEND`` environment channel) and the
+fallback-visibility regressions — a model without a flat booker must
+say so (one warning) and record the active engine in
+``Schedule.state_impl``.
+"""
+
+import math
+import warnings
+
+import pytest
+
+from repro import Platform
+from repro.core import TaskGraph
+from repro.core.exceptions import ConfigurationError
+from repro.graphs import irregular_testbed, layered_testbed, lu_graph
+from repro.heuristics import available_schedulers, get_scheduler
+from repro.heuristics.base import _FALLBACK_WARNED
+from repro.kernel import backends
+from repro.kernel.backends import (
+    available_backends,
+    current_backend_name,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.models import RoutedOnePortModel, make_model
+
+TESTBEDS = {
+    "lu": lambda: lu_graph(8),
+    "layered": lambda: layered_testbed(5, seed=7),
+    "irregular": lambda: irregular_testbed(40, seed=3),
+}
+
+#: Constructor overrides for schedulers that need arguments; ``None``
+#: marks schedulers excluded from the sweep (fixed needs a per-graph
+#: allocation and is exercised separately below; ils improves through
+#: replay, not through SchedulerState, and multiplies runtime).
+SCHEDULER_KWARGS = {
+    "fixed": None,
+    "ils": None,
+    "ilha": {"b": 4, "single_comm_scan": True, "reschedule": True},
+}
+
+MODELS = ["one-port", "macro-dataflow", "uni-port", "no-overlap"]
+
+
+def assert_identical(a, b):
+    """Exact equality of two schedules, field by field."""
+    assert a.placements.keys() == b.placements.keys()
+    for task, placement in a.placements.items():
+        other = b.placements[task]
+        assert placement.proc == other.proc, f"proc drift on {task!r}"
+        assert placement.start == other.start, f"start drift on {task!r}"
+        assert placement.finish == other.finish, f"finish drift on {task!r}"
+    assert sorted(a.comm_events) == sorted(b.comm_events)
+    assert a.makespan() == b.makespan()
+
+
+def run_both_backends(scheduler, graph, platform, model_name):
+    with use_backend("python"):
+        ref = scheduler.run(graph, platform, make_model(platform, model_name))
+    with use_backend("numpy"):
+        arr = scheduler.run(graph, platform, make_model(platform, model_name))
+    return ref, arr
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+@pytest.mark.parametrize("testbed", sorted(TESTBEDS))
+@pytest.mark.parametrize(
+    "name",
+    [n for n in available_schedulers() if SCHEDULER_KWARGS.get(n, {}) is not None],
+)
+def test_numpy_matches_python_for_every_heuristic(
+    name, testbed, model_name, paper_platform
+):
+    scheduler = get_scheduler(name, **SCHEDULER_KWARGS.get(name, {}))
+    graph = TESTBEDS[testbed]()
+    ref, arr = run_both_backends(scheduler, graph, paper_platform, model_name)
+    assert_identical(ref, arr)
+
+
+@pytest.mark.parametrize("name", ["heft", "ilha"])
+@pytest.mark.parametrize("seed", [0, 11])
+def test_large_irregular_fuzz(name, seed, paper_platform):
+    """1000-task instances push rows past the gap-index threshold, so
+    the indexed scans, mirror extension, and the dirty-watermark
+    invalidation all run — and must not move a single float."""
+    graph = irregular_testbed(1000, seed=seed)
+    scheduler = get_scheduler(name)
+    ref, arr = run_both_backends(scheduler, graph, paper_platform, "one-port")
+    assert_identical(ref, arr)
+
+
+def test_fixed_allocation_equivalence(paper_platform):
+    graph = lu_graph(6)
+    alloc = {t: i % paper_platform.num_processors for i, t in enumerate(graph)}
+    scheduler = get_scheduler("fixed", alloc=alloc)
+    ref, arr = run_both_backends(scheduler, graph, paper_platform, "one-port")
+    assert_identical(ref, arr)
+
+
+def test_state_impl_recorded_per_backend(paper_platform):
+    graph = lu_graph(4)
+    with use_backend("python"):
+        sched = get_scheduler("heft").run(graph, paper_platform, "one-port")
+    assert sched.state_impl == "flat-python"
+    assert sched.summary()["state_impl"] == "flat-python"
+    with use_backend("numpy"):
+        sched = get_scheduler("heft").run(graph, paper_platform, "one-port")
+    assert sched.state_impl == "flat-numpy"
+
+
+# ----------------------------------------------------------------------
+# registry surface
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_both_backends_registered(self):
+        names = available_backends()
+        assert "python" in names and "numpy" in names
+
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(backends.BACKEND_ENV, raising=False)
+        monkeypatch.setattr(backends, "_ACTIVE", None)
+        assert current_backend_name() == "python"
+
+    def test_environment_channel(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "numpy")
+        monkeypatch.setattr(backends, "_ACTIVE", None)
+        assert current_backend_name() == "numpy"
+
+    def test_unknown_environment_value_falls_back(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "fortran")
+        monkeypatch.setattr(backends, "_ACTIVE", None)
+        assert current_backend_name() == "python"
+
+    def test_explicit_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "python")
+        with use_backend("numpy"):
+            assert current_backend_name() == "numpy"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            set_backend("fortran")
+        with pytest.raises(ConfigurationError):
+            get_backend("fortran")
+
+    def test_use_backend_restores(self):
+        before = current_backend_name()
+        with use_backend("numpy"):
+            assert current_backend_name() == "numpy"
+        assert current_backend_name() == before
+
+
+# ----------------------------------------------------------------------
+# fallback visibility (regression: the routed model used to fall back
+# to the object path silently)
+# ----------------------------------------------------------------------
+class TestFallbackVisibility:
+    def _routed_run(self):
+        inf = math.inf
+        line = Platform(
+            [1.0, 1.0, 1.0],
+            [[0.0, 1.0, inf], [1.0, 0.0, 1.0], [inf, 1.0, 0.0]],
+        )
+        graph = TaskGraph.from_specs(
+            [("u", 2.0), ("v", 3.0), ("w", 1.0)],
+            [("u", "v", 4.0), ("v", "w", 2.0)],
+        )
+        alloc = {"u": 0, "v": 2, "w": 0}
+        return get_scheduler("fixed", alloc=alloc), graph, line
+
+    def test_object_fallback_warns_once_and_is_recorded(self):
+        scheduler, graph, line = self._routed_run()
+        _FALLBACK_WARNED.discard("routed")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sched = scheduler.run(graph, line, RoutedOnePortModel(line))
+            again = scheduler.run(graph, line, RoutedOnePortModel(line))
+        fallback = [w for w in caught if "no flat booker" in str(w.message)]
+        assert len(fallback) == 1, "expected exactly one fallback warning"
+        assert issubclass(fallback[0].category, RuntimeWarning)
+        assert sched.state_impl == "object"
+        assert again.state_impl == "object"
+
+    def test_numpy_backend_does_not_apply_to_object_path(self):
+        """Backend selection is a flat-path concern: the routed model
+        still runs (and says so) on the object path under numpy."""
+        scheduler, graph, line = self._routed_run()
+        _FALLBACK_WARNED.discard("routed")
+        with use_backend("numpy"):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                sched = scheduler.run(graph, line, RoutedOnePortModel(line))
+        assert sched.state_impl == "object"
+        assert any("no flat booker" in str(w.message) for w in caught)
+
+    def test_flat_models_do_not_warn(self, paper_platform):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            get_scheduler("heft").run(lu_graph(4), paper_platform, "one-port")
+        assert not [w for w in caught if "no flat booker" in str(w.message)]

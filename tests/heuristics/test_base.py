@@ -51,10 +51,15 @@ class TestMakeModel:
 
 class TestSchedulerState:
     def test_dispatch_picks_flat_path(self, vee, platform):
-        state = SchedulerState(vee, platform, OnePortModel(platform))
-        assert type(state) is SchedulerState
         from repro.heuristics import force_object_state
+        from repro.kernel.backends import current_backend
 
+        # the flat class the active kernel backend asks for (None means
+        # the default pure-Python SchedulerState), so the assertion
+        # holds under REPRO_BACKEND=numpy too
+        expected = current_backend().state_class() or SchedulerState
+        state = SchedulerState(vee, platform, OnePortModel(platform))
+        assert type(state) is expected
         with force_object_state():
             forced = SchedulerState(vee, platform, OnePortModel(platform))
         assert type(forced) is ObjectSchedulerState

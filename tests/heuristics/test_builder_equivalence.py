@@ -156,7 +156,8 @@ class TestNoTrace:
     def test_rejected_candidates_leave_no_trace(self, paper_platform, model_cls):
         graph = lu_graph(6)
         state = SchedulerState(graph, paper_platform, model_cls(paper_platform))
-        assert type(state) is SchedulerState  # flat path in effect
+        # flat path in effect (whichever backend's flat state is active)
+        assert not isinstance(state, ObjectSchedulerState)
         order = list(graph.topological_order())
         for task in order[: len(order) // 2]:
             state.schedule_on(task, 0)
