@@ -25,32 +25,19 @@ commit alongside kernel changes).
 from __future__ import annotations
 
 import argparse
-import json
-import platform as platform_mod
 import random
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from _harness import best_of, write_result  # noqa: E402
 from repro import HEFT  # noqa: E402
 from repro.experiments import paper_platform  # noqa: E402
 from repro.graphs import irregular_testbed, layered_testbed, lu_graph  # noqa: E402
 from repro.search import IncrementalEvaluator, SearchPoint, propose  # noqa: E402
 from repro.simulate import extract_decisions, replay, replay_object  # noqa: E402
-
-
-def _best_of(fn, rounds: int, repeats: int) -> float:
-    """Min-of-rounds mean latency in seconds (robust to scheduler noise)."""
-    best = float("inf")
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        for _ in range(repeats):
-            fn()
-        best = min(best, (time.perf_counter() - t0) / repeats)
-    return best
 
 
 def bench_replay(label: str, graph, plat, rounds: int, repeats: int) -> dict:
@@ -108,7 +95,7 @@ def bench_previews(label: str, graph, plat, rounds: int, num_moves: int) -> dict
         for move in moves:
             evaluator.preview(move)
 
-    best = _best_of(preview_all, rounds, 1)
+    best = best_of(preview_all, rounds, 1)
     row = {
         "testbed": label,
         "tasks": graph.num_tasks,
@@ -161,13 +148,11 @@ def main(argv=None) -> int:
 
     result = {
         "benchmark": "kernel",
-        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": platform_mod.python_version(),
         "quick": args.quick,
         "replay": replay_rows,
         "previews": preview_rows,
     }
-    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    write_result(args.out, result)
     print(f"\nwrote {args.out}")
 
     lu20 = next(r for r in replay_rows if r["testbed"] == "lu-20")

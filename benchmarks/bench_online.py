@@ -24,15 +24,13 @@ online-engine changes).
 from __future__ import annotations
 
 import argparse
-import json
-import platform as platform_mod
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from _harness import write_result  # noqa: E402
 from repro.experiments import (  # noqa: E402
     format_online_study,
     online_policy_study,
@@ -106,13 +104,11 @@ def main(argv=None) -> int:
 
     result = {
         "benchmark": "online",
-        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": platform_mod.python_version(),
         "quick": args.quick,
         "throughput": throughput,
         "policy_vs_noise": study,
     }
-    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    write_result(args.out, result)
     print(f"\nwrote {args.out}")
 
     if throughput["events_per_s"] < TARGET_EVENTS_PER_S:

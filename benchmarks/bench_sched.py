@@ -22,6 +22,11 @@ The ``irregular-10000`` bed runs HEFT only and skips the (much slower)
 object reference: it exists to show that a 10k-task random DAG is a
 routine sub-second construction, not to re-measure the object ratio.
 
+An **obs-overhead guard** times lu-20 HEFT with the ``repro.obs``
+collector off and on: stats-off must stay at the committed
+``BENCH_SCHED.json`` numbers and stats-on within
+``OBS_OVERHEAD_LIMIT``; both violations print warnings.
+
 ``--quick`` trims repetition counts and the testbed list for CI smoke;
 the committed ``BENCH_SCHED.json`` at the repo root is produced by a
 full ``--backend both`` run and seeds the perf trajectory (regenerate
@@ -32,19 +37,23 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform as platform_mod
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from _harness import best_of, write_result  # noqa: E402
 from repro import HEFT, ILHA  # noqa: E402
 from repro.experiments import paper_platform  # noqa: E402
 from repro.graphs import irregular_testbed, layered_testbed, lu_graph  # noqa: E402
 from repro.heuristics import force_object_state, get_scheduler  # noqa: E402
 from repro.kernel.backends import use_backend  # noqa: E402
+from repro.obs import collect  # noqa: E402
+
+#: Acceptable stats-on construction slowdown: instrumentation is slot
+#: cached, so anything past this is a hot-loop regression, not noise.
+OBS_OVERHEAD_LIMIT = 1.20
 
 #: (label, factory) — representative constructions: the paper's two
 #: protagonists (ILHA at its recommended default B and at a small B)
@@ -126,6 +135,63 @@ def bench_cell(label, hname, scheduler, graph, plat, rounds, repeats, backends,
     return rows
 
 
+def bench_obs_overhead(plat, backends, rounds, repeats, baseline_path) -> list[dict]:
+    """Guard the observability PR: stats-off must stay at the committed
+    numbers and stats-on must cost at most ``OBS_OVERHEAD_LIMIT``.
+
+    Times HEFT on lu-20 per backend with collection disabled and with
+    an active collector; compares stats-off against the matching row of
+    the committed ``BENCH_SCHED.json`` when one exists.
+    """
+    graph = lu_graph(20)
+    scheduler = HEFT()
+    committed: dict[str, float] = {}
+    path = Path(baseline_path)
+    if path.exists():
+        for row in json.loads(path.read_text()).get("construction", []):
+            if row["testbed"] == "lu-20" and row["heuristic"] == "heft":
+                committed[row["backend"]] = row["flat_ms"]
+
+    rows = []
+    for be in backends:
+        with use_backend(be):
+            run = lambda: scheduler.run(graph, plat, "one-port")  # noqa: E731
+            # interleaved off/on rounds, same discipline as bench_cell
+            off_s = on_s = float("inf")
+            for _ in range(rounds):
+                off_s = min(off_s, best_of(run, 1, repeats))
+                with collect():
+                    on_s = min(on_s, best_of(run, 1, repeats))
+        row = {
+            "testbed": "lu-20",
+            "heuristic": "heft",
+            "backend": be,
+            "off_ms": round(off_s * 1e3, 4),
+            "on_ms": round(on_s * 1e3, 4),
+            "overhead": round(on_s / off_s, 3),
+        }
+        if be in committed:
+            row["committed_ms"] = committed[be]
+        rows.append(row)
+        print(
+            f"obs-overhead lu-20 heft {be:<7} "
+            f"off {row['off_ms']:8.3f} ms  on {row['on_ms']:8.3f} ms  "
+            f"x{row['overhead']:.3f}"
+        )
+        if row["overhead"] > OBS_OVERHEAD_LIMIT:
+            print(
+                f"WARNING: stats-on overhead x{row['overhead']} on {be} "
+                f"exceeds the x{OBS_OVERHEAD_LIMIT} limit"
+            )
+        if be in committed and row["off_ms"] > 1.5 * committed[be]:
+            print(
+                f"WARNING: stats-off lu-20 heft on {be} "
+                f"({row['off_ms']} ms) regressed vs the committed "
+                f"{committed[be]} ms (>1.5x)"
+            )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -170,15 +236,19 @@ def main(argv=None) -> int:
                               repeats, backends, with_object)
     ]
 
+    print()
+    overhead_rows = bench_obs_overhead(
+        plat, backends, rounds, 10 if args.quick else 12, args.out
+    )
+
     result = {
         "benchmark": "sched-construction",
-        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": platform_mod.python_version(),
         "quick": args.quick,
         "backends": backends,
         "construction": rows,
+        "obs_overhead": overhead_rows,
     }
-    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    write_result(args.out, result)
     print(f"\nwrote {args.out}")
 
     if not args.quick:

@@ -26,6 +26,8 @@ from ..core.serialization import canonical_json, platform_from_dict
 from ..experiments.harness import CellResult, run_cell
 from ..graphs import make_testbed
 from ..heuristics import get_scheduler
+from ..obs import collect as _obs_collect
+from ..obs import current as _obs_current
 from .cache import ResultCache
 from .spec import CampaignCell, CampaignSpec
 
@@ -55,14 +57,23 @@ def _build_graph(graph_spec: dict):
     return graph
 
 
-def execute_task(task: dict) -> tuple[str, dict]:
-    """Execute one cell from its JSON payload; returns ``(key, cell dict)``.
+def execute_task(task: dict) -> tuple[str, dict, dict | None]:
+    """Execute one cell from its JSON payload.
 
-    This is the worker entry point: everything is rebuilt from the
-    payload (per-worker scheduler instantiation, memoized graph
-    construction), nothing is shared with the parent, and the returned
-    dict is JSON-able for the cache.
+    Returns ``(key, cell dict, stats payload)`` — the stats payload is
+    the cell's :class:`~repro.obs.registry.Stats` snapshot when the
+    parent requested collection (``task["collect_stats"]``), else
+    ``None``.  This is the worker entry point: everything is rebuilt
+    from the payload (per-worker scheduler instantiation, memoized
+    graph construction), nothing is shared with the parent, and the
+    returned dicts are JSON-able for the cache / pool transport.
     """
+    if task.get("collect_stats"):
+        # a fresh per-cell collector: worker processes (and the inline
+        # path) ship the payload back instead of sharing a scope
+        with _obs_collect() as stats:
+            key, cell_dict, _ = execute_task({**task, "collect_stats": False})
+        return key, cell_dict, stats.payload()
     graph_spec = task["graph"]
     graph = _build_graph(graph_spec)
     platform = platform_from_dict(task["platform"])
@@ -71,7 +82,7 @@ def execute_task(task: dict) -> tuple[str, dict]:
         # scheduling the graph once (same JSON-in, JSON-out contract)
         from ..online import run_online_cell
 
-        return task["key"], run_online_cell(task, graph, platform)
+        return task["key"], run_online_cell(task, graph, platform), None
     heuristic = task["heuristic"]
     scheduler = get_scheduler(heuristic["name"], **heuristic["kwargs"])
     cell, _ = run_cell(
@@ -85,7 +96,7 @@ def execute_task(task: dict) -> tuple[str, dict]:
         model=task["model"],
         validate=task["validate"],
     )
-    return task["key"], cell.as_dict()
+    return task["key"], cell.as_dict(), None
 
 
 @dataclass(frozen=True)
@@ -105,6 +116,9 @@ class CampaignRunResult:
     outcomes: list[CellOutcome]
     workers: int
     elapsed_s: float
+    #: Merged obs payload (counters/timers/gauges across all workers)
+    #: when the run executed under an active collector, else ``None``.
+    stats: dict | None = None
 
     @property
     def cells(self) -> list[CellResult]:
@@ -160,6 +174,11 @@ def run_campaign(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
         cache = ResultCache(cache)
+    # campaign-level observability: when a collector is active, workers
+    # collect per-cell stats into fresh scopes and ship the payloads
+    # back; the parent merges them here, so multiprocessing cannot
+    # bleed scopes and the merged result is worker-count independent
+    stats = _obs_current()
     t0 = time.perf_counter()
 
     cells = spec.expand()
@@ -181,8 +200,12 @@ def run_campaign(
 
     pending = [cell for key, cell in by_key.items() if key not in results]
 
-    def settle(key: str, cell_dict: dict) -> None:
+    def settle(key: str, cell_dict: dict, cell_stats: dict | None) -> None:
         results[key] = cell_dict
+        if stats is not None:
+            if cell_stats is not None:
+                stats.merge(cell_stats)
+            stats.add_time("phase.cell", cell_dict.get("runtime_s", 0.0))
         if cache is not None:
             cache.put(key, cell_dict, by_key[key].key_payload())
         if progress is not None:
@@ -190,15 +213,19 @@ def run_campaign(
 
     if pending:
         tasks = [cell.task_payload() for cell in pending]
+        if stats is not None:
+            tasks = [{**task, "collect_stats": True} for task in tasks]
         if workers > 1 and len(tasks) > 1:
             ctx = _pool_context()
             with ctx.Pool(processes=min(workers, len(tasks))) as pool:
-                for key, cell_dict in pool.imap_unordered(execute_task, tasks, chunksize=1):
-                    settle(key, cell_dict)
+                for key, cell_dict, cell_stats in pool.imap_unordered(
+                    execute_task, tasks, chunksize=1
+                ):
+                    settle(key, cell_dict, cell_stats)
         else:
             for task in tasks:
-                key, cell_dict = execute_task(task)
-                settle(key, cell_dict)
+                key, cell_dict, cell_stats = execute_task(task)
+                settle(key, cell_dict, cell_stats)
 
     outcomes = []
     for cell in cells:
@@ -212,11 +239,25 @@ def run_campaign(
             "heuristic": cell.heuristic.display,
         }
         outcomes.append(CellOutcome(cell, CellResult(**row), cell.key in cached_keys))
+    elapsed_s = time.perf_counter() - t0
+    if stats is not None:
+        executed = len(pending)
+        stats.inc("campaign.cells", total)
+        stats.inc("campaign.cache_hits", len(cached_keys))
+        stats.inc("campaign.executed", executed)
+        stats.gauge("campaign.workers", workers)
+        cell_time = stats.timers.get("phase.cell", [0, 0.0])[1]
+        if elapsed_s > 0:
+            stats.gauge(
+                "campaign.occupancy", cell_time / (workers * elapsed_s)
+            )
+        stats.add_time("phase.campaign.run", elapsed_s)
     return CampaignRunResult(
         spec=spec,
         outcomes=outcomes,
         workers=workers,
-        elapsed_s=time.perf_counter() - t0,
+        elapsed_s=elapsed_s,
+        stats=stats.payload() if stats is not None else None,
     )
 
 

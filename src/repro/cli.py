@@ -32,6 +32,16 @@ Subcommands
     seeded stream of jobs arriving over time, executed under a noise
     model by a rescheduling policy; prints per-job flow/stretch and
     platform aggregates (``--json`` for machines).
+``trace``
+    Export a Chrome ``trace_event`` JSON file (``repro.obs``): a static
+    schedule as processor/port tracks, or (``--online``) an engine run
+    with activity tracks, counters, and replan markers.  Open the file
+    at https://ui.perfetto.dev.
+
+The global ``--profile`` flag runs any subcommand under an active
+metrics collector and prints the counter/timer table afterwards.  The
+``REPRO_LOG`` environment variable sets the level of the ``repro``
+logger (e.g. ``REPRO_LOG=debug``).
 """
 
 from __future__ import annotations
@@ -72,6 +82,16 @@ from .kernel.backends import (
     set_backend,
 )
 from .models import available_models
+from .obs import (
+    collect,
+    configure_logging,
+    enabled as obs_enabled,
+    metric_names,
+    online_trace,
+    schedule_trace,
+    validate_trace,
+    write_trace,
+)
 
 
 def _cmd_info(args) -> int:
@@ -104,6 +124,10 @@ def _cmd_info(args) -> int:
                 "backends": available_backends(),
             },
             "backend": current_backend_name(),
+            "obs": {
+                "enabled": obs_enabled(),
+                "metrics": metric_names(),
+            },
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -123,6 +147,10 @@ def _cmd_info(args) -> int:
     print(
         f"  kernel backends   : {', '.join(available_backends())}"
         f" (active: {current_backend_name()})"
+    )
+    print(
+        f"  obs metrics       : {len(metric_names())} registered "
+        f"(collect with --profile)"
     )
     return 0
 
@@ -279,6 +307,66 @@ def _cmd_online(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs import current as obs_current
+    from .obs.registry import Stats
+
+    testbed = _TESTBED_ALIASES.get(args.testbed, args.testbed)
+    heuristic = _parse_heuristic(args.heuristic)
+    # ensure phase spans even without --profile: reuse the ambient
+    # collector when one is active, otherwise open a local scope
+    stats = obs_current()
+    with collect(stats if stats is not None else Stats()) as stats:
+        if args.online:
+            from .online import make_policy, make_workload, simulate_online
+
+            overrides = {}
+            if args.policy.partition(":")[0] != "ready-dispatch":
+                overrides = {
+                    "heuristic": heuristic.name,
+                    "heuristic_kwargs": dict(heuristic.kwargs),
+                }
+            try:
+                policy = make_policy(args.policy, **overrides)
+                workload = make_workload(
+                    testbed,
+                    args.size,
+                    args.jobs,
+                    arrival=args.arrival,
+                    seed=args.seed,
+                    comm_ratio=args.comm_ratio,
+                )
+                result = simulate_online(
+                    workload,
+                    paper_platform(),
+                    policy=policy,
+                    noise=args.noise,
+                    seed=args.seed,
+                    log_events=True,
+                )
+            except ConfigurationError as exc:
+                raise SystemExit(str(exc)) from None
+            trace = online_trace(result, stats)
+        else:
+            graph = make_testbed(testbed, args.size, comm_ratio=args.comm_ratio)
+            try:
+                scheduler = get_scheduler(heuristic.name, **dict(heuristic.kwargs))
+            except (ConfigurationError, TypeError) as exc:
+                raise SystemExit(f"bad heuristic {args.heuristic!r}: {exc}") from None
+            sched = scheduler.run(graph, paper_platform(), args.model)
+            validate_schedule(sched)
+            trace = schedule_trace(sched, stats)
+    summary = validate_trace(trace)
+    path = write_trace(trace, args.out)
+    view = trace["metadata"]["view"]
+    print(
+        f"wrote {view} trace: {summary['events']} events on "
+        f"{summary['tracks']} tracks -> {path}"
+    )
+    print("open it at https://ui.perfetto.dev ('Open trace file')")
+    return 0
+
+
 def _cmd_bottleneck(args) -> int:
     graph, platform = _make(args)
     scheduler = get_scheduler(args.heuristic, **({"b": args.b} if args.b else {}))
@@ -359,18 +447,34 @@ def _campaign_cache(args) -> ResultCache | None:
 
 
 def _cmd_campaign_run(args) -> int:
+    import contextlib
+    import json
+
     from .experiments import format_comparison, format_run, write_csv, write_json
+    from .obs import current as obs_current
 
     spec = _campaign_spec(args)
     cache = _campaign_cache(args)
     progress = None if args.quiet else print
-    result = run_campaign(
-        spec,
-        workers=args.workers,
-        cache=cache,
-        progress=progress,
-        refresh=args.refresh,
+    # --metrics needs an active collector; reuse --profile's when present
+    scope = (
+        collect()
+        if args.metrics and obs_current() is None
+        else contextlib.nullcontext()
     )
+    with scope:
+        result = run_campaign(
+            spec,
+            workers=args.workers,
+            cache=cache,
+            progress=progress,
+            refresh=args.refresh,
+        )
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            json.dump(result.stats, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote campaign metrics to {args.metrics}")
     print(
         f"\ncampaign {spec.name}: {len(result.outcomes)} cells "
         f"({result.cache_hits} cached, {result.executed} executed) "
@@ -425,6 +529,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         help="kernel backend (default: $REPRO_BACKEND or 'python'); "
         "exported to campaign worker processes",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect repro.obs metrics around the subcommand and print "
+        "the counter/timer table afterwards",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -503,6 +613,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable JSON instead of the table")
     p.set_defaults(fn=_cmd_online)
 
+    p = sub.add_parser("trace", help="export a Chrome/Perfetto trace")
+    p.add_argument("--testbed", default="lu",
+                   choices=sorted([*available_testbeds(), *_TESTBED_ALIASES]),
+                   help="testbed name (accepts 'forkjoin' for 'fork-join')")
+    p.add_argument("--size", type=int, default=20)
+    p.add_argument("--comm-ratio", type=float, default=PAPER_COMM_RATIO)
+    p.add_argument("--model", default="one-port", choices=available_models())
+    p.add_argument("--heuristic", default="heft",
+                   help="heuristic (static) or planner of the policy "
+                        "(--online), optionally name:key=val,key=val")
+    p.add_argument("--online", action="store_true",
+                   help="trace a dynamic-workload engine run instead of "
+                        "a static schedule")
+    p.add_argument("--jobs", type=int, default=8, help="jobs (--online)")
+    p.add_argument("--arrival", default="poisson:rate=0.002",
+                   help="arrival process (--online)")
+    p.add_argument("--noise", default="exact", help="duration noise (--online)")
+    p.add_argument("--policy", default="static",
+                   help="rescheduling policy (--online)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for arrivals and noise (--online)")
+    p.add_argument("--out", default="trace.json",
+                   help="output path of the trace JSON")
+    p.set_defaults(fn=_cmd_trace)
+
     p = sub.add_parser("bottleneck", help="critical-chain attribution")
     add_graph_args(p)
     p.add_argument("--heuristic", default="heft", choices=available_schedulers())
@@ -555,6 +690,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="recompute cells even on cache hits")
     cp.add_argument("--export", default=None,
                     help="also write the cells to this .csv/.json path")
+    cp.add_argument("--metrics", default=None,
+                    help="write the merged obs payload (counters/timers "
+                         "across all workers) to this JSON path")
     cp.add_argument("--quiet", action="store_true", help="no per-cell progress")
     cp.set_defaults(fn=_cmd_campaign_run)
 
@@ -572,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    configure_logging()
     args = build_parser().parse_args(argv)
     if args.backend is not None:
         import os
@@ -580,6 +719,12 @@ def main(argv: list[str] | None = None) -> int:
         # inherit it; set_backend covers this process immediately
         os.environ[BACKEND_ENV] = args.backend
         set_backend(args.backend)
+    if args.profile:
+        with collect() as stats:
+            rc = args.fn(args)
+        print("\n-- profile " + "-" * 45)
+        print(stats.table())
+        return rc
     return args.fn(args)
 
 

@@ -37,7 +37,6 @@ resolution path.
 from __future__ import annotations
 
 import heapq
-import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Hashable, Iterable, Sequence
 from contextlib import contextmanager
@@ -51,6 +50,8 @@ from ..kernel import compile_statics
 from ..kernel.builder import FlatBuilder, row_next_fit
 from ..models import make_model
 from ..models.base import CommTrial, CommunicationModel
+from ..obs import current as _obs_current
+from ..obs import get_logger as _get_logger
 
 TaskId = Hashable
 PriorityKey = Callable[[TaskId], tuple]
@@ -65,6 +66,11 @@ _FORCE_OBJECT = False
 #: once per process, so campaign sweeps are not flooded.
 _FALLBACK_WARNED: set[str] = set()
 
+#: Library diagnostics go through the ``repro.heuristics`` logger
+#: (satisfying services that capture logs); set ``REPRO_LOG`` to surface
+#: them on stderr — see :mod:`repro.obs.log`.
+_LOG = _get_logger("heuristics")
+
 
 def _warn_object_fallback(model) -> None:
     name = (
@@ -75,13 +81,11 @@ def _warn_object_fallback(model) -> None:
     if name in _FALLBACK_WARNED:
         return
     _FALLBACK_WARNED.add(name)
-    warnings.warn(
-        f"model {name!r} has no flat booker: scheduling falls back to the "
-        f"object reference path (slower; kernel backend selection does not "
-        f"apply). The active implementation is recorded in "
-        f"Schedule.state_impl.",
-        RuntimeWarning,
-        stacklevel=3,
+    _LOG.warning(
+        "model %r has no flat booker: scheduling falls back to the object "
+        "reference path (slower; kernel backend selection does not apply). "
+        "The active implementation is recorded in Schedule.state_impl.",
+        name,
     )
 
 
@@ -144,6 +148,7 @@ class SchedulerState:
         "_pcache",
         "_place_log",
         "_compute_views",
+        "_stats",
     )
 
     #: Recorded in ``Schedule.state_impl`` so cross-backend comparisons
@@ -177,8 +182,15 @@ class SchedulerState:
         self.platform = platform
         self.model = model
         self.maps = graph.as_maps()
+        #: Active obs collector, captured once (``None`` = stats off):
+        #: the per-candidate paths pay one slot load + ``is not None``.
+        stats = self._stats = _obs_current()
         #: Shared flat arrays (interning, CSR parents, cost tables).
-        self.kernel = compile_statics(graph, platform)
+        if stats is None:
+            self.kernel = compile_statics(graph, platform)
+        else:
+            with stats.span("phase.statics"):
+                self.kernel = compile_statics(graph, platform)
         #: Flat resource rows: compute rows 0..p-1 + the model's ports.
         self.builder = FlatBuilder(platform.num_processors)
         self.booker = model.flat_booker(self.builder, self.kernel)
@@ -276,6 +288,8 @@ class SchedulerState:
     ) -> Candidate:
         builder = self.builder
         builder.gen += 1  # begin_trial: rejecting this candidate is free
+        if self._stats is not None:
+            self._stats.inc("builder.candidates")
         est = self.booker.trial_est(parents, proc)
         duration = self.kernel.exec_[ti][proc]
         if self.insertion if insertion is None else insertion:
@@ -363,17 +377,26 @@ class SchedulerState:
         maxpf = flat[-1][0] if flat else 0.0
         bf = bs = _INF
         bp = None
+        stats = self._stats
         for proc in procs:
             duration = exec_row[proc]
             if prunable and maxpf + duration > bf:
+                if stats is not None:
+                    stats.inc("builder.prune.maxpf")
                 continue
             ce = rows_e[proc]
             last = ce[-1] if ce else 0.0
             if prunable and not use_insertion and last + duration > bf:
+                if stats is not None:
+                    stats.inc("builder.prune.frontier")
                 continue  # appended slots start no earlier than the frontier
             builder.gen += 1  # begin_trial
+            if stats is not None:
+                stats.inc("builder.candidates")
             est = booker.trial_est(flat, proc, bf if prunable else _INF, duration)
             if prunable and est + duration > bf:
+                if stats is not None:
+                    stats.inc("builder.prune.abort")
                 continue  # provably worse (possibly aborted mid-booking)
             if use_insertion:
                 start = row_next_fit(rows_s[proc], ce, est, duration)
@@ -408,6 +431,8 @@ class SchedulerState:
         return est
 
     def _place(self, task: TaskId, ti: int, proc: int, start: float, finish: float) -> None:
+        if self._stats is not None:
+            self._stats.inc("builder.commits")
         self.builder.book(proc, start, finish)
         self._proc_a[ti] = proc
         self._start_a[ti] = start
@@ -525,6 +550,7 @@ class SchedulerState:
         dup._pcache = None
         dup._place_log = None
         dup._compute_views = None
+        dup._stats = self._stats
         return dup
 
 

@@ -147,12 +147,19 @@ class ArraySchedulerState(SchedulerState):
         bf = bs = _INF
         bp = None
         bev = None
-        for proc in order:
+        stats = self._stats
+        for i, proc in enumerate(order):
             if lb_list[proc] > bf:
+                # every remaining processor's lower bound is above the
+                # incumbent too (order is sorted by lb): all pruned
+                if stats is not None:
+                    stats.inc("builder.prune.maxpf", len(order) - i)
                 break
             duration = exec_row[proc]
             stat = status[proc]
             ev = None
+            if stats is not None:
+                stats.inc("builder.candidates")
             if stat == 2:
                 est = est_list[proc]
                 ev = sw.events
@@ -164,6 +171,8 @@ class ArraySchedulerState(SchedulerState):
                     builder.gen += 1  # begin_trial
                     est = trial_est(flat, proc, bf, duration)
                     if est + duration > bf:
+                        if stats is not None:
+                            stats.inc("builder.prune.abort")
                         continue  # provably worse (possibly aborted)
             ce = rows_e[proc]
             if use_insertion:
@@ -233,6 +242,8 @@ class ArraySchedulerState(SchedulerState):
                 last = ce[-1] if ce else 0.0
                 start = est if est >= last else last
             out.append(Candidate(task, proc, start, start + duration))
+        if self._stats is not None:
+            self._stats.inc("builder.candidates", len(out))
         return out
 
     # ------------------------------------------------------------------

@@ -44,6 +44,7 @@ from bisect import bisect_right
 import numpy as np
 
 from ..core.exceptions import SchedulingError
+from ..obs import current as _obs_current
 from .backends import KernelBackend, register_backend
 from .builder import NO_DIRTY, row_next_fit
 
@@ -202,14 +203,18 @@ class GapRows:
     — snapshots copy the builder and build fresh mirrors.
     """
 
-    __slots__ = ("builder", "_rows", "_debt")
+    __slots__ = ("builder", "_rows", "_debt", "stats")
 
     def __init__(self, builder) -> None:
         self.builder = builder
         self._rows: dict[int, tuple] = {}
         self._debt: dict[int, int] = {}
+        #: Active obs collector, captured once (``None`` = stats off).
+        self.stats = _obs_current()
 
     def _mirror(self, r: int) -> tuple:
+        if self.stats is not None:
+            self.stats.inc("gap.resync")
         cs = np.array(self.builder.rows_s[r], dtype=np.float64)
         ce = np.array(self.builder.rows_e[r], dtype=np.float64)
         gap_pad = (cs[1:] - ce[:-1]) + np.abs(ce[:-1]) * GAP_PAD_REL
@@ -230,6 +235,8 @@ class GapRows:
         from the builder's current rows regardless of how they got
         there.
         """
+        if self.stats is not None:
+            self.stats.inc("gap.resync")
         nm, ce_np, gap_pad, blockmax = ent
         cs_l = self.builder.rows_s[r]
         ce_l = self.builder.rows_e[r]
@@ -264,7 +271,12 @@ class GapRows:
         cs_l = b.rows_s[r]
         ce_l = b.rows_e[r]
         n = len(cs_l)
+        stats = self.stats
+        if stats is not None:
+            stats.inc("gap.searches")
         if duration == 0.0 or n < GAP_MIN_LEN:
+            if stats is not None:
+                stats.inc("gap.scalar")
             return row_next_fit(cs_l, ce_l, ready, duration)
         t = ready
         if ce_l[-1] <= t:
@@ -278,6 +290,8 @@ class GapRows:
             return t
         if n - i < GAP_MIN_LEN:
             # short remaining scan: finish scalar, skip the index
+            if stats is not None:
+                stats.inc("gap.scalar")
             while i < n and cs_l[i] < lim:
                 if ce_l[i] > t:
                     t = ce_l[i]
@@ -299,6 +313,8 @@ class GapRows:
                 trusted = dirty
             last = trusted - 1  # gap k sits between intervals k, k+1
             if last - i >= GAP_MIN_LEN:
+                if stats is not None:
+                    stats.inc("gap.indexed")
                 # candidate stop positions k in [i, last): (padded)
                 # static gap fits; verified with the exact running max
                 ce_np, gap_pad, blockmax = ent[1], ent[2], ent[3]
@@ -355,6 +371,8 @@ class GapRows:
             debt = self._debt
             d = debt.get(r, 0) + steps
             if d >= n:
+                if stats is not None:
+                    stats.inc("gap.debt_flush")
                 debt[r] = 0
                 if ent is not None and b.row_dirty[r] >= ent[0]:
                     self._extend(r, ent, n)

@@ -59,6 +59,7 @@ from collections.abc import Sequence
 
 from ..core.exceptions import TimelineError
 from ..core.tolerance import guard_tol
+from ..obs import current as _obs_current
 
 #: Shared immutable stand-in for "no tentative intervals on this row".
 _EMPTY: tuple = ()
@@ -131,6 +132,7 @@ class FlatBuilder:
         "row_dirty",
         "log",
         "_mark_depth",
+        "stats",
     )
 
     def __init__(self, num_procs: int) -> None:
@@ -166,6 +168,8 @@ class FlatBuilder:
         #: Undo journal — ``None`` when no mark is active.
         self.log: list[tuple] | None = None
         self._mark_depth = 0
+        #: Active obs collector, captured once (``None`` = stats off).
+        self.stats = _obs_current()
 
     # ------------------------------------------------------------------
     # rows
@@ -314,6 +318,10 @@ class FlatBuilder:
         log = self.log
         if log is None:
             raise TimelineError("rollback without an active mark")
+        stats = self.stats
+        if stats is not None:
+            stats.inc("builder.rollbacks")
+            stats.inc("builder.rollback_entries", len(log) - cursor)
         touched = set()
         for r, pos in reversed(log[cursor:]):
             del self.rows_s[r][pos]
@@ -362,6 +370,7 @@ class FlatBuilder:
         dup.row_dirty = [NO_DIRTY] * len(self.rows_s)
         dup.log = None
         dup._mark_depth = 0
+        dup.stats = self.stats
         return dup
 
     def committed(self, r: int) -> list[tuple[float, float]]:

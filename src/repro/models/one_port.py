@@ -30,6 +30,7 @@ from ..core.platform import Platform
 from ..core.ports import PortSet, PortSetOverlay
 from ..kernel.builder import row_next_fit
 from ..core.schedule import Schedule
+from ..obs import current as _obs_current
 from ..core.validation import ONE_PORT
 from .base import (
     CommState,
@@ -56,6 +57,7 @@ class OnePortFlatBooker(FlatBooker):
         "links",
         "check_links",
         "seed_cache",
+        "stats",
         "_hrow",
         "_prep",
         "_pprocs",
@@ -85,6 +87,8 @@ class OnePortFlatBooker(FlatBooker):
         #: commits that touch other rows but can never leak across a
         #: re-placement (chunk rollbacks re-place parents).
         self.seed_cache: dict = {}
+        #: Active obs collector, captured once (``None`` = stats off).
+        self.stats = _obs_current()
         self._init_sweep()
 
     def _init_sweep(self) -> None:
@@ -120,6 +124,7 @@ class OnePortFlatBooker(FlatBooker):
         dup.links = self.links
         dup.check_links = self.check_links
         dup.seed_cache = {}
+        dup.stats = self.stats
         dup._init_sweep()
         return dup
 
@@ -187,8 +192,12 @@ class OnePortFlatBooker(FlatBooker):
                 and ent[1] == pproc
                 and ent[2] == pfinish
             ):
+                if self.stats is not None:
+                    self.stats.inc("oneport.seed.hit")
                 t = ent[3]
             else:
+                if self.stats is not None:
+                    self.stats.inc("oneport.seed.miss")
                 # first trial of this (edge, source row, window, ready)
                 # since the send row last changed: find the least
                 # send-committed feasible start once — it is
@@ -439,8 +448,12 @@ class OnePortFlatBooker(FlatBooker):
                     and ent[1] == q
                     and ent[2] == pfinish
                 ):
+                    if self.stats is not None:
+                        self.stats.inc("oneport.seed.hit")
                     seed = ent[3]
                 else:
+                    if self.stats is not None:
+                        self.stats.inc("oneport.seed.miss")
                     seed = row_next_fit(rows_s[rs], rows_e[rs], pfinish, dur)
                     seeds[e] = (ver, q, pfinish, seed)
                 prep.append((pfinish, e, q, dur, seed))
@@ -539,8 +552,12 @@ class OnePortFlatBooker(FlatBooker):
                     and ent[1] == q
                     and ent[2] == pfinish
                 ):
+                    if self.stats is not None:
+                        self.stats.inc("oneport.seed.hit")
                     seed = ent[3]
                 else:
+                    if self.stats is not None:
+                        self.stats.inc("oneport.seed.miss")
                     # the gap index serves send rows too (bit-identical
                     # to row_next_fit), so deep seed scans stay cheap
                     seed = gap_fit(rs, pfinish, dur)
@@ -555,6 +572,7 @@ class OnePortFlatBooker(FlatBooker):
         lbg = lbm if lbm > zl else zl
         trial_est = self.trial_est
         resolve = self._resolve
+        stats = self.stats
         bf = bs = _INF
         bp = None
         bev = None
@@ -590,6 +608,8 @@ class OnePortFlatBooker(FlatBooker):
             duration = exec_row[proc]
             ev = None
             est = -1.0
+            if stats is not None:
+                stats.inc("builder.candidates")
             e2, ev2, w2 = resolve(proc)
             if last_e[recv0 + proc] <= w2:
                 est = e2
@@ -598,6 +618,8 @@ class OnePortFlatBooker(FlatBooker):
                 b.gen += 1  # begin_trial
                 est = trial_est(parents, proc, bf, duration)
                 if est + duration > bf:
+                    if stats is not None:
+                        stats.inc("builder.prune.abort")
                     continue  # provably worse (possibly aborted)
             ce = rows_e[proc]
             if insertion:
@@ -613,22 +635,40 @@ class OnePortFlatBooker(FlatBooker):
                 finish == bf and (start < bs or (start == bs and proc < bp))
             ):
                 bf, bs, bp, bev = finish, start, proc, ev
-        for proc in order_row:
+        for i, proc in enumerate(order_row):
             if proc in hosts or (procs is not None and proc not in procs):
                 continue
             duration = exec_row[proc]
             if lbg + duration > bf:
+                if stats is not None:
+                    stats.inc(
+                        "builder.prune.maxpf",
+                        sum(
+                            1
+                            for r2 in order_row[i:]
+                            if r2 not in hosts
+                            and (procs is None or r2 in procs)
+                        ),
+                    )
                 break  # durations only grow from here on
             ev = None
             if last_e[recv0 + proc] <= wmin:
                 if est_gen + duration > bf:
+                    if stats is not None:
+                        stats.inc("builder.prune.maxpf")
                     continue  # exact EST known: provably worse
+                if stats is not None:
+                    stats.inc("builder.candidates")
                 est = est_gen
                 ev = events
             else:
                 b.gen += 1  # begin_trial
+                if stats is not None:
+                    stats.inc("builder.candidates")
                 est = trial_est(parents, proc, bf, duration)
                 if est + duration > bf:
+                    if stats is not None:
+                        stats.inc("builder.prune.abort")
                     continue  # provably worse (possibly aborted)
             ce = rows_e[proc]
             if insertion:

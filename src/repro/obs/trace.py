@@ -1,0 +1,301 @@
+"""Chrome ``trace_event`` JSON export (Perfetto-loadable).
+
+Three views share one file format (``{"traceEvents": [...]}`` with
+``"X"`` complete events, ``"C"`` counters, ``"i"`` instants, and
+``"M"`` process/thread-name metadata):
+
+* :func:`schedule_trace` — a static :class:`~repro.core.schedule.Schedule`
+  as processor compute tracks plus per-port send/recv tracks.
+* :func:`online_trace` — an online-engine run: executed activities and
+  transfers on their resources, queue-depth / running counters, and
+  instant markers for arrivals and replans.
+* :func:`phase_events` — wall-clock phase spans a
+  :class:`~repro.obs.registry.Stats` collector recorded during
+  construction.
+
+Model time is unitless in the paper; traces emit **1 model time unit =
+1 µs** so Perfetto's microsecond axis reads directly in model units.
+Phase spans are real wall-clock microseconds on their own process
+track.  Open traces at https://ui.perfetto.dev (or
+``chrome://tracing``) via "Open trace file".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .registry import Stats
+
+#: Process ids for the three views (Perfetto groups tracks by pid).
+PID_PHASES = 1
+PID_COMPUTE = 2
+PID_PORTS = 3
+PID_ENGINE = 4
+
+#: Model-time unit -> trace microseconds.
+TIME_SCALE = 1.0
+
+
+def _meta(name: str, pid: int, tid: int | None = None) -> dict:
+    ev = {
+        "name": "process_name" if tid is None else "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": name},
+    }
+    if tid is not None:
+        ev["tid"] = tid
+        ev["name"] = "thread_name"
+    return ev
+
+
+def _complete(name, pid, tid, ts, dur, args=None) -> dict:
+    ev = {
+        "name": str(name),
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": ts * TIME_SCALE,
+        "dur": max(dur, 0.0) * TIME_SCALE,
+    }
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def _counter(name, pid, ts, values: dict) -> dict:
+    return {
+        "name": name,
+        "ph": "C",
+        "pid": pid,
+        "tid": 0,
+        "ts": ts * TIME_SCALE,
+        "args": values,
+    }
+
+
+def _instant(name, pid, tid, ts, args=None) -> dict:
+    ev = {
+        "name": str(name),
+        "ph": "i",
+        "pid": pid,
+        "tid": tid,
+        "ts": ts * TIME_SCALE,
+        "s": "t",
+    }
+    if args:
+        ev["args"] = args
+    return ev
+
+
+# ----------------------------------------------------------------------
+# view 3: wall-clock phase spans
+# ----------------------------------------------------------------------
+def phase_events(stats: Stats | None) -> list[dict]:
+    """Trace events for the collector's recorded phase spans (seconds)."""
+    if stats is None or not stats.spans:
+        return []
+    events = [
+        _meta("repro phases (wall clock)", PID_PHASES),
+        _meta("phases", PID_PHASES, 0),
+    ]
+    for name, start_s, dur_s in stats.spans:
+        events.append(_complete(name, PID_PHASES, 0, start_s * 1e6, dur_s * 1e6))
+    return events
+
+
+# ----------------------------------------------------------------------
+# view 1: static schedule
+# ----------------------------------------------------------------------
+def schedule_trace(schedule, stats: Stats | None = None) -> dict:
+    """Render ``schedule`` as compute + port tracks (model time)."""
+    events: list[dict] = [_meta("processors", PID_COMPUTE)]
+    procs = list(schedule.platform.processors)
+    for proc in procs:
+        events.append(_meta(f"P{proc} compute", PID_COMPUTE, proc))
+        for p in schedule.tasks_on(proc):
+            events.append(
+                _complete(
+                    p.task, PID_COMPUTE, proc, p.start, p.duration,
+                    {"task": str(p.task), "proc": proc},
+                )
+            )
+    if schedule.comm_events:
+        events.append(_meta("ports", PID_PORTS))
+        used: set[int] = set()
+        for e in sorted(schedule.comm_events, key=lambda e: (e.start, e.finish)):
+            send_tid, recv_tid = 2 * e.src_proc, 2 * e.dst_proc + 1
+            for tid, proc, kind in (
+                (send_tid, e.src_proc, "send"),
+                (recv_tid, e.dst_proc, "recv"),
+            ):
+                if tid not in used:
+                    used.add(tid)
+                    events.append(_meta(f"P{proc} {kind}", PID_PORTS, tid))
+                events.append(
+                    _complete(
+                        f"{e.src_task}->{e.dst_task}", PID_PORTS, tid,
+                        e.start, e.duration,
+                        {
+                            "data": e.data,
+                            "hop": e.hop,
+                            "route": f"P{e.src_proc}->P{e.dst_proc}",
+                        },
+                    )
+                )
+    events.extend(phase_events(stats))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "view": "schedule",
+            "heuristic": schedule.heuristic,
+            "model": schedule.model,
+            "state_impl": schedule.state_impl,
+            "makespan": schedule.makespan(),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# view 2: online-engine run
+# ----------------------------------------------------------------------
+def online_trace(result, stats: Stats | None = None) -> dict:
+    """Render an :class:`~repro.online.metrics.OnlineResult` timeline.
+
+    Compute tracks come from executed placements, port tracks from
+    transfers; the engine's ``event_log`` (when kept) contributes
+    instant markers for arrivals and replans plus ``queue depth`` and
+    ``running`` counters.
+    """
+    events: list[dict] = [_meta("processors", PID_COMPUTE)]
+    num_procs = result.platform.num_processors
+    for proc in range(num_procs):
+        events.append(_meta(f"P{proc} compute", PID_COMPUTE, proc))
+    for job, rows in sorted(result.placements.items()):
+        for task, proc, start, finish in rows:
+            events.append(
+                _complete(
+                    f"j{job}:{task}", PID_COMPUTE, proc, start, finish - start,
+                    {"job": job, "task": str(task)},
+                )
+            )
+    if result.transfers:
+        events.append(_meta("ports", PID_PORTS))
+        used: set[int] = set()
+        for job, src, dst, fp, tp, start, finish, data in result.transfers:
+            for tid, proc, kind in ((2 * fp, fp, "send"), (2 * tp + 1, tp, "recv")):
+                if tid not in used:
+                    used.add(tid)
+                    events.append(_meta(f"P{proc} {kind}", PID_PORTS, tid))
+                events.append(
+                    _complete(
+                        f"j{job}:{src}->{dst}", PID_PORTS, tid, start,
+                        finish - start, {"job": job, "data": data},
+                    )
+                )
+    if result.event_log:
+        events.append(_meta("engine", PID_ENGINE))
+        events.append(_meta("events", PID_ENGINE, 0))
+        queued = 0
+        running = 0
+        for entry in result.event_log:
+            now, kind = entry[0], entry[1]
+            if kind == "arrival":
+                events.append(
+                    _instant(f"arrival j{entry[2]}", PID_ENGINE, 0, now,
+                             {"job": entry[2], "name": entry[3]})
+                )
+            elif kind == "replan":
+                events.append(
+                    _instant("replan", PID_ENGINE, 0, now, {"job": entry[2]})
+                )
+            elif kind == "release":
+                queued += 1
+                events.append(_counter("queue depth", PID_ENGINE, now,
+                                       {"released": queued}))
+            elif kind == "start":
+                if queued > 0:
+                    queued -= 1
+                    events.append(_counter("queue depth", PID_ENGINE, now,
+                                           {"released": queued}))
+                running += 1
+                events.append(_counter("running", PID_ENGINE, now,
+                                       {"activities": running}))
+            elif kind == "finish":
+                running -= 1
+                events.append(_counter("running", PID_ENGINE, now,
+                                       {"activities": running}))
+    events.extend(phase_events(stats))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "view": "online",
+            "policy": result.policy.get("name", "?"),
+            "jobs": len(result.jobs),
+            "horizon": result.horizon,
+            "utilization": result.utilization,
+            "events": result.events,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# validation + IO
+# ----------------------------------------------------------------------
+def validate_trace(trace: dict, overlap_eps: float = 1e-6) -> dict:
+    """Check the schema and per-track non-overlap; raise on violation.
+
+    Every event must carry ``ph`` and ``pid``; ``"X"`` events must have
+    numeric ``tid``/``ts``/``dur`` with ``dur >= 0`` and, per
+    ``(pid, tid)`` resource track, must not overlap (resources are
+    exclusive in every supported model).  The wall-clock phases track
+    (``PID_PHASES``) is exempt from the overlap rule: phase spans nest.
+    Returns summary counts.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be a dict with a 'traceEvents' list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    tracks: dict[tuple, list[tuple[float, float, str]]] = {}
+    counts: dict[str, int] = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None or "pid" not in ev:
+            raise ValueError(f"event {i} missing ph/pid: {ev!r}")
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph != "X":
+            continue
+        for field in ("tid", "ts", "dur"):
+            if not isinstance(ev.get(field), (int, float)):
+                raise ValueError(f"event {i} ({ev.get('name')!r}) missing {field}")
+        if ev["dur"] < 0:
+            raise ValueError(f"event {i} ({ev.get('name')!r}) has dur < 0")
+        if ev["pid"] == PID_PHASES:
+            continue
+        tracks.setdefault((ev["pid"], ev["tid"]), []).append(
+            (ev["ts"], ev["ts"] + ev["dur"], str(ev.get("name")))
+        )
+    for (pid, tid), spans in tracks.items():
+        spans.sort()
+        for (s0, e0, n0), (s1, e1, n1) in zip(spans, spans[1:]):
+            if s1 < e0 - overlap_eps:
+                raise ValueError(
+                    f"track pid={pid} tid={tid}: {n0!r} [{s0}, {e0}) overlaps "
+                    f"{n1!r} [{s1}, {e1})"
+                )
+    return {
+        "events": len(events),
+        "tracks": len(tracks),
+        "by_phase": counts,
+    }
+
+
+def write_trace(trace: dict, path) -> Path:
+    """Write ``trace`` as JSON (atomic enough for CLI use)."""
+    path = Path(path)
+    path.write_text(json.dumps(trace, indent=1, default=str) + "\n")
+    return path

@@ -38,6 +38,7 @@ from ..core.exceptions import ConfigurationError, SchedulingError
 from ..core.platform import Platform
 from ..kernel import TimedKernel, compile_statics
 from ..kernel.backends import current_backend
+from ..obs import current as _obs_current
 from .metrics import JobMetrics, OnlineResult
 from .noise import NoiseModel, make_noise
 from .workload import Job, Workload
@@ -201,6 +202,8 @@ class OnlineEngine:
         self._touched: set[int] = set()
         self._all_acts: list[Activity] = []
         self._busy_compute = 0.0
+        #: Active obs collector (refreshed per run; ``None`` = stats off).
+        self._stats = _obs_current()
 
     # ------------------------------------------------------------------
     # resources
@@ -231,6 +234,7 @@ class OnlineEngine:
         self._touched = set()
         self._all_acts = []
         self._busy_compute = 0.0
+        stats = self._stats = _obs_current()
         self.policy.bind(self)
 
         for job in workload:
@@ -245,15 +249,23 @@ class OnlineEngine:
             self.now = t
             self.events += 1
             if kind == _EV_FINISH:
+                if stats is not None:
+                    stats.inc("online.events.finish")
                 if payload.state == RUNNING:
                     self._finish(payload)
             elif kind == _EV_ARRIVAL:
+                if stats is not None:
+                    stats.inc("online.events.arrival")
                 self._arrive(payload)
             else:
+                if stats is not None:
+                    stats.inc("online.events.tick")
                 self.policy.on_tick()
             if self._touched:
                 self._dispatch()
         wall_s = time.perf_counter() - wall0
+        if stats is not None:
+            stats.add_time("phase.online.run", wall_s)
 
         incomplete = [j.job.index for j in self.jobs if not j.complete]
         if incomplete:
@@ -310,6 +322,8 @@ class OnlineEngine:
     def _release(self, act: Activity) -> None:
         act.state = RELEASED
         act.release = self.now
+        if self.log_events:
+            self.event_log.append((self.now, "release", act.job, act.kind, act.label))
         for rid in act.resources:
             self.resources[rid].queue.append(act)
             self._touched.add(rid)
@@ -350,6 +364,13 @@ class OnlineEngine:
         now = self.now
         act.state = RUNNING
         act.start = now
+        stats = self._stats
+        if stats is not None:
+            stats.inc("online.activities")
+            if now > act.release:
+                # the activity sat released while a resource was busy
+                stats.inc("online.port_waits")
+                stats.add("online.port_wait_time", now - act.release)
         est = act.est
         if self.noise.exact:
             dur = est
@@ -413,6 +434,12 @@ class OnlineEngine:
         statics = kern.statics
         full = jstate.statics
         is_full = statics is full
+        if not is_full:
+            # a sub-plan kernel means the policy replanned mid-flight
+            if self._stats is not None:
+                self._stats.inc("online.replans")
+            if self.log_events:
+                self.event_log.append((self.now, "replan", jstate.job.index))
         n = statics.num_tasks
         offset = self.now
         acts: dict[int, Activity] = {}
@@ -538,6 +565,8 @@ class OnlineEngine:
         utilization = (
             self._busy_compute / (num_procs * horizon) if horizon > 0 else 1.0
         )
+        if self._stats is not None:
+            self._stats.gauge("online.utilization", utilization)
         return OnlineResult(
             policy=self.policy.payload(),
             noise=self.noise.payload(),

@@ -41,6 +41,7 @@ from ..core.platform import Platform
 from ..core.schedule import Schedule
 from ..core.taskgraph import TaskGraph
 from ..kernel import KernelPatch, TimedKernel, compile_statics
+from ..obs import current as _obs_current
 from ..simulate.replay import replay
 from .neighborhood import Move, invalidated
 from .point import Node, SearchPoint, comm_node, task_node
@@ -82,6 +83,8 @@ class IncrementalEvaluator:
         self._lists: dict[tuple, list] = {}
         self._pos: list[int] | None = None
         self._makespan = 0.0
+        # active obs collector, captured once (None = stats off)
+        self._stats = _obs_current()
 
     # ------------------------------------------------------------------
     # state
@@ -98,6 +101,12 @@ class IncrementalEvaluator:
 
     def load(self, point: SearchPoint) -> float:
         """Full build of the timed constraint DAG at ``point``."""
+        if self._stats is None:
+            return self._load(point)
+        with self._stats.span("phase.search.load"):
+            return self._load(point)
+
+    def _load(self, point: SearchPoint) -> float:
         st = self._statics
         self._point = point
         self._lists = {
@@ -232,10 +241,15 @@ class IncrementalEvaluator:
         patch = self._kern.patch(
             dirty_ix, removed_ix, new_preds, new_dur, self._key_of(pos)
         )
+        if self._stats is not None:
+            self._stats.inc("search.previews")
+            self._stats.inc("search.patched_nodes", len(patch.nodes))
         return MovePreview(move, new, patch.makespan, patch, new_lists)
 
     def commit(self, preview: MovePreview) -> float:
         """Fold a preview into the base state; cost ~ size of the change."""
+        if self._stats is not None:
+            self._stats.inc("search.commits")
         kern = self._kern
         st = self._statics
         kern.apply(preview.patch)

@@ -38,6 +38,7 @@ from ..core.taskgraph import TaskGraph
 from ..heuristics.base import Scheduler, get_scheduler, make_model, register_scheduler
 from ..models.base import CommunicationModel
 from ..models.one_port import OnePortModel
+from ..obs import current as _obs_current
 from ..simulate.replay import extract_decisions, replay, replay_schedule
 from .evaluate import IncrementalEvaluator
 from .neighborhood import MoveTask, propose
@@ -191,7 +192,7 @@ class IteratedLocalSearch(Scheduler):
         rng = random.Random(self.seed)
         patience = self.patience or max(64, 2 * graph.num_tasks)
         deadline = None if self.time_limit_s is None else time.monotonic() + self.time_limit_s
-        evals = accepted = kicks = rounds = 0
+        evals = accepted = kicks = rounds = sideways_taken = 0
 
         def out_of_time() -> bool:
             return deadline is not None and time.monotonic() > deadline
@@ -217,6 +218,8 @@ class IteratedLocalSearch(Scheduler):
                     evaluator.commit(pv)
                     critical = evaluator.critical_path_tasks()
                     accepted += 1
+                    if drifting:
+                        sideways_taken += 1
                     if self.paranoia:
                         evaluator.cross_check()
                 stall = 0 if improving else stall + 1
@@ -249,6 +252,11 @@ class IteratedLocalSearch(Scheduler):
             out = evaluator.schedule(heuristic=self.label)
         else:
             out = replay(graph, platform, extract_decisions(tight), heuristic=self.label)
+        stats = _obs_current()
+        if stats is not None:
+            stats.inc("search.sideways", sideways_taken)
+            stats.inc("search.kicks", kicks)
+            stats.inc("search.rounds", rounds)
         out.search_stats = {  # dynamic attribute; see class docstring
             "base": self.base_label(self.base, self.base_kwargs),
             "base_makespan": base_sched.makespan(),
@@ -256,6 +264,7 @@ class IteratedLocalSearch(Scheduler):
             "final_makespan": out.makespan(),
             "evals": evals,
             "accepted": accepted,
+            "sideways": sideways_taken,
             "kicks": kicks,
             "rounds": rounds,
             "budget": self.budget,

@@ -10,12 +10,12 @@ pure-Python default.
 Also here: the backend registry surface (selection precedence, unknown
 names, the ``REPRO_BACKEND`` environment channel) and the
 fallback-visibility regressions — a model without a flat booker must
-say so (one warning) and record the active engine in
-``Schedule.state_impl``.
+say so (one ``repro.heuristics`` log warning) and record the active
+engine in ``Schedule.state_impl``.
 """
 
+import logging
 import math
-import warnings
 
 import pytest
 
@@ -179,33 +179,31 @@ class TestFallbackVisibility:
         alloc = {"u": 0, "v": 2, "w": 0}
         return get_scheduler("fixed", alloc=alloc), graph, line
 
-    def test_object_fallback_warns_once_and_is_recorded(self):
+    def test_object_fallback_warns_once_and_is_recorded(self, caplog):
         scheduler, graph, line = self._routed_run()
         _FALLBACK_WARNED.discard("routed")
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+        with caplog.at_level(logging.WARNING, logger="repro.heuristics"):
             sched = scheduler.run(graph, line, RoutedOnePortModel(line))
             again = scheduler.run(graph, line, RoutedOnePortModel(line))
-        fallback = [w for w in caught if "no flat booker" in str(w.message)]
+        fallback = [r for r in caplog.records if "no flat booker" in r.getMessage()]
         assert len(fallback) == 1, "expected exactly one fallback warning"
-        assert issubclass(fallback[0].category, RuntimeWarning)
+        assert fallback[0].levelno == logging.WARNING
+        assert fallback[0].name == "repro.heuristics"
         assert sched.state_impl == "object"
         assert again.state_impl == "object"
 
-    def test_numpy_backend_does_not_apply_to_object_path(self):
+    def test_numpy_backend_does_not_apply_to_object_path(self, caplog):
         """Backend selection is a flat-path concern: the routed model
         still runs (and says so) on the object path under numpy."""
         scheduler, graph, line = self._routed_run()
         _FALLBACK_WARNED.discard("routed")
         with use_backend("numpy"):
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
+            with caplog.at_level(logging.WARNING, logger="repro.heuristics"):
                 sched = scheduler.run(graph, line, RoutedOnePortModel(line))
         assert sched.state_impl == "object"
-        assert any("no flat booker" in str(w.message) for w in caught)
+        assert any("no flat booker" in r.getMessage() for r in caplog.records)
 
-    def test_flat_models_do_not_warn(self, paper_platform):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+    def test_flat_models_do_not_warn(self, paper_platform, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.heuristics"):
             get_scheduler("heft").run(lu_graph(4), paper_platform, "one-port")
-        assert not [w for w in caught if "no flat booker" in str(w.message)]
+        assert not [r for r in caplog.records if "no flat booker" in r.getMessage()]

@@ -1,0 +1,90 @@
+"""Collector scoping across campaign workers.
+
+Workers collect into fresh per-cell scopes and ship payloads back; the
+parent merges them.  The merged counters must therefore be independent
+of the worker count, collection must not leak outside its scope, and a
+run without an active collector must not collect at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignSpec, HeuristicSpec, run_campaign
+from repro.campaign.runner import execute_task
+from repro.obs import collect, current
+
+
+def small_grid() -> CampaignSpec:
+    return CampaignSpec(
+        name="obs-scope",
+        testbeds=["lu"],
+        sizes=[6, 8],
+        heuristics=[HeuristicSpec.of("heft"), HeuristicSpec.of("ilha", {"b": 4})],
+        models=["one-port"],
+    )
+
+
+def _run(workers: int):
+    with collect() as stats:
+        result = run_campaign(small_grid(), workers=workers, cache=None)
+    return result, stats
+
+
+class TestWorkerScoping:
+    def test_merged_counters_worker_count_independent(self):
+        _, serial = _run(workers=1)
+        _, pooled = _run(workers=2)
+        assert serial.counters == pooled.counters
+        # same cells timed either way: identical call counts, only the
+        # measured seconds differ between processes
+        assert {k: v[0] for k, v in serial.timers.items()} == {
+            k: v[0] for k, v in pooled.timers.items()
+        }
+
+    def test_builder_counters_cross_process(self):
+        """Worker-side construction counters actually reach the parent."""
+        result, stats = _run(workers=2)
+        assert stats.counters["builder.candidates"] > 0
+        assert stats.counters["builder.commits"] > 0
+        assert stats.counters["campaign.cells"] == 4
+        assert stats.counters["campaign.executed"] == 4
+        assert result.stats["counters"] == stats.counters
+
+    def test_scope_restored_after_run(self):
+        _run(workers=1)
+        assert current() is None
+
+    def test_no_collector_no_stats(self):
+        result = run_campaign(small_grid(), workers=1, cache=None)
+        assert result.stats is None
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_occupancy_and_phase_timers(self, workers):
+        result, stats = _run(workers=workers)
+        calls, seconds = stats.timers["phase.cell"]
+        assert calls == 4
+        assert seconds > 0
+        assert stats.timers["phase.campaign.run"][0] == 1
+        assert 0 < stats.gauges["campaign.occupancy"]
+        assert stats.gauges["campaign.workers"] == workers
+        assert result.stats["gauges"]["campaign.workers"] == workers
+
+
+class TestExecuteTaskScoping:
+    def test_collect_stats_flag_opens_fresh_scope(self):
+        (cell,) = small_grid().expand()[:1]
+        task = {**cell.task_payload(), "collect_stats": True}
+        with collect() as ambient:
+            key, cell_dict, payload = execute_task(task)
+        assert key == cell.key
+        assert payload is not None
+        assert payload["counters"]["builder.commits"] > 0
+        # the cell collected into its own scope, not the ambient one
+        assert ambient.counters == {}
+
+    def test_without_flag_no_payload(self):
+        (cell,) = small_grid().expand()[:1]
+        key, cell_dict, payload = execute_task(cell.task_payload())
+        assert key == cell.key
+        assert payload is None

@@ -1,0 +1,78 @@
+"""The ``repro`` logging namespace and the ``REPRO_LOG`` env knob."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs import LOG_ENV_VAR, configure_logging, get_logger
+from repro.obs.log import _ROOT
+
+
+def _stderr_handler():
+    return next(
+        (h for h in _ROOT.handlers if getattr(h, "_repro_stderr", False)), None
+    )
+
+
+@pytest.fixture
+def clean_handler():
+    """Remove the stderr handler around a test so installs are observable."""
+    before = _stderr_handler()
+    if before is not None:
+        _ROOT.removeHandler(before)
+    yield
+    after = _stderr_handler()
+    if after is not None:
+        _ROOT.removeHandler(after)
+    if before is not None:
+        _ROOT.addHandler(before)
+
+
+class TestNamespace:
+    def test_get_logger_nests_under_repro(self):
+        assert get_logger().name == "repro"
+        assert get_logger("heuristics").name == "repro.heuristics"
+        assert get_logger("heuristics").parent.name == "repro"
+
+    def test_default_is_quiet_null_handler(self):
+        assert any(isinstance(h, logging.NullHandler) for h in _ROOT.handlers)
+
+    def test_records_propagate_for_capture(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            get_logger("obs").info("hello from the library")
+        assert any("hello from the library" in r.getMessage() for r in caplog.records)
+
+
+class TestConfigure:
+    def test_noop_without_env_or_level(self, monkeypatch, clean_handler):
+        monkeypatch.delenv(LOG_ENV_VAR, raising=False)
+        configure_logging()
+        assert _stderr_handler() is None
+
+    def test_env_var_installs_stderr_handler(self, monkeypatch, clean_handler):
+        monkeypatch.setenv(LOG_ENV_VAR, "info")
+        configure_logging()
+        handler = _stderr_handler()
+        assert handler is not None
+        assert handler.level == logging.INFO
+
+    def test_idempotent_and_relevels(self, monkeypatch, clean_handler):
+        monkeypatch.delenv(LOG_ENV_VAR, raising=False)
+        configure_logging("DEBUG")
+        first = _stderr_handler()
+        configure_logging("ERROR")
+        second = _stderr_handler()
+        assert first is second
+        assert second.level == logging.ERROR
+
+    def test_numeric_level_accepted(self, monkeypatch, clean_handler):
+        monkeypatch.setenv(LOG_ENV_VAR, "10")
+        configure_logging()
+        assert _stderr_handler().level == logging.DEBUG
+
+    def test_bad_level_rejected(self, monkeypatch, clean_handler):
+        monkeypatch.delenv(LOG_ENV_VAR, raising=False)
+        with pytest.raises(ValueError, match="REPRO_LOG"):
+            configure_logging("shouty")

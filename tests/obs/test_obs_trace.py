@@ -1,0 +1,166 @@
+"""Chrome-trace export: schema, non-overlap, and the three views."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.graphs import lu_graph, toy_graph
+from repro.heuristics import get_scheduler
+from repro.obs import (
+    collect,
+    online_trace,
+    schedule_trace,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.trace import PID_COMPUTE, PID_ENGINE, PID_PHASES, PID_PORTS
+
+
+def _heft_schedule(platform, graph=None):
+    return get_scheduler("heft").run(graph or lu_graph(8), platform, "one-port")
+
+
+def _online_result():
+    from repro.experiments import paper_platform
+    from repro.online import make_workload, simulate_online
+
+    workload = make_workload("lu", 8, 4, arrival="poisson:rate=0.002", seed=0)
+    return simulate_online(
+        workload,
+        paper_platform(),
+        policy="periodic:period=500",
+        noise="exact",
+        seed=0,
+        log_events=True,
+    )
+
+
+class TestScheduleTrace:
+    def test_toy_figure4_trace(self, two_identical):
+        """The paper's toy DAG: every task is one X event on its track."""
+        sched = _heft_schedule(two_identical, toy_graph())
+        trace = schedule_trace(sched)
+        summary = validate_trace(trace)
+        compute = [
+            ev
+            for ev in trace["traceEvents"]
+            if ev["ph"] == "X" and ev["pid"] == PID_COMPUTE
+        ]
+        assert len(compute) == len(sched.placements)
+        assert summary["by_phase"]["X"] >= len(sched.placements)
+        assert trace["metadata"]["view"] == "schedule"
+        assert trace["metadata"]["makespan"] == sched.makespan()
+
+    def test_events_mirror_placements(self, paper_platform):
+        sched = _heft_schedule(paper_platform)
+        trace = schedule_trace(sched)
+        by_name = {
+            ev["name"]: ev
+            for ev in trace["traceEvents"]
+            if ev["ph"] == "X" and ev["pid"] == PID_COMPUTE
+        }
+        for task, placement in sched.placements.items():
+            ev = by_name[str(task)]
+            assert ev["tid"] == placement.proc
+            assert ev["ts"] == placement.start
+            assert ev["ts"] + ev["dur"] == placement.finish
+
+    def test_port_tracks_split_send_recv(self, paper_platform):
+        sched = _heft_schedule(paper_platform)
+        trace = schedule_trace(sched)
+        port_tids = {
+            ev["tid"]
+            for ev in trace["traceEvents"]
+            if ev["ph"] == "X" and ev["pid"] == PID_PORTS
+        }
+        assert port_tids, "lu-8 on the paper platform must communicate"
+        for e in sched.comm_events:
+            assert 2 * e.src_proc in port_tids
+            assert 2 * e.dst_proc + 1 in port_tids
+        validate_trace(trace)  # one-port => port tracks never overlap
+
+    def test_phase_spans_attach_with_stats(self, paper_platform):
+        with collect() as stats:
+            sched = _heft_schedule(paper_platform)
+        trace = schedule_trace(sched, stats)
+        phases = [
+            ev
+            for ev in trace["traceEvents"]
+            if ev["ph"] == "X" and ev["pid"] == PID_PHASES
+        ]
+        assert any(ev["name"] == "phase.statics" for ev in phases)
+        validate_trace(trace)
+
+
+class TestOnlineTrace:
+    def test_online_view_validates(self):
+        result = _online_result()
+        trace = online_trace(result)
+        summary = validate_trace(trace)
+        assert trace["metadata"]["view"] == "online"
+        assert trace["metadata"]["jobs"] == len(result.jobs)
+        assert summary["by_phase"].get("i", 0) >= len(result.jobs)  # arrivals
+
+    def test_engine_markers_and_counters(self):
+        trace = online_trace(_online_result())
+        engine = [ev for ev in trace["traceEvents"] if ev["pid"] == PID_ENGINE]
+        names = {ev["name"] for ev in engine}
+        assert any(n.startswith("arrival") for n in names)
+        assert "queue depth" in names
+        assert "running" in names
+
+    def test_compute_events_mirror_placements(self):
+        result = _online_result()
+        trace = online_trace(result)
+        compute = [
+            ev
+            for ev in trace["traceEvents"]
+            if ev["ph"] == "X" and ev["pid"] == PID_COMPUTE
+        ]
+        expected = sum(len(rows) for rows in result.placements.values())
+        assert len(compute) == expected
+
+
+class TestValidate:
+    def test_missing_ph_rejected(self):
+        with pytest.raises(ValueError, match="missing ph/pid"):
+            validate_trace({"traceEvents": [{"pid": 1}]})
+
+    def test_non_numeric_ts_rejected(self):
+        bad = {"ph": "X", "pid": 2, "tid": 0, "ts": "soon", "dur": 1.0}
+        with pytest.raises(ValueError, match="missing ts"):
+            validate_trace({"traceEvents": [bad]})
+
+    def test_negative_duration_rejected(self):
+        bad = {"ph": "X", "pid": 2, "tid": 0, "ts": 0.0, "dur": -1.0}
+        with pytest.raises(ValueError, match="dur < 0"):
+            validate_trace({"traceEvents": [bad]})
+
+    def test_track_overlap_rejected(self):
+        events = [
+            {"ph": "X", "pid": 2, "tid": 0, "ts": 0.0, "dur": 5.0, "name": "a"},
+            {"ph": "X", "pid": 2, "tid": 0, "ts": 3.0, "dur": 5.0, "name": "b"},
+        ]
+        with pytest.raises(ValueError, match="overlaps"):
+            validate_trace({"traceEvents": events})
+
+    def test_phase_track_exempt_from_overlap(self):
+        events = [
+            {"ph": "X", "pid": PID_PHASES, "tid": 0, "ts": 0.0, "dur": 5.0},
+            {"ph": "X", "pid": PID_PHASES, "tid": 0, "ts": 1.0, "dur": 2.0},
+        ]
+        validate_trace({"traceEvents": events})  # nested spans are fine
+
+    def test_not_a_trace_rejected(self):
+        with pytest.raises(ValueError):
+            validate_trace({"events": []})
+
+
+class TestWrite:
+    def test_write_trace_roundtrips(self, tmp_path, paper_platform):
+        trace = schedule_trace(_heft_schedule(paper_platform))
+        path = write_trace(trace, tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert validate_trace(loaded) == validate_trace(trace)

@@ -184,3 +184,74 @@ class TestCampaign:
         from repro.experiments import read_json
 
         assert len(read_json(tmp_path / "out.json")) == 1
+
+
+class TestObsSurface:
+    def test_info_json_has_obs_section(self, capsys):
+        import json
+
+        assert main(["info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["obs"]["enabled"] is False
+        assert "builder.candidates" in payload["obs"]["metrics"]
+        assert payload["obs"]["metrics"] == sorted(payload["obs"]["metrics"])
+
+    def test_profile_prints_table(self, capsys):
+        assert main(["--profile", "schedule", "--testbed", "lu",
+                     "--size", "8", "--heuristic", "heft"]) == 0
+        out = capsys.readouterr().out
+        assert "-- profile" in out
+        assert "builder.candidates" in out
+        assert "phase.statics" in out
+
+    def test_trace_static_schedule(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--testbed", "lu", "--size", "8",
+                     "--heuristic", "heft", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote schedule trace" in out
+        assert "perfetto" in out
+        trace = json.loads(out_path.read_text())
+        assert trace["metadata"]["view"] == "schedule"
+        assert validate_trace(trace)["events"] > 0
+        # the CLI collects phase spans even without --profile
+        assert any(
+            ev.get("name") == "phase.statics" for ev in trace["traceEvents"]
+        )
+
+    def test_trace_online(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        out_path = tmp_path / "online.json"
+        assert main(["trace", "--online", "--testbed", "lu", "--size", "6",
+                     "--jobs", "3", "--policy", "periodic:period=500",
+                     "--out", str(out_path)]) == 0
+        assert "wrote online trace" in capsys.readouterr().out
+        trace = json.loads(out_path.read_text())
+        assert trace["metadata"]["view"] == "online"
+        assert trace["metadata"]["jobs"] == 3
+        validate_trace(trace)
+
+    def test_trace_bad_heuristic_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--heuristic", "heft:bogus=1",
+                  "--out", str(tmp_path / "t.json")])
+
+    def test_campaign_metrics_export(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        grid = ["--testbeds", "lu", "--sizes", "5", "--heuristics", "heft"]
+        assert main(["campaign", "run", *grid, "--no-cache", "--quiet",
+                     "--metrics", str(metrics)]) == 0
+        assert "wrote campaign metrics" in capsys.readouterr().out
+        payload = json.loads(metrics.read_text())
+        assert payload["counters"]["campaign.cells"] == 1
+        assert payload["counters"]["builder.commits"] > 0
+        assert "phase.cell" in payload["timers"]
