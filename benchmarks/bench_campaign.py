@@ -1,0 +1,134 @@
+"""Campaign executor throughput: cells/s and occupancy per executor.
+
+Standalone script (not a pytest-benchmark module) so CI can run it and
+archive the result::
+
+    python benchmarks/bench_campaign.py --quick --out BENCH_CAMPAIGN.json
+
+Runs one fixed cold grid through each registered executor — ``serial``
+(inline), ``process`` (local pool), ``spool`` (filesystem work-queue) —
+and reports cells/second plus the ``campaign.occupancy`` gauge (sum of
+cell runtimes over workers x wall time): occupancy near 1.0 means the
+executor kept its workers busy, low occupancy exposes dispatch
+overhead.  Executor invariance (identical metrics across executors) is
+asserted on every pair, so a throughput run doubles as a correctness
+sweep.
+
+``--quick`` trims the grid and worker counts for CI smoke; the
+committed ``BENCH_CAMPAIGN.json`` at the repo root is produced by a
+full run and seeds the executor perf trajectory (regenerate and commit
+alongside executor changes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _harness import write_result  # noqa: E402
+from repro.campaign import CampaignSpec, HeuristicSpec, run_campaign  # noqa: E402
+from repro.obs import collect  # noqa: E402
+
+
+def grid(quick: bool) -> CampaignSpec:
+    return CampaignSpec(
+        name="bench",
+        testbeds=["fork-join", "irregular"] if quick else
+                 ["fork-join", "irregular", "lu"],
+        sizes=[8, 12] if quick else [10, 16, 22],
+        heuristics=[HeuristicSpec.of("heft"), HeuristicSpec.of("ilha", {"b": 8})],
+        models=["one-port"],
+        seeds=[0] if quick else [0, 1],
+    )
+
+
+def metrics_of(result):
+    """Executor-invariant metric tuples (no runtime_s)."""
+    return [
+        (o.cell.key, o.result.makespan, o.result.speedup, o.result.num_comms)
+        for o in result.outcomes
+    ]
+
+
+def bench_executor(spec: CampaignSpec, executor: str, workers: int) -> dict:
+    options: dict = {}
+    if executor == "spool":
+        # an explicit throwaway dir keeps tempdir lifetime out of the
+        # measurement; tight polling so dispatch, not sleeps, dominates
+        options = {"dir": tempfile.mkdtemp(prefix="bench-spool-"),
+                   "poll_s": 0.01, "worker_poll_s": 0.01}
+    t0 = time.perf_counter()
+    with collect() as stats:
+        result = run_campaign(
+            spec, workers=workers, executor=executor,
+            executor_options=options or None,
+        )
+    wall_s = time.perf_counter() - t0
+    if executor == "spool":
+        import shutil
+
+        shutil.rmtree(options["dir"], ignore_errors=True)
+    cells = len(result.outcomes)
+    row = {
+        "executor": executor,
+        "workers": workers,
+        "cells": cells,
+        "wall_s": round(wall_s, 4),
+        "cells_per_s": round(cells / wall_s, 2),
+        "occupancy": round(stats.gauges.get("campaign.occupancy", 0.0), 3),
+        "cell_time_s": round(stats.timers.get("phase.cell", [0, 0.0])[1], 4),
+    }
+    print(
+        f"{executor:<8} workers={workers}  {cells:>3} cells  "
+        f"{row['wall_s']:7.2f} s  {row['cells_per_s']:8.2f} cells/s  "
+        f"occupancy {row['occupancy']:.3f}"
+    )
+    return row, metrics_of(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid + fewer worker counts (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON result here (e.g. "
+                             "BENCH_CAMPAIGN.json)")
+    args = parser.parse_args(argv)
+
+    spec = grid(args.quick)
+    plans = [("serial", 1), ("process", 2), ("spool", 1)]
+    if not args.quick:
+        plans += [("process", 4), ("spool", 2)]
+
+    rows, baseline = [], None
+    for executor, workers in plans:
+        row, metrics = bench_executor(spec, executor, workers)
+        rows.append(row)
+        if baseline is None:
+            baseline = metrics
+        else:
+            assert metrics == baseline, (
+                f"executor {executor!r} drifted from serial metrics"
+            )
+    print(f"invariance: {len(plans)} executor runs, identical metrics")
+
+    if args.out:
+        path = write_result(args.out, {
+            "benchmark": "campaign-executors",
+            "quick": args.quick,
+            "grid": {"testbeds": spec.testbeds, "sizes": spec.sizes,
+                     "heuristics": [h.display for h in spec.heuristics],
+                     "seeds": spec.seeds},
+            "executors": rows,
+        })
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

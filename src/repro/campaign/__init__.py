@@ -2,12 +2,19 @@
 
 A campaign is a declarative grid — testbeds × sizes × platforms ×
 models × heuristics × seeds (:class:`CampaignSpec`) — expanded into
-independent cells, executed by a :mod:`multiprocessing` worker pool
-(:func:`run_campaign`), memoized in an append-only JSONL cache
-(:class:`ResultCache`), and reduced back into the same
+independent cells, triaged against an append-only JSONL cache
+(:class:`ResultCache`), executed by a pluggable executor
+(:func:`run_campaign`), and reduced back into the same
 ``ExperimentRun`` series the figure pipeline consumes
-(:func:`experiment_runs`).  The CLI front end is
-``python -m repro campaign {run,status,export}``.
+(:func:`experiment_runs`).  Execution is layered: cell triage
+(:mod:`~repro.campaign.triage`), an executor registry
+(:mod:`~repro.campaign.executors` — ``serial`` inline, ``process``
+local pool, ``spool`` filesystem work-queue shared by workers on any
+host; :mod:`~repro.campaign.spool`), and deterministic reassembly
+(:mod:`~repro.campaign.reassembly`), so the aggregated result is
+byte-identical across executors, worker counts, and cache
+temperatures.  The CLI front end is ``python -m repro campaign
+{run,status,export,worker,cache}``.
 
 Cell-key hashing scheme
 -----------------------
@@ -36,15 +43,17 @@ JSON (sorted keys, fixed separators — see
 
 The key covers exactly the inputs that determine a cell's metrics and
 nothing presentational: campaign names, series labels, worker counts,
-and the ``validate`` flag do not perturb it.  The ``improve`` axis is
-resolved *before* hashing — an improved cell is keyed by its expanded
-``ils`` heuristic payload (base + search parameters), so improved and
-unimproved cells of the same base cache independently.  Scheduling is
-deterministic given these inputs, so equal keys imply equal metrics —
-which is what makes the cache safe to share across campaigns, figures,
-and benchmark runs.  Keys are stable across processes and Python
-versions (no ``hash()`` randomization); any change to the payload
-layout must bump :data:`~repro.campaign.spec.KEY_SCHEMA_VERSION`.
+executor choice, and the ``validate`` flag do not perturb it.  The
+``improve`` axis is resolved *before* hashing — an improved cell is
+keyed by its expanded ``ils`` heuristic payload (base + search
+parameters), so improved and unimproved cells of the same base cache
+independently.  Scheduling is deterministic given these inputs, so
+equal keys imply equal metrics — which is what makes the cache safe to
+share across campaigns, figures, benchmark runs, and spool workers on
+different hosts (shards merge with :func:`merge_caches`).  Keys are
+stable across processes and Python versions (no ``hash()``
+randomization); any change to the payload layout must bump
+:data:`~repro.campaign.spec.KEY_SCHEMA_VERSION`.
 """
 
 from .aggregate import (
@@ -54,7 +63,12 @@ from .aggregate import (
     format_status,
     mean_series,
 )
-from .cache import ResultCache
+from .cache import ResultCache, merge_caches
+from .executors import (
+    available_executors,
+    make_executor,
+    register_executor,
+)
 from .runner import CampaignRunResult, CellOutcome, execute_task, run_campaign
 from .spec import (
     KEY_SCHEMA_VERSION,
@@ -63,6 +77,8 @@ from .spec import (
     HeuristicSpec,
     PlatformSpec,
 )
+from .spool import Spool, run_worker
+from .triage import TriagedCells, triage_cells
 
 __all__ = [
     "KEY_SCHEMA_VERSION",
@@ -73,11 +89,19 @@ __all__ = [
     "HeuristicSpec",
     "PlatformSpec",
     "ResultCache",
+    "Spool",
+    "TriagedCells",
+    "available_executors",
     "cached_cells",
     "campaign_status",
     "execute_task",
     "experiment_runs",
     "format_status",
+    "make_executor",
     "mean_series",
+    "merge_caches",
+    "register_executor",
     "run_campaign",
+    "run_worker",
+    "triage_cells",
 ]

@@ -11,14 +11,44 @@ interrupted campaign resumes from exactly the cells it finished; on
 load, a torn final line (crash mid-write) is skipped and later rewrites
 of a key win (last-writer-wins lets ``--refresh`` supersede old rows
 without compaction).
+
+Writes go through one held ``O_APPEND`` handle (opened lazily, one
+unbuffered write per record), so appending N cells costs N writes, not
+N opens, and concurrent writers — two campaigns sharing a directory,
+or spool shard merges — interleave whole records rather than bytes.
+:meth:`ResultCache.compact` rewrites the file last-writer-wins
+(dropping superseded and torn lines) and :func:`merge_caches` folds
+several cache directories into one — the audit/merge half of
+multi-host sharding.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 CACHE_FILENAME = "cells.jsonl"
+
+
+def _iter_records(path: Path) -> Iterator[tuple[str, dict]]:
+    """Yield ``(key, record)`` for every well-formed line of a cache
+    file, skipping blank, torn, and malformed lines."""
+    if not path.exists():
+        return
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from an interrupted run
+            key = record.get("key")
+            if isinstance(key, str) and isinstance(record.get("cell"), dict):
+                yield key, record
 
 
 class ResultCache:
@@ -30,6 +60,7 @@ class ResultCache:
         self._path = self._root / CACHE_FILENAME
         self._cells: dict[str, dict] = {}
         self._needs_newline = False
+        self._fh = None
         self._load()
 
     def _load(self) -> None:
@@ -39,19 +70,8 @@ class ResultCache:
         # a torn tail (crash mid-append) has no trailing newline; the
         # next append must not glue a fresh record onto the torn line
         self._needs_newline = bool(raw) and not raw.endswith(b"\n")
-        with self._path.open() as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn tail from an interrupted run
-                key = record.get("key")
-                cell = record.get("cell")
-                if isinstance(key, str) and isinstance(cell, dict):
-                    self._cells[key] = cell
+        for key, record in _iter_records(self._path):
+            self._cells[key] = record["cell"]
 
     # ------------------------------------------------------------------
     @property
@@ -75,17 +95,94 @@ class ResultCache:
         """CellResult fields stored for ``key``, or ``None``."""
         return self._cells.get(key)
 
+    def _writer(self):
+        """The held append handle (unbuffered: one write per record)."""
+        if self._fh is None or self._fh.closed:
+            self._fh = self._path.open("ab", buffering=0)
+        return self._fh
+
     def put(self, key: str, cell: dict, payload: dict | None = None) -> None:
-        """Record one completed cell (appends + flushes immediately)."""
+        """Record one completed cell (one durable append per record)."""
         record = {"key": key, "cell": cell}
         if payload is not None:
             record["payload"] = payload
-        with self._path.open("a") as fh:
-            if self._needs_newline:
-                fh.write("\n")
-                self._needs_newline = False
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        data = (json.dumps(record, sort_keys=True) + "\n").encode()
+        if self._needs_newline:
+            # heal a torn tail in the same single write as the record
+            data = b"\n" + data
+            self._needs_newline = False
+        self._writer().write(data)  # O_APPEND, unbuffered: atomic-ish line
         self._cells[key] = cell
+
+    def close(self) -> None:
+        """Release the held append handle (reopened lazily on demand)."""
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def compact(self) -> dict:
+        """Rewrite the file last-writer-wins, dropping superseded,
+        duplicate, and torn lines.  Atomic (temp + rename); returns
+        ``{"kept": n, "dropped": m}``."""
+        records: dict[str, dict] = {}
+        total = 0
+        for key, record in _iter_records(self._path):
+            records[key] = record
+            total += 1
+        raw_lines = (
+            sum(1 for line in self._path.read_text().splitlines() if line.strip())
+            if self._path.exists()
+            else 0
+        )
+        self.close()
+        tmp = self._path.with_name(f".{self._path.name}.compact-{os.getpid()}")
+        with tmp.open("w") as fh:
+            for key in sorted(records):
+                fh.write(json.dumps(records[key], sort_keys=True) + "\n")
+        os.replace(tmp, self._path)
+        self._needs_newline = False
+        self._cells = {key: rec["cell"] for key, rec in records.items()}
+        return {"kept": len(records), "dropped": raw_lines - len(records)}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultCache({str(self._path)!r}, {len(self._cells)} cells)"
+
+
+def merge_caches(out: str | Path, sources: Iterable[str | Path]) -> dict:
+    """Merge cache directories into ``out`` (created if missing).
+
+    Records are folded in order — ``out``'s existing rows first, then
+    each source — with last-writer-wins per key, then written compactly
+    and atomically.  Torn and malformed lines are dropped.  Returns
+    ``{"cells": total, "sources": n, "added": new-to-out}``.
+    """
+    out_cache = ResultCache(out)
+    before = out_cache.keys()
+    records: dict[str, dict] = {}
+    for key, record in _iter_records(out_cache.path):
+        records[key] = record
+    n_sources = 0
+    for src in sources:
+        n_sources += 1
+        for key, record in _iter_records(Path(src) / CACHE_FILENAME):
+            records[key] = record
+    out_cache.close()
+    tmp = out_cache.path.with_name(f".{CACHE_FILENAME}.merge-{os.getpid()}")
+    with tmp.open("w") as fh:
+        for key in sorted(records):
+            fh.write(json.dumps(records[key], sort_keys=True) + "\n")
+    os.replace(tmp, out_cache.path)
+    return {
+        "cells": len(records),
+        "sources": n_sources,
+        "added": len(set(records) - before),
+    }

@@ -1,0 +1,289 @@
+"""Pluggable cell executors: how a campaign's pending cells get run.
+
+:func:`~repro.campaign.runner.run_campaign` triages cells against the
+cache and hands the misses to an :class:`Executor`, which owns *where*
+they execute — everything else (triage, settling, cache writes,
+deterministic reassembly) is executor-independent, so every executor
+yields byte-identical aggregated results for a fixed spec.
+
+Registered executors:
+
+``serial``
+    Inline in the calling process; the graph memo is shared across
+    cells, so small sweeps avoid all process overhead.
+``process``
+    The classic :mod:`multiprocessing` pool (behavior-preserving:
+    ``workers=1`` or a single task still runs inline).
+``spool``
+    A filesystem work-queue (:mod:`repro.campaign.spool`): cells are
+    sharded by content hash into ``tasks/``, claimed under leases by
+    independent ``repro campaign worker`` processes — spawned locally
+    and/or joining from any host that shares the directory — and the
+    parent polls the ``done/`` shards, merges per-worker stats
+    payloads, expires dead workers' leases, and retries their cells
+    with bounded backoff.
+
+The executor contract is one method::
+
+    execute(tasks, settle)   # call settle(key, cell_dict, stats|None)
+                             # exactly once per task, any order
+
+``tasks`` are the self-contained JSON payloads of
+:meth:`~repro.campaign.spec.CampaignCell.task_payload`; ``settle`` is
+supplied by the runner and is not thread/process safe — call it from
+the parent only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable
+
+from ..core.exceptions import CampaignError, ConfigurationError
+from ..obs import current as _obs_current
+from .spool import Spool, run_worker
+
+SettleFn = Callable[[str, dict, dict | None], None]
+ProgressFn = Callable[[str], None]
+
+_EXECUTORS: dict[str, type] = {}
+
+
+def register_executor(name: str):
+    """Class decorator: register an executor under ``name``."""
+
+    def deco(cls):
+        cls.name = name
+        _EXECUTORS[name] = cls
+        return cls
+
+    return deco
+
+
+def available_executors() -> list[str]:
+    """Sorted names of every registered executor."""
+    return sorted(_EXECUTORS)
+
+
+def make_executor(name: str, **options) -> "Executor":
+    """Instantiate a registered executor with its options."""
+    cls = _EXECUTORS.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; available: {available_executors()}"
+        )
+    try:
+        return cls(**options)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad options for executor {name!r}: {exc}") from None
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, inherits imports), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@register_executor("serial")
+class SerialExecutor:
+    """Execute every cell inline in the calling process."""
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = workers  # accepted for interface uniformity
+
+    def execute(self, tasks: list[dict], settle: SettleFn) -> None:
+        from .runner import execute_task
+
+        for task in tasks:
+            settle(*execute_task(task))
+
+
+@register_executor("process")
+class ProcessExecutor:
+    """Execute cells on a local :mod:`multiprocessing` pool."""
+
+    def __init__(self, workers: int = 2) -> None:
+        self.workers = workers
+
+    def execute(self, tasks: list[dict], settle: SettleFn) -> None:
+        from .runner import execute_task
+
+        if self.workers <= 1 or len(tasks) <= 1:
+            # a pool of one is pure overhead; keep the classic inline path
+            SerialExecutor().execute(tasks, settle)
+            return
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(self.workers, len(tasks))) as pool:
+            for key, cell_dict, cell_stats in pool.imap_unordered(
+                execute_task, tasks, chunksize=1
+            ):
+                settle(key, cell_dict, cell_stats)
+
+
+@register_executor("spool")
+class SpoolExecutor:
+    """Execute cells through a shared filesystem work-queue.
+
+    Parameters
+    ----------
+    workers:
+        Local worker processes to spawn (``0`` = publish and poll
+        only; external ``repro campaign worker`` processes do the
+        work).
+    dir:
+        Spool directory.  ``None`` creates a temporary one that is
+        removed after a successful run; an explicit directory is
+        adopted (pre-published tasks and done records are honored —
+        that is what lets a crashed campaign resume) and kept.
+    lease_ttl:
+        Seconds a claim stays valid without heartbeat renewal; a
+        worker that dies stops renewing and its cells are retried
+        after at most this long.
+    poll_s:
+        Parent polling period over the ``done/`` shards.
+    max_retries:
+        Lease-expiry retries per cell before the campaign fails with
+        an explicit error (deterministic worker errors fail fast and
+        are never retried).
+    retry_backoff_s:
+        Base backoff before a retried cell is claimable again; grows
+        linearly with the attempt number.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        dir: str | None = None,
+        lease_ttl: float = 30.0,
+        poll_s: float = 0.05,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.5,
+        worker_poll_s: float = 0.05,
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError(f"spool workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.dir = dir
+        self.lease_ttl = lease_ttl
+        self.poll_s = poll_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.worker_poll_s = worker_poll_s
+
+    # ------------------------------------------------------------------
+    def _spawn(self, ctx, root: str) -> multiprocessing.Process:
+        proc = ctx.Process(
+            target=run_worker,
+            kwargs={
+                "root": root,
+                "lease_ttl": self.lease_ttl,
+                "poll_s": self.worker_poll_s,
+            },
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def execute(self, tasks: list[dict], settle: SettleFn) -> None:
+        import tempfile
+
+        ephemeral = self.dir is None
+        root = self.dir or tempfile.mkdtemp(prefix="repro-spool-")
+        spool = Spool(root, create=True)
+        spool.clear_stop()
+        stats = _obs_current()
+        wanted = {task["key"]: task for task in tasks}
+        for task in wanted.values():
+            spool.publish(task)  # idempotent: adopts pre-published spools
+
+        ctx = _pool_context()
+        procs = [self._spawn(ctx, str(root)) for _ in range(self.workers)]
+        respawns_left = self.max_retries if self.workers else 0
+        attempts: dict[str, int] = {}
+        holds: dict[str, float] = {}  # key -> claimable-again time
+        settled: set[str] = set()
+        cursor: dict[str, int] = {}
+        try:
+            while len(settled) < len(wanted):
+                progressed = False
+                for record in spool.read_done(cursor):
+                    key = record["key"]
+                    if key not in wanted or key in settled:
+                        continue  # other campaign's leftovers / duplicate
+                    error = record.get("error")
+                    if error is not None:
+                        raise CampaignError(
+                            f"spool cell {key} failed in worker "
+                            f"{record.get('worker', '?')}: {error}"
+                        )
+                    settled.add(key)
+                    settle(key, record["cell"], record.get("stats"))
+                    progressed = True
+                now = time.time()
+                for key, eligible_at in list(holds.items()):
+                    if key in settled:
+                        del holds[key]
+                    elif now >= eligible_at:
+                        spool.release(key)  # backoff over: claimable again
+                        del holds[key]
+                for key in wanted:
+                    if key in settled or key in holds:
+                        continue
+                    info = spool.lease_info(key)
+                    if info is None or not spool.lease_expired(
+                        info, self.lease_ttl, now
+                    ):
+                        continue
+                    # a worker died holding this cell (or a previous
+                    # campaign left a stale lease): expire and retry
+                    if stats is not None:
+                        stats.inc("campaign.leases_expired")
+                    attempts[key] = attempts.get(key, 0) + 1
+                    if attempts[key] > self.max_retries:
+                        raise CampaignError(
+                            f"spool cell {key} lost its lease "
+                            f"{attempts[key]} time(s) and exhausted "
+                            f"{self.max_retries} retries"
+                        )
+                    if stats is not None:
+                        stats.inc("campaign.retries")
+                    backoff = self.retry_backoff_s * attempts[key]
+                    if backoff > 0:
+                        spool.hold(key, now + backoff)
+                        holds[key] = now + backoff
+                    else:
+                        spool.release(key)
+                if stats is not None:
+                    stats.inc("campaign.spool_poll")
+                if progressed:
+                    continue
+                procs = [p for p in procs if p.is_alive()]
+                if self.workers and len(procs) < self.workers and respawns_left > 0:
+                    # a local worker died (crash/OOM): replace it, bounded
+                    respawns_left -= 1
+                    procs.append(self._spawn(ctx, str(root)))
+                elif (
+                    self.workers
+                    and not procs
+                    and not spool.leased_keys()
+                    and not any(k not in settled for k in holds)
+                ):
+                    raise CampaignError(
+                        "all local spool workers died and no external worker "
+                        f"holds a lease; {len(wanted) - len(settled)} cell(s) "
+                        f"unfinished in {root}"
+                    )
+                time.sleep(self.poll_s)
+        finally:
+            spool.request_stop()
+            deadline = time.time() + max(2.0, 10 * self.poll_s)
+            for proc in procs:
+                proc.join(timeout=max(deadline - time.time(), 0.1))
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+        if ephemeral:
+            import shutil
+
+            shutil.rmtree(root, ignore_errors=True)

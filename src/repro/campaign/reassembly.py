@@ -1,0 +1,79 @@
+"""Deterministic reassembly of settled cells into campaign outcomes.
+
+The last of the three campaign layers (triage → executor →
+reassembly): fold the key-addressed result rows back into the spec's
+expansion order and restamp presentation, so the aggregated output is
+byte-identical whatever executor, worker count, or cache temperature
+produced the rows (only each fresh cell's measured ``runtime_s``
+varies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..experiments.harness import CellResult
+from .spec import CampaignCell, CampaignSpec
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One expanded cell with its metrics and provenance."""
+
+    cell: CampaignCell
+    result: CellResult
+    from_cache: bool
+
+
+@dataclass
+class CampaignRunResult:
+    """Everything one :func:`~repro.campaign.runner.run_campaign` produced."""
+
+    spec: CampaignSpec
+    outcomes: list[CellOutcome]
+    workers: int
+    elapsed_s: float
+    #: Merged obs payload (counters/timers/gauges across all workers)
+    #: when the run executed under an active collector, else ``None``.
+    stats: dict | None = None
+    #: Name of the executor that ran the pending cells.
+    executor: str = "serial"
+
+    @property
+    def cells(self) -> list[CellResult]:
+        return [o.result for o in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.from_cache)
+
+    @property
+    def executed(self) -> int:
+        return len({o.cell.key for o in self.outcomes if not o.from_cache})
+
+    def runs(self):
+        """Aggregate back into ``ExperimentRun``-compatible series."""
+        from .aggregate import experiment_runs
+
+        return experiment_runs(self)
+
+
+def reassemble(
+    cells: list[CampaignCell],
+    results: dict[str, dict],
+    cached_keys: set[str],
+) -> list[CellOutcome]:
+    """Rebuild outcomes in expansion order from key-addressed rows."""
+    outcomes = []
+    for cell in cells:
+        # The key deliberately excludes presentation (campaign name,
+        # series label), so a cache hit may carry another campaign's
+        # figure/heuristic strings: restamp them from THIS spec's cell
+        # or warm-cache aggregation would file series under stale labels.
+        row = {
+            **results[cell.key],
+            "figure": cell.campaign,
+            "heuristic": cell.heuristic.display,
+        }
+        outcomes.append(CellOutcome(cell, CellResult(**row), cell.key in cached_keys))
+    return outcomes

@@ -1,15 +1,20 @@
-"""Campaign execution: cache triage, worker pool, deterministic reassembly.
+"""Campaign orchestration: triage → executor → deterministic reassembly.
 
 :func:`run_campaign` expands a spec, serves every cell it can from the
-:class:`~repro.campaign.cache.ResultCache`, executes the rest — inline
-for ``workers=1``, on a :mod:`multiprocessing` pool otherwise — and
-reassembles the outcomes in expansion order, so the aggregated result is
-byte-identical whatever the worker count or cache temperature (only the
-measured ``runtime_s`` of each fresh cell varies).
+:class:`~repro.campaign.cache.ResultCache`
+(:mod:`~repro.campaign.triage`), hands the misses to a pluggable
+:class:`~repro.campaign.executors.Executor` — ``serial`` (inline),
+``process`` (local pool), or ``spool`` (filesystem work-queue shared
+by workers on any host) — and reassembles the outcomes in expansion
+order (:mod:`~repro.campaign.reassembly`), so the aggregated result is
+byte-identical whatever the executor, worker count, or cache
+temperature (only the measured ``runtime_s`` of each fresh cell
+varies).
 
 Workers receive pure-JSON task payloads and rebuild graph, platform,
-scheduler, and model themselves (:func:`execute_task` is the module-level
-entry point so it pickles under both fork and spawn).  Results stream
+scheduler, and model themselves (:func:`execute_task` is the
+module-level entry point so it pickles under both fork and spawn, and
+doubles as the spool workers' execution contract).  Results stream
 back to the parent, which is the cache's only writer — completed cells
 are persisted as they arrive, so killing a campaign loses at most the
 cells in flight.
@@ -17,43 +22,53 @@ cells in flight.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from collections.abc import Callable
-from dataclasses import dataclass
+from collections import OrderedDict
 
 from ..core.serialization import canonical_json, platform_from_dict
-from ..experiments.harness import CellResult, run_cell
+from ..experiments.harness import run_cell
 from ..graphs import make_testbed
 from ..heuristics import get_scheduler
 from ..obs import collect as _obs_collect
 from ..obs import current as _obs_current
 from .cache import ResultCache
+from .executors import ProgressFn, make_executor
+from .reassembly import CampaignRunResult, CellOutcome, reassemble
 from .spec import CampaignCell, CampaignSpec
+from .triage import triage_cells
 
-ProgressFn = Callable[[str], None]
+__all__ = [
+    "CampaignRunResult",
+    "CellOutcome",
+    "execute_task",
+    "run_campaign",
+]
 
 
-#: Per-process memo of built graphs: consecutive cells of one campaign
-#: typically share a graph across heuristics/models, and rebuilding a
-#:  several-thousand-task testbed per cell dominates serial sweeps.
-_GRAPH_MEMO: dict[str, object] = {}
+#: Per-process LRU memo of built graphs: consecutive cells of one
+#: campaign typically share a graph across heuristics/models, and
+#: rebuilding a several-thousand-task testbed per cell dominates serial
+#: sweeps.  Hits refresh recency, so interleaved sweeps keep their
+#: hottest graphs even when the working set brushes the limit.
+_GRAPH_MEMO: OrderedDict[str, object] = OrderedDict()
 _GRAPH_MEMO_LIMIT = 16
 
 
 def _build_graph(graph_spec: dict):
     memo_key = canonical_json(graph_spec)
     graph = _GRAPH_MEMO.get(memo_key)
-    if graph is None:
-        graph = make_testbed(
-            graph_spec["testbed"],
-            graph_spec["size"],
-            comm_ratio=graph_spec["comm_ratio"],
-            **graph_spec["params"],
-        )
-        while len(_GRAPH_MEMO) >= _GRAPH_MEMO_LIMIT:
-            _GRAPH_MEMO.pop(next(iter(_GRAPH_MEMO)))
-        _GRAPH_MEMO[memo_key] = graph
+    if graph is not None:
+        _GRAPH_MEMO.move_to_end(memo_key)  # LRU, not FIFO: keep hot graphs
+        return graph
+    graph = make_testbed(
+        graph_spec["testbed"],
+        graph_spec["size"],
+        comm_ratio=graph_spec["comm_ratio"],
+        **graph_spec["params"],
+    )
+    while len(_GRAPH_MEMO) >= _GRAPH_MEMO_LIMIT:
+        _GRAPH_MEMO.popitem(last=False)
+    _GRAPH_MEMO[memo_key] = graph
     return graph
 
 
@@ -63,10 +78,11 @@ def execute_task(task: dict) -> tuple[str, dict, dict | None]:
     Returns ``(key, cell dict, stats payload)`` — the stats payload is
     the cell's :class:`~repro.obs.registry.Stats` snapshot when the
     parent requested collection (``task["collect_stats"]``), else
-    ``None``.  This is the worker entry point: everything is rebuilt
-    from the payload (per-worker scheduler instantiation, memoized
-    graph construction), nothing is shared with the parent, and the
-    returned dicts are JSON-able for the cache / pool transport.
+    ``None``.  This is the worker entry point shared by every executor
+    (pool workers and spool workers alike): everything is rebuilt from
+    the payload (per-worker scheduler instantiation, memoized graph
+    construction), nothing is shared with the parent, and the returned
+    dicts are JSON-able for the cache / pool / spool transport.
     """
     if task.get("collect_stats"):
         # a fresh per-cell collector: worker processes (and the inline
@@ -99,66 +115,25 @@ def execute_task(task: dict) -> tuple[str, dict, dict | None]:
     return task["key"], cell.as_dict(), None
 
 
-@dataclass(frozen=True)
-class CellOutcome:
-    """One expanded cell with its metrics and provenance."""
-
-    cell: CampaignCell
-    result: CellResult
-    from_cache: bool
-
-
-@dataclass
-class CampaignRunResult:
-    """Everything one :func:`run_campaign` invocation produced."""
-
-    spec: CampaignSpec
-    outcomes: list[CellOutcome]
-    workers: int
-    elapsed_s: float
-    #: Merged obs payload (counters/timers/gauges across all workers)
-    #: when the run executed under an active collector, else ``None``.
-    stats: dict | None = None
-
-    @property
-    def cells(self) -> list[CellResult]:
-        return [o.result for o in self.outcomes]
-
-    @property
-    def cache_hits(self) -> int:
-        return sum(1 for o in self.outcomes if o.from_cache)
-
-    @property
-    def executed(self) -> int:
-        return len({o.cell.key for o in self.outcomes if not o.from_cache})
-
-    def runs(self):
-        """Aggregate back into ``ExperimentRun``-compatible series."""
-        from .aggregate import experiment_runs
-
-        return experiment_runs(self)
-
-
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Fork where available (cheap, inherits imports), else spawn."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
 def run_campaign(
     spec: CampaignSpec,
     workers: int = 1,
     cache: ResultCache | str | None = None,
     progress: ProgressFn | None = None,
     refresh: bool = False,
+    executor: str | None = None,
+    executor_options: dict | None = None,
 ) -> CampaignRunResult:
     """Run every cell of ``spec``, reusing and feeding ``cache``.
 
     Parameters
     ----------
     workers:
-        Pool size for the cells that miss the cache; ``1`` executes
-        inline in this process.
+        Worker count for the cells that miss the cache.  For the
+        ``serial``/``process`` executors ``1`` executes inline in this
+        process; for ``spool`` it is the number of *local* worker
+        processes to spawn (``0`` = publish and poll only, external
+        ``repro campaign worker`` processes do the work).
     cache:
         A :class:`ResultCache` or a directory path for one; ``None``
         disables persistence (cells are still deduplicated by key within
@@ -169,9 +144,17 @@ def run_campaign(
     refresh:
         Recompute every cell even on a cache hit, overwriting the
         cached rows.
+    executor:
+        Registered executor name (``serial``, ``process``, ``spool``);
+        ``None`` picks the classic behavior — ``process`` when
+        ``workers > 1``, inline otherwise.
+    executor_options:
+        Extra constructor options for the executor (e.g. the spool's
+        ``dir``, ``lease_ttl``, ``max_retries``).
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    min_workers = 0 if executor == "spool" else 1
+    if workers < min_workers:
+        raise ValueError(f"workers must be >= {min_workers}, got {workers}")
     if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
         cache = ResultCache(cache)
     # campaign-level observability: when a collector is active, workers
@@ -181,24 +164,15 @@ def run_campaign(
     stats = _obs_current()
     t0 = time.perf_counter()
 
-    cells = spec.expand()
-    by_key: dict[str, CampaignCell] = {}
-    for cell in cells:
-        by_key.setdefault(cell.key, cell)
-    total = len(by_key)
+    on_hit = None
+    if progress is not None:
+        def on_hit(cell, hit, done, total):
+            progress(_line(cell, hit, done, total, cached=True))
 
-    results: dict[str, dict] = {}
-    cached_keys: set[str] = set()
-    if cache is not None and not refresh:
-        for key, cell in by_key.items():
-            hit = cache.get(key)
-            if hit is not None:
-                results[key] = hit
-                cached_keys.add(key)
-                if progress is not None:
-                    progress(_line(cell, hit, len(results), total, cached=True))
-
-    pending = [cell for key, cell in by_key.items() if key not in results]
+    triaged = triage_cells(spec, cache, refresh=refresh, on_hit=on_hit)
+    results = triaged.results
+    by_key = triaged.by_key
+    total = triaged.total
 
     def settle(key: str, cell_dict: dict, cell_stats: dict | None) -> None:
         results[key] = cell_dict
@@ -211,43 +185,26 @@ def run_campaign(
         if progress is not None:
             progress(_line(by_key[key], cell_dict, len(results), total, cached=False))
 
+    pending = triaged.pending
+    executor_name = executor or ("process" if workers > 1 else "serial")
     if pending:
-        tasks = [cell.task_payload() for cell in pending]
-        if stats is not None:
-            tasks = [{**task, "collect_stats": True} for task in tasks]
-        if workers > 1 and len(tasks) > 1:
-            ctx = _pool_context()
-            with ctx.Pool(processes=min(workers, len(tasks))) as pool:
-                for key, cell_dict, cell_stats in pool.imap_unordered(
-                    execute_task, tasks, chunksize=1
-                ):
-                    settle(key, cell_dict, cell_stats)
-        else:
-            for task in tasks:
-                key, cell_dict, cell_stats = execute_task(task)
-                settle(key, cell_dict, cell_stats)
+        tasks = [
+            cell.task_payload(collect_stats=stats is not None) for cell in pending
+        ]
+        engine = make_executor(
+            executor_name, workers=workers, **(executor_options or {})
+        )
+        engine.execute(tasks, settle)
 
-    outcomes = []
-    for cell in cells:
-        # The key deliberately excludes presentation (campaign name,
-        # series label), so a cache hit may carry another campaign's
-        # figure/heuristic strings: restamp them from THIS spec's cell
-        # or warm-cache aggregation would file series under stale labels.
-        row = {
-            **results[cell.key],
-            "figure": cell.campaign,
-            "heuristic": cell.heuristic.display,
-        }
-        outcomes.append(CellOutcome(cell, CellResult(**row), cell.key in cached_keys))
+    outcomes = reassemble(triaged.cells, results, triaged.cached_keys)
     elapsed_s = time.perf_counter() - t0
     if stats is not None:
-        executed = len(pending)
         stats.inc("campaign.cells", total)
-        stats.inc("campaign.cache_hits", len(cached_keys))
-        stats.inc("campaign.executed", executed)
+        stats.inc("campaign.cache_hits", len(triaged.cached_keys))
+        stats.inc("campaign.executed", len(pending))
         stats.gauge("campaign.workers", workers)
         cell_time = stats.timers.get("phase.cell", [0, 0.0])[1]
-        if elapsed_s > 0:
+        if elapsed_s > 0 and workers > 0:
             stats.gauge(
                 "campaign.occupancy", cell_time / (workers * elapsed_s)
             )
@@ -258,14 +215,32 @@ def run_campaign(
         workers=workers,
         elapsed_s=elapsed_s,
         stats=stats.payload() if stats is not None else None,
+        executor=executor_name,
     )
 
 
 def _line(cell: CampaignCell, result: dict, done: int, total: int, cached: bool) -> str:
     seed = f" seed={cell.seed}" if cell.seed is not None else ""
-    suffix = " [cached]" if cached else f" ({result['runtime_s']:.2f}s)"
+    suffix = " [cached]" if cached else f" ({result.get('runtime_s', 0.0):.2f}s)"
+    extra = result.get("extra") or {}
+    if extra.get("online"):
+        # dynamic-workload cells carry their metrics in ``extra`` —
+        # render those instead of the offline speedup/num_comms fields
+        body = (
+            f"flow={extra.get('mean_flow', float('nan')):.1f} "
+            f"stretch={extra.get('mean_stretch', float('nan')):.2f} "
+            f"events={extra.get('events', 0)}"
+        )
+    else:
+        speedup = result.get("speedup")
+        num_comms = result.get("num_comms")
+        body = (
+            f"speedup={speedup:.2f}" if isinstance(speedup, (int, float))
+            else "speedup=?"
+        ) + (
+            f" msgs={num_comms}" if isinstance(num_comms, (int, float)) else " msgs=?"
+        )
     return (
         f"[{done}/{total}] {cell.testbed} size={cell.size}{seed} "
-        f"{cell.heuristic.display} {cell.model}: "
-        f"speedup={result['speedup']:.2f} msgs={result['num_comms']}{suffix}"
+        f"{cell.heuristic.display} {cell.model}: {body}{suffix}"
     )

@@ -216,13 +216,22 @@ class CampaignCell:
         # reassembly); hash once per cell, not per access
         return stable_digest(self.key_payload())
 
-    def task_payload(self) -> dict:
-        """Everything a worker needs: the key payload plus presentation."""
+    def task_payload(self, collect_stats: bool = False) -> dict:
+        """Everything a worker needs: the key payload plus presentation.
+
+        The payload is fully self-contained and JSON-round-trip stable
+        (``json.loads(json.dumps(p)) == p``): a worker in another
+        process — or on another host, via the spool work-queue — can
+        execute the cell from the payload alone, with no shared state.
+        ``collect_stats`` asks the worker to ship back its per-cell
+        obs payload alongside the result.
+        """
         return {
             "key": self.key,
             "campaign": self.campaign,
             "label": self.heuristic.display,
             "validate": self.validate,
+            "collect_stats": bool(collect_stats),
             **self.key_payload(),
         }
 

@@ -1,0 +1,417 @@
+"""Filesystem work-queue: spool directories and the worker loop.
+
+A *spool* shards the pending cells of a campaign by content hash into a
+directory any number of independent worker processes — on any host that
+shares the filesystem — can drain concurrently::
+
+    spool.json            manifest (schema version, creation stamp)
+    tasks/<key>.json      published cell payloads, one file per cell key
+    leases/<key>.json     claim files (worker id, acquired/renewed, ttl)
+    done/<worker>.jsonl   completion shards, one O_APPEND record per cell
+    stop                  sentinel: drain what is claimable, then exit
+
+Protocol
+--------
+* **Publish** is an atomic temp+rename of ``tasks/<key>.json``; a key
+  that is already published is left alone, so re-publishing (parent
+  restart, resume) is idempotent.
+* **Claim** is an ``O_CREAT | O_EXCL`` create of ``leases/<key>.json``
+  — exactly one worker wins.  The winner renews the lease (atomic
+  replace) every ``ttl / 3`` seconds from a heartbeat thread; a worker
+  that is SIGKILLed simply stops renewing.
+* **Complete** appends one JSON line to the worker's own
+  ``done/<worker>.jsonl`` shard with a single ``O_APPEND`` write —
+  multi-writer safe, and a crash mid-write leaves at most one torn
+  tail line which readers skip.  Completion happens *before* the task
+  file and lease are removed, so a crash between the two re-executes
+  an already-recorded cell at worst — execution is deterministic and
+  the parent settles each key once, so duplicates are harmless.
+* **Workers never steal leases.**  Only the parent
+  (:class:`~repro.campaign.executors.SpoolExecutor`) expires them:
+  when ``renewed + ttl`` passes without a completion it removes the
+  lease (after a retry backoff), letting a surviving worker re-claim
+  the still-published task.
+
+The worker entry point is :func:`run_worker` (CLI:
+``repro campaign worker <dir>``).  Cells are executed through the
+ordinary :func:`~repro.campaign.runner.execute_task` payload contract,
+so a spool cell computes exactly what a serial or pool cell computes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+from ..core.exceptions import ConfigurationError
+
+SPOOL_SCHEMA_VERSION = 1
+
+#: Lease owner the parent uses to hold a retried cell back during the
+#: retry backoff window (workers cannot claim a held key; only the
+#: parent removes holds).
+HOLD_WORKER = "__hold__"
+
+MANIFEST = "spool.json"
+STOP = "stop"
+
+
+def default_worker_id() -> str:
+    """Filename-safe unique-ish worker identity: ``<host>-<pid>``."""
+    host = "".join(
+        ch if ch.isalnum() or ch in "._-" else "-" for ch in socket.gethostname()
+    )
+    return f"{host}-{os.getpid()}"
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+class Spool:
+    """One spool directory: publish, claim, complete, observe."""
+
+    def __init__(self, root: str | Path, create: bool = False) -> None:
+        self.root = Path(root)
+        self.tasks_dir = self.root / "tasks"
+        self.leases_dir = self.root / "leases"
+        self.done_dir = self.root / "done"
+        if create:
+            for d in (self.tasks_dir, self.leases_dir, self.done_dir):
+                d.mkdir(parents=True, exist_ok=True)
+            manifest = self.root / MANIFEST
+            if not manifest.exists():
+                _atomic_write_json(manifest, {"v": SPOOL_SCHEMA_VERSION})
+        elif not self.tasks_dir.is_dir():
+            raise ConfigurationError(
+                f"{self.root} is not a spool directory (no tasks/ inside); "
+                f"create one with 'repro campaign run --executor spool "
+                f"--spool-dir {self.root}' or pass create=True"
+            )
+
+    # ------------------------------------------------------------------
+    # tasks
+    # ------------------------------------------------------------------
+    def publish(self, task: dict, attempt: int = 0) -> bool:
+        """Publish one task payload under its key; no-op if present."""
+        path = self.tasks_dir / f"{task['key']}.json"
+        if path.exists():
+            return False
+        _atomic_write_json(path, {"attempt": attempt, "task": task})
+        return True
+
+    def scan_tasks(self):
+        """Yield ``(key, attempt, task)`` for every published task.
+
+        Sorted by key — the content hash — so every worker walks the
+        shard space in the same order and claim races spread cells
+        across workers.  Files that vanish mid-scan (another worker
+        completed them) are skipped.
+        """
+        for path in sorted(self.tasks_dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # claimed-and-removed underneath us, or torn
+            task = record.get("task")
+            if isinstance(task, dict) and task.get("key") == path.stem:
+                yield path.stem, int(record.get("attempt", 0)), task
+
+    def has_tasks(self) -> bool:
+        return any(self.tasks_dir.glob("*.json"))
+
+    def remove_task(self, key: str) -> None:
+        (self.tasks_dir / f"{key}.json").unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # leases
+    # ------------------------------------------------------------------
+    def _lease_path(self, key: str) -> Path:
+        return self.leases_dir / f"{key}.json"
+
+    def claim(self, key: str, worker: str, ttl: float) -> bool:
+        """Try to acquire ``key``; exactly one claimer wins (O_EXCL)."""
+        now = time.time()
+        data = json.dumps(
+            {"worker": worker, "acquired": now, "renewed": now, "ttl": ttl},
+            sort_keys=True,
+        )
+        try:
+            fd = os.open(
+                self._lease_path(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, data.encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def renew(self, key: str, worker: str, ttl: float) -> None:
+        """Heartbeat: atomically refresh the lease's ``renewed`` stamp."""
+        info = self.lease_info(key)
+        if info is None or info.get("worker") != worker:
+            return  # expired underneath us; the parent re-queued the cell
+        info["renewed"] = time.time()
+        info["ttl"] = ttl
+        _atomic_write_json(self._lease_path(key), info)
+
+    def release(self, key: str) -> None:
+        self._lease_path(key).unlink(missing_ok=True)
+
+    def lease_info(self, key: str) -> dict | None:
+        """Parsed lease file, or ``None``.  A claim caught mid-write
+        (unparsable) falls back to the file's mtime as its stamp."""
+        path = self._lease_path(key)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            try:
+                return {"worker": "?", "renewed": path.stat().st_mtime, "ttl": None}
+            except OSError:
+                return None
+
+    def leased_keys(self) -> list[str]:
+        return sorted(p.stem for p in self.leases_dir.glob("*.json"))
+
+    def lease_expired(self, info: dict, default_ttl: float, now: float | None = None) -> bool:
+        """Whether a lease stopped being renewed for longer than its ttl."""
+        now = time.time() if now is None else now
+        ttl = info.get("ttl") or default_ttl
+        return now > float(info.get("renewed", 0.0)) + float(ttl)
+
+    def hold(self, key: str, until_s: float) -> None:
+        """Parent-side backoff: park ``key`` behind a hold lease that
+        workers cannot claim; the parent releases it at ``until_s``."""
+        now = time.time()
+        _atomic_write_json(
+            self._lease_path(key),
+            {"worker": HOLD_WORKER, "acquired": now, "renewed": now,
+             "ttl": max(until_s - now, 0.0)},
+        )
+
+    # ------------------------------------------------------------------
+    # completion shards
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        worker: str,
+        key: str,
+        attempt: int,
+        cell: dict | None = None,
+        stats: dict | None = None,
+        error: str | None = None,
+    ) -> None:
+        """Append one completion record to this worker's done shard.
+
+        The record is written with a single ``O_APPEND`` write so
+        shards tolerate concurrent writers and crashes leave at most a
+        torn tail.
+        """
+        record: dict = {"key": key, "attempt": attempt, "worker": worker}
+        if error is not None:
+            record["error"] = error
+        else:
+            record["cell"] = cell
+            if stats is not None:
+                record["stats"] = stats
+        line = (json.dumps(record, sort_keys=True) + "\n").encode()
+        fd = os.open(
+            self.done_dir / f"{worker}.jsonl",
+            os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+            0o644,
+        )
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def read_done(self, cursor: dict[str, int] | None = None) -> list[dict]:
+        """New completion records across every shard since ``cursor``.
+
+        ``cursor`` maps shard filename -> consumed byte offset and is
+        advanced in place only past complete (newline-terminated)
+        records, so a torn tail is re-read once its writer finishes it.
+        """
+        records: list[dict] = []
+        cursor = {} if cursor is None else cursor
+        for path in sorted(self.done_dir.glob("*.jsonl")):
+            pos = cursor.get(path.name, 0)
+            try:
+                if path.stat().st_size <= pos:
+                    continue
+                with path.open("rb") as fh:
+                    fh.seek(pos)
+                    data = fh.read()
+            except OSError:
+                continue
+            end = data.rfind(b"\n")
+            if end < 0:
+                continue  # torn tail only: wait for the writer
+            cursor[path.name] = pos + end + 1
+            for line in data[:end].split(b"\n"):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn record from a crashed writer
+                if isinstance(record, dict) and isinstance(record.get("key"), str):
+                    records.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # lifecycle / observation
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        (self.root / STOP).touch()
+
+    def clear_stop(self) -> None:
+        (self.root / STOP).unlink(missing_ok=True)
+
+    def stop_requested(self) -> bool:
+        return (self.root / STOP).exists()
+
+    def status(self, default_ttl: float = 30.0) -> dict:
+        """Machine-readable snapshot of the spool's progress."""
+        now = time.time()
+        pending = [key for key, _, _ in self.scan_tasks()]
+        leases: dict[str, dict] = {}
+        expired = 0
+        for key in self.leased_keys():
+            info = self.lease_info(key)
+            if info is None:
+                continue
+            stale = self.lease_expired(info, default_ttl, now)
+            expired += stale
+            leases[key] = {
+                "worker": info.get("worker", "?"),
+                "age_s": round(now - float(info.get("acquired", now)), 3),
+                "expired": bool(stale),
+            }
+        done_keys: set[str] = set()
+        failed: list[str] = []
+        workers: dict[str, int] = {}
+        for record in self.read_done({}):
+            done_keys.add(record["key"])
+            workers[record.get("worker", "?")] = (
+                workers.get(record.get("worker", "?"), 0) + 1
+            )
+            if "error" in record:
+                failed.append(record["key"])
+        return {
+            "root": str(self.root),
+            "pending": len(pending),
+            "leased": len(leases),
+            "leases_expired": expired,
+            "done": len(done_keys),
+            "failed": sorted(set(failed)),
+            "workers": dict(sorted(workers.items())),
+            "leases": leases,
+            "stop_requested": self.stop_requested(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Spool({str(self.root)!r})"
+
+
+class _Heartbeat(threading.Thread):
+    """Renews one lease every ``ttl / 3`` seconds until stopped.
+
+    A daemon thread: SIGKILL takes it down with the worker, which is
+    exactly what lets the parent detect the death by lease expiry.
+    """
+
+    def __init__(self, spool: Spool, key: str, worker: str, ttl: float) -> None:
+        super().__init__(daemon=True, name=f"lease-{key[:8]}")
+        self._spool = spool
+        self._key = key
+        self._worker = worker
+        self._ttl = ttl
+        # NB: not "_stop" — that would shadow threading.Thread's internal
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._ttl / 3.0):
+            self._spool.renew(self._key, self._worker, self._ttl)
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=self._ttl)
+
+
+def run_worker(
+    root: str | Path,
+    worker: str | None = None,
+    lease_ttl: float = 30.0,
+    poll_s: float = 0.2,
+    idle_timeout_s: float | None = None,
+    once: bool = False,
+    progress=None,
+) -> dict:
+    """Claim-and-execute loop of one spool worker.
+
+    Sweeps the task shards in key order, claims what it can, executes
+    each claimed cell via :func:`~repro.campaign.runner.execute_task`,
+    records the completion, and repeats.  Exits when a sweep claims
+    nothing and either ``once`` is set, the spool's stop sentinel
+    exists, or ``idle_timeout_s`` elapses without a claim.
+
+    Returns ``{"worker": id, "executed": n, "errors": n}``.
+    """
+    from .runner import execute_task
+
+    spool = Spool(root, create=True)
+    worker = worker or default_worker_id()
+    executed = errors = 0
+    idle_since: float | None = None
+    while True:
+        claimed = 0
+        for key, attempt, task in spool.scan_tasks():
+            if not spool.claim(key, worker, lease_ttl):
+                continue
+            claimed += 1
+            heartbeat = _Heartbeat(spool, key, worker, lease_ttl)
+            heartbeat.start()
+            try:
+                _, cell, stats = execute_task(task)
+                spool.complete(worker, key, attempt, cell=cell, stats=stats)
+                executed += 1
+                if progress is not None:
+                    progress(f"[{worker}] {key[:12]} done (attempt {attempt})")
+            except Exception as exc:  # noqa: BLE001 - shipped to the parent
+                # deterministic cell failures are recorded, not retried:
+                # the parent fails the campaign with this message
+                spool.complete(
+                    worker, key, attempt, error=f"{type(exc).__name__}: {exc}"
+                )
+                errors += 1
+                if progress is not None:
+                    progress(f"[{worker}] {key[:12]} FAILED: {exc}")
+            finally:
+                heartbeat.stop()
+            # completion is durable; now retire the task and the lease
+            # (idempotent — the parent may race us on either)
+            spool.remove_task(key)
+            spool.release(key)
+        if claimed:
+            idle_since = None
+            continue
+        if once or spool.stop_requested():
+            break
+        now = time.time()
+        idle_since = idle_since if idle_since is not None else now
+        if idle_timeout_s is not None and now - idle_since >= idle_timeout_s:
+            break
+        time.sleep(poll_s)
+    return {"worker": worker, "executed": executed, "errors": errors}

@@ -1,0 +1,69 @@
+"""Cell triage: expansion, key dedup, and cache-hit resolution.
+
+The first of the three campaign layers (triage → executor →
+reassembly): expand the spec into cells, collapse duplicate keys, and
+serve every cell the cache already holds, leaving the executor exactly
+the cells that need computing.  Pure bookkeeping — nothing here builds
+a graph or schedules anything — so it runs identically whatever
+executor follows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .cache import ResultCache
+from .spec import CampaignCell, CampaignSpec
+
+#: Callback for a cache hit: ``(cell, cached row, settled, total)``.
+HitFn = Callable[[CampaignCell, dict, int, int], None]
+
+
+@dataclass
+class TriagedCells:
+    """Everything downstream layers need about one expansion."""
+
+    #: Full expansion, original order (including duplicate keys) — the
+    #: reassembly layer walks this to rebuild outcomes.
+    cells: list[CampaignCell]
+    #: First cell per unique key, expansion order.
+    by_key: dict[str, CampaignCell]
+    #: Settled rows so far (cache hits; executors add the rest).
+    results: dict[str, dict]
+    #: Keys that were served from the cache.
+    cached_keys: set[str] = field(default_factory=set)
+
+    @property
+    def total(self) -> int:
+        return len(self.by_key)
+
+    @property
+    def pending(self) -> list[CampaignCell]:
+        """Unique cells still needing execution, expansion order."""
+        return [
+            cell for key, cell in self.by_key.items() if key not in self.results
+        ]
+
+
+def triage_cells(
+    spec: CampaignSpec,
+    cache: ResultCache | None = None,
+    refresh: bool = False,
+    on_hit: HitFn | None = None,
+) -> TriagedCells:
+    """Expand ``spec`` and resolve what the cache already answers."""
+    cells = spec.expand()
+    by_key: dict[str, CampaignCell] = {}
+    for cell in cells:
+        by_key.setdefault(cell.key, cell)
+    triaged = TriagedCells(cells=cells, by_key=by_key, results={})
+    if cache is not None and not refresh:
+        for key, cell in by_key.items():
+            hit = cache.get(key)
+            if hit is not None:
+                triaged.results[key] = hit
+                triaged.cached_keys.add(key)
+                if on_hit is not None:
+                    on_hit(cell, hit, len(triaged.results), triaged.total)
+    return triaged

@@ -21,10 +21,15 @@ Subcommands
     and the search counters.
 ``campaign``
     Declarative experiment grids on the parallel campaign engine:
-    ``campaign run`` executes (worker pool + content-addressed cache),
-    ``campaign status`` reports cache coverage, ``campaign export``
-    writes cached cells as CSV/JSON.  ``--improve-budgets`` sweeps an
-    ``ils`` post-pass over the heuristic axis; ``--online-policies``
+    ``campaign run`` executes through a pluggable executor (``serial``
+    inline, ``process`` local pool, ``spool`` filesystem work-queue
+    shared by workers on any host) behind a content-addressed cache,
+    ``campaign worker`` runs one spool worker against a shared
+    directory, ``campaign status`` reports cache coverage (or, with
+    ``--spool-dir``, live spool progress), ``campaign export`` writes
+    cached cells as CSV/JSON, and ``campaign cache {compact,merge}``
+    audits and merges cache directories.  ``--improve-budgets`` sweeps
+    an ``ils`` post-pass over the heuristic axis; ``--online-policies``
     (crossed with ``--online-arrivals``/``--online-noises``) turns the
     grid into dynamic-workload simulations.
 ``online``
@@ -55,9 +60,11 @@ from .campaign import (
     CampaignSpec,
     HeuristicSpec,
     ResultCache,
+    available_executors,
     cached_cells,
     campaign_status,
     format_status,
+    merge_caches,
     run_campaign,
 )
 from .core import validate_schedule
@@ -456,6 +463,13 @@ def _cmd_campaign_run(args) -> int:
     spec = _campaign_spec(args)
     cache = _campaign_cache(args)
     progress = None if args.quiet else print
+    executor_options = None
+    if args.executor == "spool":
+        executor_options = {
+            "dir": args.spool_dir,
+            "lease_ttl": args.lease_ttl,
+            "max_retries": args.max_retries,
+        }
     # --metrics needs an active collector; reuse --profile's when present
     scope = (
         collect()
@@ -469,6 +483,8 @@ def _cmd_campaign_run(args) -> int:
             cache=cache,
             progress=progress,
             refresh=args.refresh,
+            executor=args.executor,
+            executor_options=executor_options,
         )
     if args.metrics:
         with open(args.metrics, "w") as fh:
@@ -478,7 +494,8 @@ def _cmd_campaign_run(args) -> int:
     print(
         f"\ncampaign {spec.name}: {len(result.outcomes)} cells "
         f"({result.cache_hits} cached, {result.executed} executed) "
-        f"in {result.elapsed_s:.1f}s with {result.workers} worker(s)"
+        f"in {result.elapsed_s:.1f}s with {result.workers} worker(s) "
+        f"via {result.executor}"
     )
     for run in result.runs():
         print(f"\n== {run.figure} ==")
@@ -494,8 +511,70 @@ def _cmd_campaign_run(args) -> int:
 
 
 def _cmd_campaign_status(args) -> int:
-    spec = _campaign_spec(args)
-    print(format_status(campaign_status(spec, _campaign_cache(args))))
+    import json
+
+    if args.spool_dir is not None:
+        from .campaign import Spool
+
+        try:
+            status = Spool(args.spool_dir).status()
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(
+                f"spool {status['root']}: {status['pending']} pending, "
+                f"{status['leased']} leased "
+                f"({status['leases_expired']} expired), "
+                f"{status['done']} done, {len(status['failed'])} failed"
+            )
+            for worker, count in status["workers"].items():
+                print(f"  {worker:>24}: {count} cell(s)")
+            if status["stop_requested"]:
+                print("  stop requested: workers are draining")
+        return 0
+    status = campaign_status(_campaign_spec(args), _campaign_cache(args))
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(format_status(status))
+    return 0
+
+
+def _cmd_campaign_worker(args) -> int:
+    from .campaign import run_worker
+
+    summary = run_worker(
+        args.dir,
+        worker=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        poll_s=args.poll,
+        idle_timeout_s=args.idle_timeout,
+        once=args.once,
+        progress=None if args.quiet else print,
+    )
+    print(
+        f"worker {summary['worker']}: {summary['executed']} cell(s) executed, "
+        f"{summary['errors']} error(s)"
+    )
+    return 1 if summary["errors"] else 0
+
+
+def _cmd_campaign_cache(args) -> int:
+    if args.cache_command == "compact":
+        cache = ResultCache(args.cache_dir)
+        report = cache.compact()
+        print(
+            f"compacted {cache.path}: {report['kept']} cell(s) kept, "
+            f"{report['dropped']} line(s) dropped"
+        )
+        return 0
+    report = merge_caches(args.out, args.sources)
+    print(
+        f"merged {report['sources']} cache(s) into {args.out}: "
+        f"{report['cells']} cell(s) total, {report['added']} new"
+    )
     return 0
 
 
@@ -683,9 +762,22 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the cache")
 
-    cp = csub.add_parser("run", help="execute the grid (pool + cache)")
+    cp = csub.add_parser("run", help="execute the grid (executor + cache)")
     add_campaign_args(cp)
-    cp.add_argument("--workers", type=int, default=1, help="process-pool size")
+    cp.add_argument("--workers", type=int, default=1,
+                    help="worker count (spool: local workers to spawn; "
+                         "0 = rely on external 'campaign worker' processes)")
+    cp.add_argument("--executor", default=None, choices=available_executors(),
+                    help="cell executor (default: process when --workers > 1, "
+                         "else inline)")
+    cp.add_argument("--spool-dir", default=None,
+                    help="spool directory of the 'spool' executor "
+                         "(default: a temporary one)")
+    cp.add_argument("--lease-ttl", type=float, default=30.0,
+                    help="spool lease time-to-live in seconds")
+    cp.add_argument("--max-retries", type=int, default=2,
+                    help="lease-expiry retries per spool cell before the "
+                         "campaign fails")
     cp.add_argument("--refresh", action="store_true",
                     help="recompute cells even on cache hits")
     cp.add_argument("--export", default=None,
@@ -696,9 +788,49 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--quiet", action="store_true", help="no per-cell progress")
     cp.set_defaults(fn=_cmd_campaign_run)
 
-    cp = csub.add_parser("status", help="cache coverage of the grid")
+    cp = csub.add_parser("status", help="cache coverage of the grid, or "
+                                        "(--spool-dir) live spool progress")
     add_campaign_args(cp)
+    cp.add_argument("--spool-dir", default=None,
+                    help="report a spool directory instead of the grid's "
+                         "cache coverage")
+    cp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of the text report")
     cp.set_defaults(fn=_cmd_campaign_status)
+
+    cp = csub.add_parser(
+        "worker",
+        help="spool worker: claim and execute cells from a shared directory",
+    )
+    cp.add_argument("dir", help="spool directory (created if missing)")
+    cp.add_argument("--worker-id", default=None,
+                    help="lease/shard identity (default: <host>-<pid>)")
+    cp.add_argument("--lease-ttl", type=float, default=30.0,
+                    help="seconds a claim survives without heartbeat renewal")
+    cp.add_argument("--poll", type=float, default=0.2,
+                    help="idle polling period in seconds")
+    cp.add_argument("--idle-timeout", type=float, default=None,
+                    help="exit after this many idle seconds (default: wait "
+                         "for the stop sentinel)")
+    cp.add_argument("--once", action="store_true",
+                    help="drain what is claimable now, then exit")
+    cp.add_argument("--quiet", action="store_true", help="no per-cell lines")
+    cp.set_defaults(fn=_cmd_campaign_worker)
+
+    cp = csub.add_parser("cache", help="audit and merge result caches")
+    ccsub = cp.add_subparsers(dest="cache_command", required=True)
+    ccp = ccsub.add_parser(
+        "compact",
+        help="rewrite a cache last-writer-wins, dropping superseded/torn rows",
+    )
+    ccp.add_argument("--cache-dir", default=".repro-cache")
+    ccp.set_defaults(fn=_cmd_campaign_cache)
+    ccp = ccsub.add_parser(
+        "merge", help="fold several cache directories into one (last wins)"
+    )
+    ccp.add_argument("sources", nargs="+", help="cache directories to fold in")
+    ccp.add_argument("--out", required=True, help="destination cache directory")
+    ccp.set_defaults(fn=_cmd_campaign_cache)
 
     cp = csub.add_parser("export", help="write cached cells as CSV/JSON")
     add_campaign_args(cp)

@@ -35,3 +35,7 @@ class ValidationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or heuristic was configured inconsistently."""
+
+
+class CampaignError(ReproError):
+    """A campaign could not complete (failed cell, dead workers...)."""

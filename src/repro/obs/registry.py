@@ -64,6 +64,12 @@ CATALOG: dict[str, tuple[str, str]] = {
     "campaign.workers": ("gauge", "worker-pool size used for the run"),
     "campaign.occupancy": (
         "gauge", "sum of cell runtimes / (workers x wall time)"),
+    # spool executor (campaign/executors.py + campaign/spool.py)
+    "campaign.retries": ("count", "cells re-queued after a lease expiry"),
+    "campaign.leases_expired": (
+        "count", "worker leases that expired without a completion"),
+    "campaign.spool_poll": (
+        "count", "parent poll sweeps over the spool's done/ shards"),
     # wall-clock phase timers (also recorded as spans for the trace)
     "phase.statics": ("seconds", "static cost compilation (ranks, frontiers)"),
     "phase.rank": ("seconds", "priority/rank computation"),

@@ -2,7 +2,7 @@
 
 import json
 
-from repro.campaign import ResultCache
+from repro.campaign import ResultCache, merge_caches
 
 
 def cell_dict(**overrides) -> dict:
@@ -80,3 +80,95 @@ class TestResilience:
 
     def test_missing_key_returns_none(self, tmp_path):
         assert ResultCache(tmp_path).get("absent") is None
+
+
+class TestMultiWriter:
+    def test_interleaved_appends_from_two_handles_both_survive(self, tmp_path):
+        """Two writers sharing a directory (two campaigns, or spool
+        shard merges) interleave whole O_APPEND records — a reload sees
+        every key from both."""
+        a, b = ResultCache(tmp_path), ResultCache(tmp_path)
+        for i in range(10):
+            a.put(f"a{i}", cell_dict(speedup=float(i)))
+            b.put(f"b{i}", cell_dict(speedup=float(-i)))
+        a.close(), b.close()
+        reloaded = ResultCache(tmp_path)
+        assert reloaded.keys() == {f"a{i}" for i in range(10)} | {
+            f"b{i}" for i in range(10)
+        }
+        lines = tmp_path.joinpath("cells.jsonl").read_text().splitlines()
+        assert all(json.loads(line) for line in lines)  # no glued records
+
+    def test_close_is_idempotent_and_reopens_lazily(self, tmp_path):
+        with ResultCache(tmp_path) as cache:
+            cache.put("k1", cell_dict())
+        cache.close()  # second close: no-op
+        cache.put("k2", cell_dict())  # handle reopens lazily
+        assert ResultCache(tmp_path).keys() == {"k1", "k2"}
+
+
+class TestCompact:
+    def test_compact_drops_superseded_and_torn_rows(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", cell_dict(speedup=1.0))
+        cache.put("k", cell_dict(speedup=9.0))
+        cache.put("other", cell_dict())
+        cache.close()
+        with cache.path.open("a") as fh:
+            fh.write('{"key": "torn", "cell": {"speedu')
+        report = ResultCache(tmp_path).compact()
+        assert report == {"kept": 2, "dropped": 2}
+        lines = cache.path.read_text().splitlines()
+        assert len(lines) == 2
+        reloaded = ResultCache(tmp_path)
+        assert reloaded.get("k")["speedup"] == 9.0
+        assert reloaded.keys() == {"k", "other"}
+
+    def test_compact_is_stable_when_already_compact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", cell_dict())
+        assert cache.compact() == {"kept": 1, "dropped": 0}
+        before = cache.path.read_text()
+        assert cache.compact() == {"kept": 1, "dropped": 0}
+        assert cache.path.read_text() == before
+
+    def test_compact_empty_cache(self, tmp_path):
+        assert ResultCache(tmp_path).compact() == {"kept": 0, "dropped": 0}
+
+
+class TestMerge:
+    def test_merge_folds_sources_last_writer_wins(self, tmp_path):
+        first, second = tmp_path / "one", tmp_path / "two"
+        with ResultCache(first) as cache:
+            cache.put("shared", cell_dict(speedup=1.0))
+            cache.put("only-one", cell_dict())
+        with ResultCache(second) as cache:
+            cache.put("shared", cell_dict(speedup=2.0))
+            cache.put("only-two", cell_dict())
+
+        out = tmp_path / "merged"
+        report = merge_caches(out, [first, second])
+        assert report == {"cells": 3, "sources": 2, "added": 3}
+        merged = ResultCache(out)
+        assert merged.keys() == {"shared", "only-one", "only-two"}
+        assert merged.get("shared")["speedup"] == 2.0  # later source wins
+
+    def test_merge_into_existing_out_counts_only_new_keys(self, tmp_path):
+        out, src = tmp_path / "out", tmp_path / "src"
+        with ResultCache(out) as cache:
+            cache.put("kept", cell_dict(speedup=5.0))
+        with ResultCache(src) as cache:
+            cache.put("kept", cell_dict(speedup=7.0))
+            cache.put("new", cell_dict())
+        report = merge_caches(out, [src])
+        assert report == {"cells": 2, "sources": 1, "added": 1}
+        merged = ResultCache(out)
+        assert merged.get("kept")["speedup"] == 7.0  # sources beat out
+
+    def test_merge_preserves_payloads_for_audit(self, tmp_path):
+        src = tmp_path / "src"
+        with ResultCache(src) as cache:
+            cache.put("k", cell_dict(), payload={"graph": "g"})
+        merge_caches(tmp_path / "out", [src])
+        (line,) = (tmp_path / "out" / "cells.jsonl").read_text().splitlines()
+        assert json.loads(line)["payload"] == {"graph": "g"}

@@ -1,0 +1,224 @@
+"""Executor registry + invariance: the executor choice is invisible.
+
+The tentpole contract: for a fixed spec, ``serial``, ``process(N)``,
+and ``spool(N)`` — including two concurrent spool workers — produce
+byte-identical aggregated series and identical cache key sets.  The
+registry itself (names, construction, option validation) and the
+runner's auto-selection/worker-count policy live here too.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    HeuristicSpec,
+    ResultCache,
+    available_executors,
+    make_executor,
+    register_executor,
+    run_campaign,
+)
+from repro.campaign.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    SpoolExecutor,
+)
+from repro.core.exceptions import ConfigurationError
+
+
+def spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="exec",
+        testbeds=["fork-join", "irregular"],
+        sizes=[6, 9],
+        heuristics=[HeuristicSpec.of("heft"), HeuristicSpec.of("ilha", {"b": 8})],
+        models=["one-port"],
+        seeds=[0],
+    )
+
+
+def series_of(result):
+    out = {}
+    for run in result.runs():
+        for heuristic in run.heuristics():
+            out[(run.figure, heuristic)] = run.series(heuristic)
+    return out
+
+
+def metrics_of(result):
+    """Order-sensitive metric tuples per outcome (no runtime_s)."""
+    return [
+        (o.cell.key, o.result.makespan, o.result.speedup, o.result.num_comms)
+        for o in result.outcomes
+    ]
+
+
+class TestRegistry:
+    def test_builtin_executors_are_registered(self):
+        assert {"serial", "process", "spool"} <= set(available_executors())
+
+    def test_make_executor_builds_each_builtin(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("process", workers=3), ProcessExecutor)
+        assert isinstance(make_executor("spool", workers=0), SpoolExecutor)
+
+    def test_unknown_name_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            make_executor("carrier-pigeon")
+
+    def test_bad_options_are_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="bad options"):
+            make_executor("serial", altitude=9000)
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            make_executor("spool", workers=-1)
+
+    def test_register_executor_stamps_the_name(self):
+        @register_executor("test-noop")
+        class NoopExecutor:
+            def __init__(self, workers: int = 1) -> None:
+                self.workers = workers
+
+            def execute(self, tasks, settle):
+                pass
+
+        try:
+            assert NoopExecutor.name == "test-noop"
+            assert isinstance(make_executor("test-noop"), NoopExecutor)
+        finally:
+            from repro.campaign.executors import _EXECUTORS
+
+            _EXECUTORS.pop("test-noop", None)
+
+
+class TestSelection:
+    def test_auto_selection_matches_classic_behavior(self):
+        one = spec()
+        one.testbeds, one.sizes = ["fork-join"], [6]
+        assert run_campaign(one, workers=1).executor == "serial"
+        assert run_campaign(one, workers=2).executor == "process"
+
+    def test_explicit_executor_is_recorded(self):
+        one = spec()
+        one.testbeds, one.sizes = ["fork-join"], [6]
+        assert run_campaign(one, workers=2, executor="serial").executor == "serial"
+
+    def test_zero_workers_only_valid_for_spool(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            run_campaign(spec(), workers=0)
+        with pytest.raises(ValueError, match="workers must be >= 0"):
+            run_campaign(spec(), workers=-1, executor="spool")
+
+
+class TestInvariance:
+    def test_serial_process_spool_agree(self, tmp_path):
+        """The acceptance-criteria matrix: byte-identical aggregated
+        series and identical cache key sets across all three executors,
+        spool with two concurrent workers."""
+        caches = {name: ResultCache(tmp_path / name) for name in
+                  ("serial", "process", "spool")}
+        serial = run_campaign(
+            spec(), workers=1, executor="serial", cache=caches["serial"]
+        )
+        pooled = run_campaign(
+            spec(), workers=2, executor="process", cache=caches["process"]
+        )
+        spooled = run_campaign(
+            spec(), workers=2, executor="spool", cache=caches["spool"],
+            executor_options={"lease_ttl": 10.0, "poll_s": 0.02,
+                              "worker_poll_s": 0.02},
+        )
+        assert metrics_of(serial) == metrics_of(pooled) == metrics_of(spooled)
+        assert series_of(serial) == series_of(pooled) == series_of(spooled)
+        keys = {name: c.keys() for name, c in caches.items()}
+        assert keys["serial"] == keys["process"] == keys["spool"]
+        assert len(keys["serial"]) == len(serial.outcomes)
+
+    def test_spool_warm_cache_executes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_campaign(
+            spec(), workers=1, executor="spool", cache=cache,
+            executor_options={"poll_s": 0.02, "worker_poll_s": 0.02},
+        )
+        warm = run_campaign(
+            spec(), workers=1, executor="spool", cache=ResultCache(tmp_path),
+            executor_options={"poll_s": 0.02, "worker_poll_s": 0.02},
+        )
+        assert warm.executed == 0
+        assert warm.cache_hits == len(warm.outcomes)
+        assert metrics_of(cold) == metrics_of(warm)
+
+
+class TestGraphMemo:
+    def test_memo_is_lru_not_fifo(self, monkeypatch):
+        """A graph that keeps getting hit must survive eviction even when
+        it was inserted first — the FIFO regression reloaded the hottest
+        graph of interleaved sweeps every cell."""
+        from collections import OrderedDict
+
+        from repro.campaign import runner
+
+        monkeypatch.setattr(runner, "_GRAPH_MEMO", OrderedDict())
+        monkeypatch.setattr(runner, "_GRAPH_MEMO_LIMIT", 2)
+
+        def gspec(size):
+            return {"testbed": "fork-join", "size": size,
+                    "comm_ratio": 10.0, "params": {}}
+
+        hot = runner._build_graph(gspec(5))       # insert first
+        runner._build_graph(gspec(6))             # memo full: [5, 6]
+        assert runner._build_graph(gspec(5)) is hot   # hit refreshes recency
+        runner._build_graph(gspec(7))             # evicts 6, not 5
+        assert runner._build_graph(gspec(5)) is hot
+        assert len(runner._GRAPH_MEMO) == 2
+
+    def test_eviction_keeps_the_memo_bounded(self, monkeypatch):
+        from collections import OrderedDict
+
+        from repro.campaign import runner
+
+        monkeypatch.setattr(runner, "_GRAPH_MEMO", OrderedDict())
+        monkeypatch.setattr(runner, "_GRAPH_MEMO_LIMIT", 3)
+        for size in range(5, 13):
+            runner._build_graph({"testbed": "fork-join", "size": size,
+                                 "comm_ratio": 10.0, "params": {}})
+        assert len(runner._GRAPH_MEMO) == 3
+
+
+class TestProgressLines:
+    def test_offline_cells_render_speedup(self):
+        one = spec()
+        one.testbeds, one.sizes = ["fork-join"], [6]
+        one.heuristics = [HeuristicSpec.of("heft")]
+        lines = []
+        run_campaign(one, workers=1, progress=lines.append)
+        assert len(lines) == 1
+        assert "speedup=" in lines[0] and "msgs=" in lines[0]
+
+    def test_online_cells_render_flow_metrics(self):
+        """Dynamic-workload cells carry metrics in ``extra`` — the
+        progress line must render those instead of crashing on the
+        missing speedup/num_comms fields."""
+        online = CampaignSpec(
+            name="live",
+            testbeds=["fork-join"],
+            sizes=[5],
+            heuristics=[HeuristicSpec.of("heft")],
+            online=[{"policy": "reactive", "jobs": 3}],
+            seeds=[0],
+        )
+        lines = []
+        run_campaign(online, workers=1, progress=lines.append)
+        assert lines
+        for line in lines:
+            assert "flow=" in line and "stretch=" in line and "events=" in line
+            assert "speedup=?" not in line
+
+    def test_cached_hits_render_without_runtime(self, tmp_path):
+        one = spec()
+        one.testbeds, one.sizes = ["fork-join"], [6]
+        cache = ResultCache(tmp_path)
+        run_campaign(one, workers=1, cache=cache)
+        lines = []
+        run_campaign(one, workers=1, cache=ResultCache(tmp_path),
+                     progress=lines.append)
+        assert lines and all("[cached]" in line for line in lines)

@@ -1,0 +1,335 @@
+"""Spool work-queue: protocol units, worker loop, crash recovery.
+
+The robustness half of the executor contract: a SIGKILLed worker never
+loses or duplicates a cell (its lease expires, the parent re-queues,
+a surviving worker finishes the campaign with byte-identical results),
+exhausted retries fail the campaign explicitly instead of hanging, and
+deterministic cell errors fail fast without retries.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    HeuristicSpec,
+    ResultCache,
+    Spool,
+    make_executor,
+    run_campaign,
+    run_worker,
+)
+from repro.campaign.spool import HOLD_WORKER
+from repro.core.exceptions import CampaignError, ConfigurationError
+from repro.obs import collect
+
+
+def spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="spool",
+        testbeds=["fork-join"],
+        sizes=[5, 7, 9],
+        heuristics=[HeuristicSpec.of("heft")],
+        models=["one-port"],
+        seeds=[0],
+    )
+
+
+def tasks_of(campaign: CampaignSpec) -> list[dict]:
+    seen = {}
+    for cell in campaign.expand():
+        seen.setdefault(cell.key, cell.task_payload())
+    return list(seen.values())
+
+
+def metrics_of(result):
+    return [
+        (o.cell.key, o.result.makespan, o.result.speedup, o.result.num_comms)
+        for o in result.outcomes
+    ]
+
+
+class TestProtocol:
+    def test_not_a_spool_dir(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not a spool directory"):
+            Spool(tmp_path / "absent")
+
+    def test_publish_is_idempotent(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        task = {"key": "k1", "payload": 1}
+        assert spool.publish(task) is True
+        assert spool.publish({"key": "k1", "payload": 2}) is False
+        (_, attempt, stored), = spool.scan_tasks()
+        assert stored["payload"] == 1 and attempt == 0
+
+    def test_claim_is_exclusive(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        spool.publish({"key": "k"})
+        assert spool.claim("k", "alice", ttl=5.0) is True
+        assert spool.claim("k", "bob", ttl=5.0) is False
+        spool.release("k")
+        assert spool.claim("k", "bob", ttl=5.0) is True
+
+    def test_renew_refreshes_only_the_owner(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        spool.claim("k", "alice", ttl=5.0)
+        before = spool.lease_info("k")["renewed"]
+        time.sleep(0.02)
+        spool.renew("k", "bob", ttl=5.0)  # not the owner: no-op
+        assert spool.lease_info("k")["renewed"] == before
+        spool.renew("k", "alice", ttl=5.0)
+        assert spool.lease_info("k")["renewed"] > before
+
+    def test_lease_expiry_clock(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        spool.claim("k", "alice", ttl=1.0)
+        info = spool.lease_info("k")
+        assert not spool.lease_expired(info, default_ttl=1.0)
+        assert spool.lease_expired(info, default_ttl=1.0,
+                                   now=time.time() + 2.0)
+
+    def test_hold_blocks_claims_until_released(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        spool.hold("k", time.time() + 60)
+        assert spool.claim("k", "alice", ttl=5.0) is False
+        assert spool.lease_info("k")["worker"] == HOLD_WORKER
+        spool.release("k")
+        assert spool.claim("k", "alice", ttl=5.0) is True
+
+    def test_done_shards_and_cursor(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        cursor: dict[str, int] = {}
+        spool.complete("w1", "a", 0, cell={"makespan": 1.0})
+        spool.complete("w2", "b", 1, cell={"makespan": 2.0}, stats={"counters": {}})
+        first = spool.read_done(cursor)
+        assert {r["key"] for r in first} == {"a", "b"}
+        assert spool.read_done(cursor) == []  # cursor consumed everything
+        spool.complete("w1", "c", 0, error="boom")
+        (rec,) = spool.read_done(cursor)
+        assert rec["key"] == "c" and rec["error"] == "boom"
+
+    def test_read_done_skips_torn_tail_until_finished(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        shard = spool.done_dir / "w.jsonl"
+        good = json.dumps({"key": "a", "attempt": 0, "cell": {}}) + "\n"
+        shard.write_text(good + '{"key": "torn", "ce')  # crash mid-append
+        cursor: dict[str, int] = {}
+        assert [r["key"] for r in spool.read_done(cursor)] == ["a"]
+        assert spool.read_done(cursor) == []
+        # the writer finishes the line: the record shows up exactly once
+        with shard.open("a") as fh:
+            fh.write('ll": {}}\n')
+        assert [r["key"] for r in spool.read_done(cursor)] == ["torn"]
+
+    def test_status_snapshot(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        spool.publish({"key": "p"})
+        spool.claim("l", "alice", ttl=60.0)
+        spool.complete("alice", "d", 0, cell={})
+        spool.complete("alice", "f", 0, error="boom")
+        status = spool.status()
+        assert status["pending"] == 1
+        assert status["leased"] == 1 and not status["leases"]["l"]["expired"]
+        assert status["done"] == 2 and status["failed"] == ["f"]
+        assert status["workers"] == {"alice": 2}
+        assert status["stop_requested"] is False
+        spool.request_stop()
+        assert spool.status()["stop_requested"] is True
+
+
+class TestWorkerLoop:
+    def test_once_drains_published_tasks(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        for task in tasks_of(spec()):
+            spool.publish(task)
+        report = run_worker(tmp_path, worker="w0", once=True, lease_ttl=10.0)
+        assert report == {"worker": "w0", "executed": 3, "errors": 0}
+        assert not spool.has_tasks() and not spool.leased_keys()
+        records = spool.read_done({})
+        assert len(records) == 3
+        assert all(r["cell"]["makespan"] > 0 for r in records)
+
+    def test_stop_sentinel_ends_an_idle_worker(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        spool.request_stop()
+        report = run_worker(tmp_path, worker="w0", poll_s=0.01)
+        assert report["executed"] == 0
+
+    def test_idle_timeout_ends_a_worker_without_sentinel(self, tmp_path):
+        Spool(tmp_path, create=True)
+        t0 = time.time()
+        run_worker(tmp_path, worker="w0", poll_s=0.01, idle_timeout_s=0.05)
+        assert time.time() - t0 < 5.0
+
+    def test_worker_records_cell_errors(self, tmp_path):
+        spool = Spool(tmp_path, create=True)
+        task = tasks_of(spec())[0]
+        task["heuristic"] = {"name": "no-such-heuristic", "kwargs": {}}
+        spool.publish(task)
+        report = run_worker(tmp_path, worker="w0", once=True)
+        assert report["errors"] == 1 and report["executed"] == 0
+        (record,) = spool.read_done({})
+        assert "no-such-heuristic" in record["error"]
+        assert not spool.has_tasks()  # recorded failures are retired too
+
+
+def _claim_and_hang(root: str, ready) -> None:
+    """Victim worker: claim the first claimable task, signal, hang.
+
+    Claims exactly like a real worker but never renews and never
+    completes — the SIGKILL target for the crash-recovery tests.
+    """
+    spool = Spool(root, create=True)
+    deadline = time.time() + 30.0
+    while time.time() < deadline:
+        for key, _, _ in spool.scan_tasks():
+            if spool.claim(key, "victim", ttl=0.4):
+                ready.set()
+                time.sleep(600.0)
+        time.sleep(0.01)
+
+
+@pytest.fixture
+def fork_ctx():
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("SIGKILL recovery test needs the fork start method")
+    return multiprocessing.get_context("fork")
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_never_loses_or_duplicates_a_cell(
+        self, tmp_path, fork_ctx
+    ):
+        """Satellite 3: SIGKILL a worker mid-cell; its lease expires, the
+        parent re-queues exactly once, a surviving worker finishes, and
+        the aggregate matches a serial run byte for byte — with exactly
+        one cache row per cell."""
+        serial = run_campaign(spec(), workers=1, executor="serial")
+
+        root = tmp_path / "spool"
+        spool = Spool(root, create=True)
+        for task in tasks_of(spec()):
+            spool.publish(task)
+
+        ready = fork_ctx.Event()
+        victim = fork_ctx.Process(
+            target=_claim_and_hang, args=(str(root), ready), daemon=True
+        )
+        victim.start()
+        assert ready.wait(timeout=20.0), "victim never claimed a task"
+        (held,) = spool.leased_keys()
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10.0)
+        assert spool.lease_info(held)["worker"] == "victim"  # stale lease
+
+        cache = ResultCache(tmp_path / "cache")
+        with collect() as stats:
+            recovered = run_campaign(
+                spec(), workers=1, executor="spool", cache=cache,
+                executor_options={
+                    "dir": str(root), "lease_ttl": 0.4, "poll_s": 0.02,
+                    "max_retries": 2, "retry_backoff_s": 0.05,
+                    "worker_poll_s": 0.02,
+                },
+            )
+
+        assert metrics_of(recovered) == metrics_of(serial)
+        assert stats.counters["campaign.leases_expired"] >= 1
+        assert stats.counters["campaign.retries"] >= 1
+        # exactly one durable cache row per cell: nothing lost, nothing
+        # duplicated by the retry
+        rows = [json.loads(line) for line in
+                cache.path.read_text().splitlines() if line.strip()]
+        keys = [r["key"] for r in rows]
+        assert sorted(keys) == sorted(set(keys))
+        assert set(keys) == {o.cell.key for o in recovered.outcomes}
+
+    def test_exhausted_retries_fail_explicitly_not_hang(
+        self, tmp_path, fork_ctx
+    ):
+        """max_retries exceeded must raise a CampaignError naming the
+        cell, not spin forever waiting for a worker that will never
+        come back."""
+        one = spec()
+        one.sizes = [5]
+        root = tmp_path / "spool"
+        spool = Spool(root, create=True)
+        for task in tasks_of(one):
+            spool.publish(task)
+
+        ready = fork_ctx.Event()
+        victim = fork_ctx.Process(
+            target=_claim_and_hang, args=(str(root), ready), daemon=True
+        )
+        victim.start()
+        assert ready.wait(timeout=20.0)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10.0)
+
+        with pytest.raises(CampaignError, match="exhausted 0 retries"):
+            # workers=0: nobody can rescue the cell, so the first lease
+            # expiry exhausts the zero-retry budget immediately
+            run_campaign(
+                one, workers=0, executor="spool",
+                executor_options={
+                    "dir": str(root), "lease_ttl": 0.3, "poll_s": 0.02,
+                    "max_retries": 0,
+                },
+            )
+
+    def test_dead_local_workers_without_leases_fail_fast(self, tmp_path):
+        """If every local worker is gone, nothing is leased, and nothing
+        is held for retry, polling forever would hang — the executor
+        must raise instead."""
+        executor = make_executor(
+            "spool", workers=1, dir=str(tmp_path), poll_s=0.02,
+            max_retries=0, lease_ttl=5.0,
+        )
+        executor._spawn = lambda ctx, root: _DeadProc()
+        task = tasks_of(spec())[0]
+        task["heuristic"] = {"name": "heft", "kwargs": {}}
+        with pytest.raises(CampaignError, match="all local spool workers died"):
+            executor.execute([task], lambda *a: None)
+
+
+class _DeadProc:
+    """A worker process that died instantly (spawn-failure stand-in)."""
+
+    pid = -1
+
+    def is_alive(self) -> bool:
+        return False
+
+    def join(self, timeout=None) -> None:
+        pass
+
+
+class TestErrorPropagation:
+    def test_error_record_fails_the_campaign_fast(self, tmp_path):
+        """Deterministic cell failures are never retried: the first
+        error record raises with the worker's message."""
+        task = tasks_of(spec())[0]
+        task["heuristic"] = {"name": "no-such-heuristic", "kwargs": {}}
+        executor = make_executor(
+            "spool", workers=1, dir=str(tmp_path), poll_s=0.02,
+            worker_poll_s=0.02,
+        )
+        with pytest.raises(CampaignError, match="no-such-heuristic"):
+            executor.execute([task], lambda *a: None)
+
+    def test_ephemeral_spool_dir_is_cleaned_up(self, tmp_path, monkeypatch):
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        run_campaign(
+            CampaignSpec(name="tiny", testbeds=["fork-join"], sizes=[5],
+                         heuristics=[HeuristicSpec.of("heft")]),
+            workers=1, executor="spool",
+            executor_options={"poll_s": 0.02, "worker_poll_s": 0.02},
+        )
+        assert not list(tmp_path.glob("repro-spool-*"))

@@ -186,6 +186,93 @@ class TestCampaign:
         assert len(read_json(tmp_path / "out.json")) == 1
 
 
+class TestCampaignSpool:
+    GRID = ["--testbeds", "fork-join", "--sizes", "5", "7",
+            "--heuristics", "heft", "--seeds", "0"]
+
+    def test_run_with_spool_executor(self, capsys, tmp_path):
+        spool = str(tmp_path / "spool")
+        assert main(["campaign", "run", *self.GRID,
+                     "--executor", "spool", "--spool-dir", spool,
+                     "--cache-dir", str(tmp_path / "cache"), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out and "via spool" in out
+
+    def test_worker_once_drains_a_prepublished_spool(self, capsys, tmp_path):
+        """External worker lifecycle: a worker started with --once
+        drains published tasks, then the parent adopts the done records
+        (workers=0: it never executes anything itself)."""
+        from repro.campaign import CampaignSpec, HeuristicSpec, Spool
+
+        spool_dir = str(tmp_path / "spool")
+        spec = CampaignSpec(name="adhoc", testbeds=["fork-join"],
+                            sizes=[5, 7], heuristics=[HeuristicSpec.of("heft")])
+        spool = Spool(spool_dir, create=True)
+        seen = set()
+        for cell in spec.expand():
+            if cell.key not in seen:
+                seen.add(cell.key)
+                spool.publish(cell.task_payload())
+
+        assert main(["campaign", "worker", spool_dir, "--once",
+                     "--worker-id", "w-ext", "--quiet"]) == 0
+        assert "worker w-ext: 2 cell(s) executed" in capsys.readouterr().out
+
+        assert main(["campaign", "run", *self.GRID, "--executor", "spool",
+                     "--spool-dir", spool_dir, "--workers", "0",
+                     "--cache-dir", str(tmp_path / "cache"), "--quiet"]) == 0
+        assert "2 executed" in capsys.readouterr().out
+
+    def test_status_over_a_spool_dir(self, capsys, tmp_path):
+        import json
+
+        spool = str(tmp_path / "spool")
+        assert main(["campaign", "run", *self.GRID, "--executor", "spool",
+                     "--spool-dir", spool,
+                     "--cache-dir", str(tmp_path / "cache"), "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--spool-dir", spool,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["done"] == 2 and payload["failed"] == []
+        assert payload["pending"] == 0 and payload["leased"] == 0
+
+        assert main(["campaign", "status", "--spool-dir", spool]) == 0
+        assert "2 done" in capsys.readouterr().out
+
+    def test_status_spec_json(self, capsys, tmp_path):
+        import json
+
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "status", *self.GRID, "--cache-dir", cache,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["unique"] == 2 and payload["cached"] == 0
+
+    def test_cache_compact_and_merge(self, capsys, tmp_path):
+        one, two = str(tmp_path / "one"), str(tmp_path / "two")
+        assert main(["campaign", "run", *self.GRID, "--cache-dir", one,
+                     "--quiet"]) == 0
+        assert main(["campaign", "run", *self.GRID, "--cache-dir", one,
+                     "--refresh", "--quiet"]) == 0  # superseded rows
+        assert main(["campaign", "run", "--testbeds", "lu", "--sizes", "5",
+                     "--heuristics", "heft", "--cache-dir", two,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+
+        assert main(["campaign", "cache", "compact", "--cache-dir", one]) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s) kept" in out and "2 line(s) dropped" in out
+
+        merged = str(tmp_path / "merged")
+        assert main(["campaign", "cache", "merge", one, two,
+                     "--out", merged]) == 0
+        assert "3 cell(s) total, 3 new" in capsys.readouterr().out
+        from repro.campaign import ResultCache
+
+        assert len(ResultCache(merged)) == 3
+
+
 class TestObsSurface:
     def test_info_json_has_obs_section(self, capsys):
         import json
