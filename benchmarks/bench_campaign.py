@@ -17,12 +17,16 @@ sweep.
 ``--quick`` trims the grid and worker counts for CI smoke; the
 committed ``BENCH_CAMPAIGN.json`` at the repo root is produced by a
 full run and seeds the executor perf trajectory (regenerate and commit
-alongside executor changes).
+alongside executor changes).  ``--baseline BENCH_CAMPAIGN.json`` turns
+the run into a regression guard: every ``(executor, workers)`` row
+shared with the baseline must stay at or above ``--min-ratio`` (default
+0.7) of the committed cells/s, else the script exits nonzero.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 import time
@@ -91,6 +95,35 @@ def bench_executor(spec: CampaignSpec, executor: str, workers: int) -> dict:
     return row, metrics_of(result)
 
 
+def check_baseline(rows: list[dict], baseline_path: str, min_ratio: float) -> int:
+    """Compare cells/s per (executor, workers) row against a committed run.
+
+    Only rows present in both runs are compared — a ``--quick`` run
+    checks its three plans against the full baseline.  Returns the
+    number of regressions below ``min_ratio``.
+    """
+    committed = json.loads(Path(baseline_path).read_text())
+    base = {
+        (r["executor"], r["workers"]): r["cells_per_s"]
+        for r in committed.get("executors", [])
+    }
+    regressions = 0
+    for row in rows:
+        ref = base.get((row["executor"], row["workers"]))
+        if not ref:
+            continue
+        ratio = row["cells_per_s"] / ref
+        verdict = "ok" if ratio >= min_ratio else "REGRESSION"
+        print(
+            f"baseline {row['executor']:<8} workers={row['workers']}  "
+            f"{row['cells_per_s']:8.2f} vs {ref:8.2f} cells/s  "
+            f"({ratio:.2f}x, floor {min_ratio:.2f}x)  {verdict}"
+        )
+        if ratio < min_ratio:
+            regressions += 1
+    return regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -98,6 +131,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None,
                         help="write the JSON result here (e.g. "
                              "BENCH_CAMPAIGN.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_CAMPAIGN.json to guard "
+                             "against; exit nonzero below --min-ratio")
+    parser.add_argument("--min-ratio", type=float, default=0.7,
+                        help="minimum cells/s ratio vs the baseline")
     args = parser.parse_args(argv)
 
     spec = grid(args.quick)
@@ -117,6 +155,10 @@ def main(argv: list[str] | None = None) -> int:
             )
     print(f"invariance: {len(plans)} executor runs, identical metrics")
 
+    regressions = 0
+    if args.baseline:
+        regressions = check_baseline(rows, args.baseline, args.min_ratio)
+
     if args.out:
         path = write_result(args.out, {
             "benchmark": "campaign-executors",
@@ -127,6 +169,9 @@ def main(argv: list[str] | None = None) -> int:
             "executors": rows,
         })
         print(f"wrote {path}")
+    if regressions:
+        print(f"FAIL: {regressions} executor(s) below the baseline floor")
+        return 1
     return 0
 
 

@@ -64,6 +64,7 @@ from .aggregate import (
     mean_series,
 )
 from .cache import ResultCache, merge_caches
+from .dashboard import dashboard_model, render_dashboard
 from .executors import (
     available_executors,
     make_executor,
@@ -94,6 +95,7 @@ __all__ = [
     "available_executors",
     "cached_cells",
     "campaign_status",
+    "dashboard_model",
     "execute_task",
     "experiment_runs",
     "format_status",
@@ -101,6 +103,7 @@ __all__ = [
     "mean_series",
     "merge_caches",
     "register_executor",
+    "render_dashboard",
     "run_campaign",
     "run_worker",
     "triage_cells",

@@ -1,0 +1,174 @@
+"""Live terminal dashboard over a spool directory and its journal.
+
+``repro campaign status --spool-dir D --watch`` renders campaign
+progress — cells done/running/queued, per-worker heartbeat age,
+cells/s throughput, an ETA, and the most recent errors — purely from
+filesystem reads (the ``tasks``/``leases``/``done`` shards plus the
+event journal), so it runs on any host sharing the directory, with or
+without the campaign parent alive, and keeps working on the journal of
+a campaign that already finished.
+
+The model/render split keeps everything testable: :func:`dashboard_model`
+folds one snapshot into a plain dict, :func:`render_dashboard` turns it
+into text, and :func:`watch` loops until the campaign is finished.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..obs.export import journal_summary
+from ..obs.journal import read_journal
+
+
+def dashboard_model(
+    status: dict | None,
+    records: list[dict],
+    now: float | None = None,
+) -> dict:
+    """One dashboard frame from a spool status + journal records.
+
+    ``status`` is :meth:`~repro.campaign.spool.Spool.status` output (or
+    ``None`` when only the journal is available); live spool counts
+    override journal reconstruction where both exist.
+    """
+    now = time.time() if now is None else now
+    summary = journal_summary(records)
+    done_walls = sorted(
+        r["wall"] for r in records
+        if r.get("ev") in ("completed", "settled", "cached")
+        and isinstance(r.get("wall"), (int, float))
+    )
+    rate = 0.0
+    if len(done_walls) >= 2 and done_walls[-1] > done_walls[0]:
+        rate = (len(done_walls) - 1) / (done_walls[-1] - done_walls[0])
+    cells = dict(summary["cells"])
+    if status is not None:
+        cells["queued"] = status.get("pending", cells["queued"])
+        cells["running"] = status.get("leased", cells["running"])
+    remaining = cells["queued"] + cells["running"]
+    eta_s = round(remaining / rate, 1) if rate > 0 and remaining else None
+
+    workers: dict[str, dict] = {}
+    for rec in records:
+        w = rec.get("worker")
+        if not isinstance(w, str) or w == "parent":
+            continue
+        ent = workers.setdefault(w, {
+            "done": 0, "errors": 0, "last_event_age_s": None,
+            "heartbeat_age_s": None, "stale": False, "current": None,
+        })
+        wall = rec.get("wall")
+        if isinstance(wall, (int, float)):
+            age = round(max(now - wall, 0.0), 3)
+            if ent["last_event_age_s"] is None or age < ent["last_event_age_s"]:
+                ent["last_event_age_s"] = age
+        ev = rec.get("ev")
+        if ev == "claimed":
+            ent["current"] = rec.get("key")
+        elif ev == "completed":
+            ent["done"] += 1
+            if "error" in rec:
+                ent["errors"] += 1
+            if ent["current"] == rec.get("key"):
+                ent["current"] = None
+        elif ev == "worker_exit":
+            ent["current"] = None
+    if status is not None:
+        for w, health in (status.get("worker_health") or {}).items():
+            ent = workers.setdefault(w, {
+                "done": health.get("done", 0), "errors": 0,
+                "last_event_age_s": None, "heartbeat_age_s": None,
+                "stale": False, "current": None,
+            })
+            ent["heartbeat_age_s"] = health.get("heartbeat_age_s")
+            ent["stale"] = bool(health.get("stale"))
+
+    errors = [
+        {"key": r.get("key"), "worker": r.get("worker"), "error": r.get("error")}
+        for r in records
+        if r.get("ev") == "completed" and "error" in r
+    ][-3:]
+
+    drained = status is None or (
+        status.get("pending", 0) == 0 and status.get("leased", 0) == 0
+    )
+    finished = drained and summary["state"] == "finished"
+    return {
+        "campaign": summary["campaign"],
+        "state": "finished" if finished else summary["state"],
+        "finished": finished,
+        "cells": cells,
+        "rate_cells_s": round(rate, 3),
+        "eta_s": eta_s,
+        "elapsed_s": round(summary["elapsed_s"], 3),
+        "workers": dict(sorted(workers.items())),
+        "errors": errors,
+    }
+
+
+def render_dashboard(model: dict) -> str:
+    """Render one dashboard frame as a small fixed-layout text block."""
+    cells = model["cells"]
+    lines = [
+        f"campaign {model['campaign'] or '?'} — {model['state']} "
+        f"(elapsed {model['elapsed_s']:.1f}s)",
+        f"  cells: {cells['done']} done"
+        + (f" ({cells['failed']} failed)" if cells["failed"] else "")
+        + f", {cells['running']} running, {cells['queued']} queued",
+        f"  rate : {model['rate_cells_s']:.2f} cells/s"
+        + (f", ETA {model['eta_s']:.0f}s" if model["eta_s"] is not None
+           else ""),
+    ]
+    if model["workers"]:
+        lines.append("  workers:")
+        width = max(len(w) for w in model["workers"])
+        for w, ent in model["workers"].items():
+            hb = ent.get("heartbeat_age_s")
+            if hb is None:
+                hb = ent.get("last_event_age_s")
+            beat = f"  hb {hb:.1f}s ago" if hb is not None else ""
+            stale = "  [stale]" if ent.get("stale") else ""
+            current = f"  on {ent['current'][:12]}" if ent.get("current") else ""
+            lines.append(
+                f"    {w:<{width}}  {ent['done']} done{beat}{current}{stale}"
+            )
+    if model["errors"]:
+        lines.append("  recent errors:")
+        for err in model["errors"]:
+            lines.append(
+                f"    {str(err['key'] or '?')[:12]} [{err['worker']}] "
+                f"{err['error']}"
+            )
+    return "\n".join(lines)
+
+
+def watch(
+    root,
+    interval_s: float = 2.0,
+    out=print,
+    clear: bool = False,
+    max_frames: int | None = None,
+) -> int:
+    """Render the dashboard every ``interval_s`` until the campaign ends.
+
+    Exits 0 once the journal records ``campaign_end`` and the spool is
+    drained — so on an already-finished campaign it renders one frame
+    and returns.  ``max_frames`` bounds the loop for tests and
+    one-shot invocations.
+    """
+    from .spool import Spool
+
+    frames = 0
+    while True:
+        status = Spool(root).status()
+        records = read_journal(root)
+        model = dashboard_model(status, records)
+        text = render_dashboard(model)
+        out("\x1b[2J\x1b[H" + text if clear else text)
+        frames += 1
+        if model["finished"]:
+            return 0
+        if max_frames is not None and frames >= max_frames:
+            return 0
+        time.sleep(interval_s)

@@ -239,6 +239,10 @@ class SpoolExecutor:
                     # campaign left a stale lease): expire and retry
                     if stats is not None:
                         stats.inc("campaign.leases_expired")
+                    spool.journal.emit(
+                        "expired", key=key,
+                        lease_worker=info.get("worker", "?"),
+                    )
                     attempts[key] = attempts.get(key, 0) + 1
                     if attempts[key] > self.max_retries:
                         raise CampaignError(
@@ -249,6 +253,10 @@ class SpoolExecutor:
                     if stats is not None:
                         stats.inc("campaign.retries")
                     backoff = self.retry_backoff_s * attempts[key]
+                    spool.journal.emit(
+                        "retried", key=key, attempt=attempts[key],
+                        backoff_s=backoff,
+                    )
                     if backoff > 0:
                         spool.hold(key, now + backoff)
                         holds[key] = now + backoff

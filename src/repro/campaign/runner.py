@@ -22,8 +22,10 @@ cells in flight.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
+from pathlib import Path
 
 from ..core.serialization import canonical_json, platform_from_dict
 from ..experiments.harness import run_cell
@@ -31,6 +33,7 @@ from ..graphs import make_testbed
 from ..heuristics import get_scheduler
 from ..obs import collect as _obs_collect
 from ..obs import current as _obs_current
+from ..obs.journal import JOURNAL_FILENAME, Journal
 from .cache import ResultCache
 from .executors import ProgressFn, make_executor
 from .reassembly import CampaignRunResult, CellOutcome, reassemble
@@ -123,6 +126,9 @@ def run_campaign(
     refresh: bool = False,
     executor: str | None = None,
     executor_options: dict | None = None,
+    journal: Journal | str | Path | None = None,
+    snapshot_interval_s: float | None = None,
+    snapshot_path: str | Path | None = None,
 ) -> CampaignRunResult:
     """Run every cell of ``spec``, reusing and feeding ``cache``.
 
@@ -151,6 +157,22 @@ def run_campaign(
     executor_options:
         Extra constructor options for the executor (e.g. the spool's
         ``dir``, ``lease_ttl``, ``max_retries``).
+    journal:
+        A :class:`~repro.obs.journal.Journal` (or a path for one) the
+        run records lifecycle events into — ``campaign_start``,
+        ``cached`` per warm cell, ``settled`` per fresh cell (non-spool
+        executors; spool workers journal their own ``completed``
+        records), ``snapshot``, ``campaign_end``.  Defaults to
+        ``<spool dir>/journal.jsonl`` when the spool executor runs
+        with an explicit directory, else no journal.  Strictly
+        decision-neutral: schedules and cache keys are bit-identical
+        with it on or off.
+    snapshot_interval_s:
+        With an active collector, a daemon thread emits a journal
+        ``snapshot`` event (and atomically rewrites
+        ``snapshot_path``, when given) with the merged payload every
+        this many seconds — rolling metrics for dashboards and
+        scrapers while the campaign runs.
     """
     min_workers = 0 if executor == "spool" else 1
     if workers < min_workers:
@@ -164,15 +186,41 @@ def run_campaign(
     stats = _obs_current()
     t0 = time.perf_counter()
 
+    executor_name = executor or ("process" if workers > 1 else "serial")
+    # the journal is decision-neutral bookkeeping: spool runs with an
+    # explicit directory get one there by default (workers append to
+    # the same file), other executors only journal when asked
+    owns_journal = False
+    if journal is None and executor_name == "spool":
+        spool_dir = (executor_options or {}).get("dir")
+        if spool_dir is not None:
+            journal = Path(spool_dir) / JOURNAL_FILENAME
+    if journal is not None and not isinstance(journal, Journal):
+        journal = Journal(journal)
+        owns_journal = True
+
     on_hit = None
     if progress is not None:
         def on_hit(cell, hit, done, total):
             progress(_line(cell, hit, done, total, cached=True))
 
-    triaged = triage_cells(spec, cache, refresh=refresh, on_hit=on_hit)
+    triaged = triage_cells(
+        spec, cache, refresh=refresh, on_hit=on_hit, journal=journal
+    )
     results = triaged.results
     by_key = triaged.by_key
     total = triaged.total
+    pending = triaged.pending
+    if journal is not None:
+        journal.emit(
+            "campaign_start", name=spec.name, cells=total,
+            cached=len(triaged.cached_keys), pending=len(pending),
+            executor=executor_name, workers=workers,
+        )
+    # spool workers journal their own `completed` records; for the
+    # in-process executors the parent's `settled` event is the only
+    # per-cell completion a journal consumer will see
+    journal_settles = journal is not None and executor_name != "spool"
 
     def settle(key: str, cell_dict: dict, cell_stats: dict | None) -> None:
         results[key] = cell_dict
@@ -182,19 +230,55 @@ def run_campaign(
             stats.add_time("phase.cell", cell_dict.get("runtime_s", 0.0))
         if cache is not None:
             cache.put(key, cell_dict, by_key[key].key_payload())
+        if journal_settles:
+            journal.emit("settled", key=key, runtime_s=cell_dict.get("runtime_s"))
         if progress is not None:
             progress(_line(by_key[key], cell_dict, len(results), total, cached=False))
 
-    pending = triaged.pending
-    executor_name = executor or ("process" if workers > 1 else "serial")
-    if pending:
-        tasks = [
-            cell.task_payload(collect_stats=stats is not None) for cell in pending
-        ]
-        engine = make_executor(
-            executor_name, workers=workers, **(executor_options or {})
+    snap_halt = snap_thread = None
+    if (
+        snapshot_interval_s
+        and stats is not None
+        and (journal is not None or snapshot_path is not None)
+    ):
+        snap_halt = threading.Event()
+
+        def _snapshot_loop():
+            while not snap_halt.wait(snapshot_interval_s):
+                try:
+                    payload = stats.payload()
+                except RuntimeError:  # settle() mutated a dict mid-copy
+                    continue
+                stats.inc("campaign.snapshots")
+                if journal is not None:
+                    journal.emit("snapshot", stats=payload)
+                if snapshot_path is not None:
+                    try:
+                        from .spool import _atomic_write_json
+
+                        _atomic_write_json(Path(snapshot_path), payload)
+                    except OSError:  # pragma: no cover - fs race
+                        pass
+
+        snap_thread = threading.Thread(
+            target=_snapshot_loop, daemon=True, name="obs-snapshot"
         )
-        engine.execute(tasks, settle)
+        snap_thread.start()
+
+    try:
+        if pending:
+            tasks = [
+                cell.task_payload(collect_stats=stats is not None)
+                for cell in pending
+            ]
+            engine = make_executor(
+                executor_name, workers=workers, **(executor_options or {})
+            )
+            engine.execute(tasks, settle)
+    finally:
+        if snap_halt is not None:
+            snap_halt.set()
+            snap_thread.join(timeout=(snapshot_interval_s or 0.0) + 1.0)
 
     outcomes = reassemble(triaged.cells, results, triaged.cached_keys)
     elapsed_s = time.perf_counter() - t0
@@ -209,6 +293,17 @@ def run_campaign(
                 "campaign.occupancy", cell_time / (workers * elapsed_s)
             )
         stats.add_time("phase.campaign.run", elapsed_s)
+    if journal is not None:
+        end_fields: dict = {
+            "name": spec.name, "cells": total,
+            "cached": len(triaged.cached_keys), "executed": len(pending),
+            "elapsed_s": elapsed_s,
+        }
+        if stats is not None:
+            end_fields["stats"] = stats.payload()
+        journal.emit("campaign_end", **end_fields)
+        if owns_journal:
+            journal.close()
     return CampaignRunResult(
         spec=spec,
         outcomes=outcomes,

@@ -8,6 +8,7 @@ shares the filesystem — can drain concurrently::
     tasks/<key>.json      published cell payloads, one file per cell key
     leases/<key>.json     claim files (worker id, acquired/renewed, ttl)
     done/<worker>.jsonl   completion shards, one O_APPEND record per cell
+    journal.jsonl         shared event journal (repro.obs.journal)
     stop                  sentinel: drain what is claimable, then exit
 
 Protocol
@@ -48,6 +49,7 @@ import time
 from pathlib import Path
 
 from ..core.exceptions import ConfigurationError
+from ..obs.journal import JOURNAL_FILENAME, Journal
 
 SPOOL_SCHEMA_VERSION = 1
 
@@ -82,6 +84,7 @@ class Spool:
         self.tasks_dir = self.root / "tasks"
         self.leases_dir = self.root / "leases"
         self.done_dir = self.root / "done"
+        self._journal: Journal | None = None
         if create:
             for d in (self.tasks_dir, self.leases_dir, self.done_dir):
                 d.mkdir(parents=True, exist_ok=True)
@@ -95,6 +98,20 @@ class Spool:
                 f"--spool-dir {self.root}' or pass create=True"
             )
 
+    @property
+    def journal(self) -> Journal:
+        """Event journal at ``<root>/journal.jsonl`` (lazy, shared file).
+
+        Every participant — the publishing parent, each worker, the
+        expiring executor — appends lifecycle events here, so the
+        spool directory carries a durable record of the campaign that
+        outlives every process (``repro obs trace`` / ``repro campaign
+        status --watch`` read it back).
+        """
+        if self._journal is None:
+            self._journal = Journal(self.root / JOURNAL_FILENAME)
+        return self._journal
+
     # ------------------------------------------------------------------
     # tasks
     # ------------------------------------------------------------------
@@ -104,6 +121,7 @@ class Spool:
         if path.exists():
             return False
         _atomic_write_json(path, {"attempt": attempt, "task": task})
+        self.journal.emit("published", key=task["key"], attempt=attempt)
         return True
 
     def scan_tasks(self):
@@ -152,6 +170,7 @@ class Spool:
             os.write(fd, data.encode())
         finally:
             os.close(fd)
+        self.journal.emit("claimed", worker=worker, key=key, ttl=ttl)
         return True
 
     def renew(self, key: str, worker: str, ttl: float) -> None:
@@ -162,6 +181,7 @@ class Spool:
         info["renewed"] = time.time()
         info["ttl"] = ttl
         _atomic_write_json(self._lease_path(key), info)
+        self.journal.emit("heartbeat", worker=worker, key=key)
 
     def release(self, key: str) -> None:
         self._lease_path(key).unlink(missing_ok=True)
@@ -234,6 +254,19 @@ class Spool:
             os.write(fd, line)
         finally:
             os.close(fd)
+        jfields: dict = {"worker": worker, "key": key, "attempt": attempt}
+        if error is not None:
+            jfields["error"] = error
+        elif isinstance(cell, dict):
+            jfields["runtime_s"] = cell.get("runtime_s")
+            if "testbed" in cell:
+                jfields["label"] = (
+                    f"{cell.get('testbed')}-{cell.get('size')} "
+                    f"{cell.get('heuristic')}"
+                )
+            if stats is not None:
+                jfields["stats"] = stats
+        self.journal.emit("completed", **jfields)
 
     def read_done(self, cursor: dict[str, int] | None = None) -> list[dict]:
         """New completion records across every shard since ``cursor``.
@@ -297,6 +330,9 @@ class Spool:
             leases[key] = {
                 "worker": info.get("worker", "?"),
                 "age_s": round(now - float(info.get("acquired", now)), 3),
+                "heartbeat_age_s": round(
+                    now - float(info.get("renewed", info.get("acquired", now))), 3
+                ),
                 "expired": bool(stale),
             }
         done_keys: set[str] = set()
@@ -309,6 +345,32 @@ class Spool:
             )
             if "error" in record:
                 failed.append(record["key"])
+        # per-worker health: completion counts folded with live-lease
+        # heartbeat ages, so `campaign status --json` shows which
+        # workers are alive and which stopped renewing
+        worker_health: dict[str, dict] = {
+            worker: {
+                "done": count,
+                "leases": 0,
+                "oldest_lease_age_s": None,
+                "heartbeat_age_s": None,
+                "stale": False,
+            }
+            for worker, count in workers.items()
+        }
+        for lease in leases.values():
+            ent = worker_health.setdefault(lease["worker"], {
+                "done": 0, "leases": 0, "oldest_lease_age_s": None,
+                "heartbeat_age_s": None, "stale": False,
+            })
+            ent["leases"] += 1
+            hb = lease["heartbeat_age_s"]
+            if ent["heartbeat_age_s"] is None or hb < ent["heartbeat_age_s"]:
+                ent["heartbeat_age_s"] = hb
+            age = lease["age_s"]
+            if ent["oldest_lease_age_s"] is None or age > ent["oldest_lease_age_s"]:
+                ent["oldest_lease_age_s"] = age
+            ent["stale"] = ent["stale"] or lease["expired"]
         return {
             "root": str(self.root),
             "pending": len(pending),
@@ -317,6 +379,7 @@ class Spool:
             "done": len(done_keys),
             "failed": sorted(set(failed)),
             "workers": dict(sorted(workers.items())),
+            "worker_health": dict(sorted(worker_health.items())),
             "leases": leases,
             "stop_requested": self.stop_requested(),
         }
@@ -373,6 +436,7 @@ def run_worker(
 
     spool = Spool(root, create=True)
     worker = worker or default_worker_id()
+    spool.journal.emit("worker_start", worker=worker, ttl=lease_ttl)
     executed = errors = 0
     idle_since: float | None = None
     while True:
@@ -414,4 +478,7 @@ def run_worker(
         if idle_timeout_s is not None and now - idle_since >= idle_timeout_s:
             break
         time.sleep(poll_s)
+    spool.journal.emit(
+        "worker_exit", worker=worker, executed=executed, errors=errors
+    )
     return {"worker": worker, "executed": executed, "errors": errors}

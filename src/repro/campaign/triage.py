@@ -51,8 +51,14 @@ def triage_cells(
     cache: ResultCache | None = None,
     refresh: bool = False,
     on_hit: HitFn | None = None,
+    journal=None,
 ) -> TriagedCells:
-    """Expand ``spec`` and resolve what the cache already answers."""
+    """Expand ``spec`` and resolve what the cache already answers.
+
+    ``journal`` is an optional :class:`~repro.obs.journal.Journal`;
+    each cache hit is recorded as a ``cached`` event so journal
+    consumers count warm cells toward campaign progress.
+    """
     cells = spec.expand()
     by_key: dict[str, CampaignCell] = {}
     for cell in cells:
@@ -64,6 +70,8 @@ def triage_cells(
             if hit is not None:
                 triaged.results[key] = hit
                 triaged.cached_keys.add(key)
+                if journal is not None:
+                    journal.emit("cached", key=key)
                 if on_hit is not None:
                     on_hit(cell, hit, len(triaged.results), triaged.total)
     return triaged

@@ -42,6 +42,12 @@ Subcommands
     schedule as processor/port tracks, or (``--online``) an engine run
     with activity tracks, counters, and replan markers.  Open the file
     at https://ui.perfetto.dev.
+``obs``
+    Consumers of the campaign event journal: ``obs export`` renders a
+    journal (or a saved metrics payload) as JSON or Prometheus text
+    exposition, ``obs trace`` converts a journal into a campaign-wide
+    Perfetto timeline (one track per worker, lease expiries and retries
+    as instants).
 
 The global ``--profile`` flag runs any subcommand under an active
 metrics collector and prints the counter/timer table afterwards.  The
@@ -90,6 +96,9 @@ from .kernel.backends import (
 )
 from .models import available_models
 from .obs import (
+    JOURNAL_FILENAME,
+    JOURNAL_SCHEMA_VERSION,
+    LOG_ENV_VAR,
     collect,
     configure_logging,
     enabled as obs_enabled,
@@ -134,6 +143,12 @@ def _cmd_info(args) -> int:
             "obs": {
                 "enabled": obs_enabled(),
                 "metrics": metric_names(),
+                "log_env": LOG_ENV_VAR,
+                "journal": {
+                    "filename": JOURNAL_FILENAME,
+                    "schema_version": JOURNAL_SCHEMA_VERSION,
+                },
+                "export_formats": ["json", "prometheus"],
             },
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -158,6 +173,10 @@ def _cmd_info(args) -> int:
     print(
         f"  obs metrics       : {len(metric_names())} registered "
         f"(collect with --profile)"
+    )
+    print(
+        f"  obs journal       : {JOURNAL_FILENAME} v{JOURNAL_SCHEMA_VERSION} "
+        f"(export: json, prometheus; {LOG_ENV_VAR}=debug for logs)"
     )
     return 0
 
@@ -374,6 +393,61 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_obs_export(args) -> int:
+    import json
+
+    from .obs import journal_summary, prometheus_text, read_journal
+
+    if (args.journal is None) == (args.metrics is None):
+        print("obs export needs exactly one of --journal / --metrics")
+        return 1
+    summary = None
+    if args.journal is not None:
+        records = read_journal(args.journal)
+        if not records:
+            print(f"no journal records under {args.journal}")
+            return 1
+        summary = journal_summary(records)
+        payload = summary["stats"]
+    else:
+        with open(args.metrics) as fh:
+            payload = json.load(fh)
+    if args.format == "json":
+        body = json.dumps(
+            summary if summary is not None else payload,
+            indent=2, sort_keys=True,
+        ) + "\n"
+    else:
+        body = prometheus_text(payload)
+    if args.out == "-":
+        sys.stdout.write(body)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(body)
+        print(f"wrote {args.format} metrics to {args.out}")
+    return 0
+
+
+def _cmd_obs_trace(args) -> int:
+    from .obs import campaign_trace, read_journal
+
+    records = read_journal(args.journal)
+    if not records:
+        print(f"no journal records under {args.journal}")
+        return 1
+    trace = campaign_trace(records)
+    summary = validate_trace(trace)
+    path = write_trace(trace, args.out)
+    meta = trace["metadata"]
+    print(
+        f"wrote campaign trace: {summary['events']} events, "
+        f"{len(meta['workers'])} worker track(s), {meta['cells_done']} cell(s) "
+        f"-> {path}"
+    )
+    print("open it at https://ui.perfetto.dev ('Open trace file')")
+    return 0
+
+
 def _cmd_bottleneck(args) -> int:
     graph, platform = _make(args)
     scheduler = get_scheduler(args.heuristic, **({"b": args.b} if args.b else {}))
@@ -470,10 +544,11 @@ def _cmd_campaign_run(args) -> int:
             "lease_ttl": args.lease_ttl,
             "max_retries": args.max_retries,
         }
-    # --metrics needs an active collector; reuse --profile's when present
+    # --metrics / --metrics-interval need an active collector; reuse
+    # --profile's when present
     scope = (
         collect()
-        if args.metrics and obs_current() is None
+        if (args.metrics or args.metrics_interval) and obs_current() is None
         else contextlib.nullcontext()
     )
     with scope:
@@ -485,6 +560,9 @@ def _cmd_campaign_run(args) -> int:
             refresh=args.refresh,
             executor=args.executor,
             executor_options=executor_options,
+            journal=args.journal,
+            snapshot_interval_s=args.metrics_interval,
+            snapshot_path=args.metrics if args.metrics_interval else None,
         )
     if args.metrics:
         with open(args.metrics, "w") as fh:
@@ -516,6 +594,19 @@ def _cmd_campaign_status(args) -> int:
     if args.spool_dir is not None:
         from .campaign import Spool
 
+        if args.watch:
+            from .campaign.dashboard import watch
+
+            try:
+                return watch(
+                    args.spool_dir,
+                    interval_s=args.interval,
+                    clear=sys.stdout.isatty(),
+                )
+            except ConfigurationError as exc:
+                raise SystemExit(str(exc)) from None
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                return 0
         try:
             status = Spool(args.spool_dir).status()
         except ConfigurationError as exc:
@@ -529,8 +620,14 @@ def _cmd_campaign_status(args) -> int:
                 f"({status['leases_expired']} expired), "
                 f"{status['done']} done, {len(status['failed'])} failed"
             )
-            for worker, count in status["workers"].items():
-                print(f"  {worker:>24}: {count} cell(s)")
+            for worker, health in status["worker_health"].items():
+                hb = health.get("heartbeat_age_s")
+                beat = f", heartbeat {hb:.1f}s ago" if hb is not None else ""
+                stale = " [stale]" if health.get("stale") else ""
+                print(
+                    f"  {worker:>24}: {health['done']} cell(s), "
+                    f"{health['leases']} lease(s){beat}{stale}"
+                )
             if status["stop_requested"]:
                 print("  stop requested: workers are draining")
         return 0
@@ -717,6 +814,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output path of the trace JSON")
     p.set_defaults(fn=_cmd_trace)
 
+    p = sub.add_parser(
+        "obs", help="journal consumers: metrics export and campaign traces"
+    )
+    osub = p.add_subparsers(dest="obs_command", required=True)
+    op = osub.add_parser(
+        "export",
+        help="export merged metrics as Prometheus text or JSON",
+    )
+    op.add_argument("--journal", default=None,
+                    help="campaign journal file or spool directory")
+    op.add_argument("--metrics", default=None,
+                    help="metrics JSON payload (from campaign run --metrics)")
+    op.add_argument("--format", choices=["prometheus", "json"],
+                    default="prometheus")
+    op.add_argument("--out", default="-",
+                    help="output path ('-' = stdout)")
+    op.set_defaults(fn=_cmd_obs_export)
+    op = osub.add_parser(
+        "trace",
+        help="render a campaign journal as a validated Perfetto trace",
+    )
+    op.add_argument("--journal", required=True,
+                    help="campaign journal file or spool directory")
+    op.add_argument("--out", default="campaign-trace.json",
+                    help="output path of the trace JSON")
+    op.set_defaults(fn=_cmd_obs_trace)
+
     p = sub.add_parser("bottleneck", help="critical-chain attribution")
     add_graph_args(p)
     p.add_argument("--heuristic", default="heft", choices=available_schedulers())
@@ -785,6 +909,12 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--metrics", default=None,
                     help="write the merged obs payload (counters/timers "
                          "across all workers) to this JSON path")
+    cp.add_argument("--metrics-interval", type=float, default=None,
+                    help="also snapshot rolling metrics every N seconds "
+                         "(to --metrics and the journal)")
+    cp.add_argument("--journal", default=None,
+                    help="event-journal JSONL path (default: "
+                         "<spool-dir>/journal.jsonl for the spool executor)")
     cp.add_argument("--quiet", action="store_true", help="no per-cell progress")
     cp.set_defaults(fn=_cmd_campaign_run)
 
@@ -796,6 +926,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "cache coverage")
     cp.add_argument("--json", action="store_true",
                     help="machine-readable JSON instead of the text report")
+    cp.add_argument("--watch", action="store_true",
+                    help="live dashboard (--spool-dir only): refresh until "
+                         "the campaign finishes")
+    cp.add_argument("--interval", type=float, default=2.0,
+                    help="refresh period of --watch in seconds")
     cp.set_defaults(fn=_cmd_campaign_status)
 
     cp = csub.add_parser(

@@ -25,6 +25,7 @@ from ..core.ranking import bottom_levels
 from ..core.schedule import Schedule
 from ..core.taskgraph import TaskGraph
 from ..models.base import CommunicationModel
+from ..obs import span as _obs_span
 from .base import (
     PriorityKey,
     ReadyQueue,
@@ -71,12 +72,14 @@ class HEFT(Scheduler):
         if self.priority_key is not None:
             key = self.priority_key
         else:
-            bl = bottom_levels(graph, platform)
+            with _obs_span("phase.rank"):
+                bl = bottom_levels(graph, platform)
             key = lambda v: (-bl[v],)  # noqa: E731
 
-        queue = ReadyQueue(graph, key)
-        while queue:
-            task = queue.pop()
-            state.commit(state.best_candidate(task))
-            queue.complete(task)
+        with _obs_span("phase.construct"):
+            queue = ReadyQueue(graph, key)
+            while queue:
+                task = queue.pop()
+                state.commit(state.best_candidate(task))
+                queue.complete(task)
         return state.schedule

@@ -19,10 +19,19 @@ Usage::
     print(stats.table())
 
 :mod:`repro.obs.trace` exports Chrome ``trace_event`` JSON (openable
-at https://ui.perfetto.dev) in three views: any :class:`Schedule` as
+at https://ui.perfetto.dev) in four views: any :class:`Schedule` as
 processor/port tracks, an online-engine run as an activity/transfer
-timeline with utilization counters, and the wall-clock phase spans the
-collector recorded around scheduler construction.
+timeline with utilization counters, the wall-clock phase spans the
+collector recorded around scheduler construction, and a whole
+distributed campaign reconstructed from its event journal.
+
+:mod:`repro.obs.journal` is the durable half: an append-only JSONL
+event journal the campaign parent and every spool worker write into
+(atomic ``O_APPEND`` records, torn tails healed), consumed by
+:func:`~repro.obs.trace.campaign_trace`, the metrics exporters in
+:mod:`repro.obs.export` (``repro obs export`` — Prometheus text or
+JSON), and the live ``repro campaign status --spool-dir --watch``
+dashboard.
 
 Metrics-naming convention
 -------------------------
@@ -49,6 +58,14 @@ must be registered in :data:`~repro.obs.registry.CATALOG` so
 ``repro info --json`` and the README catalog stay discoverable.
 """
 
+from .export import journal_summary, prometheus_text
+from .journal import (
+    JOURNAL_FILENAME,
+    JOURNAL_SCHEMA_VERSION,
+    Journal,
+    journal_path,
+    read_journal,
+)
 from .log import ENV_VAR as LOG_ENV_VAR
 from .log import configure_logging, get_logger
 from .registry import (
@@ -61,6 +78,7 @@ from .registry import (
     span,
 )
 from .trace import (
+    campaign_trace,
     online_trace,
     phase_events,
     schedule_trace,
@@ -70,16 +88,24 @@ from .trace import (
 
 __all__ = [
     "CATALOG",
+    "JOURNAL_FILENAME",
+    "JOURNAL_SCHEMA_VERSION",
+    "Journal",
     "LOG_ENV_VAR",
     "Stats",
+    "campaign_trace",
     "collect",
     "configure_logging",
     "current",
     "enabled",
     "get_logger",
+    "journal_path",
+    "journal_summary",
     "metric_names",
     "online_trace",
     "phase_events",
+    "prometheus_text",
+    "read_journal",
     "schedule_trace",
     "span",
     "validate_trace",

@@ -1,0 +1,176 @@
+"""Metrics export: journal folding and Prometheus text exposition.
+
+Two consumers of the measurement layer live here:
+
+* :func:`journal_summary` folds a campaign journal
+  (:mod:`repro.obs.journal`) into one merged
+  :class:`~repro.obs.registry.Stats` payload plus campaign progress —
+  preferring the authoritative ``campaign_end`` payload, then the last
+  rolling ``snapshot``, then reconstructing from per-cell ``completed``
+  payloads (a crashed parent still exports what its workers measured).
+* :func:`prometheus_text` renders a stats payload in the Prometheus
+  text exposition format (``repro_`` prefix, dots to underscores,
+  counters as ``_total``, timers as ``_seconds_total`` +
+  ``_calls_total``, ``HELP``/``TYPE`` lines from the
+  :data:`~repro.obs.registry.CATALOG`), which is what the future
+  serving tier scrapes.
+
+The CLI front end is ``repro obs export``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .journal import read_journal
+from .registry import CATALOG, Stats
+
+#: Prefix of every exported Prometheus metric.
+PROM_PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return PROM_PREFIX + _NAME_RE.sub("_", name)
+
+
+def _prom_value(value) -> str:
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(stats: Stats | dict) -> str:
+    """Render a collector (or its payload dict) as Prometheus text.
+
+    Counters become ``repro_<name>_total``, timers become
+    ``repro_<name>_seconds_total`` + ``repro_<name>_calls_total``,
+    gauges keep their name; every metric gets ``# HELP`` / ``# TYPE``
+    lines from the catalog.  Spans are a trace concern and are not
+    exported.
+    """
+    if isinstance(stats, dict):
+        merged = Stats()
+        merged.merge(stats)
+        stats = merged
+    lines: list[str] = []
+
+    def emit(metric: str, kind: str, desc: str, value) -> None:
+        lines.append(f"# HELP {metric} {desc}")
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f"{metric} {_prom_value(value)}")
+
+    for name in sorted(stats.counters):
+        _, desc = CATALOG.get(name, ("count", ""))
+        emit(_prom_name(name) + "_total", "counter", desc or name,
+             stats.counters[name])
+    for name in sorted(stats.timers):
+        calls, seconds = stats.timers[name]
+        _, desc = CATALOG.get(name, ("seconds", ""))
+        base = _prom_name(name)
+        emit(base + "_seconds_total", "counter", desc or name, float(seconds))
+        emit(base + "_calls_total", "counter", f"calls of {name}", int(calls))
+    for name in sorted(stats.gauges):
+        _, desc = CATALOG.get(name, ("gauge", ""))
+        emit(_prom_name(name), "gauge", desc or name, stats.gauges[name])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def journal_summary(records: list[dict] | str) -> dict:
+    """Fold journal records into merged stats + campaign progress.
+
+    Accepts a record list (from :func:`~repro.obs.journal.read_journal`)
+    or a journal/spool path.  Cell-progress sets are reconstructed from
+    the lifecycle events; the merged stats payload additionally carries
+    the ``journal.*`` progress gauges so a Prometheus export of a
+    half-finished campaign publishes live utilization.
+    """
+    if not isinstance(records, list):
+        records = read_journal(records)
+    lifecycle: dict[str, int] = {}
+    workers: set[str] = set()
+    queued: set[str] = set()
+    running: set[str] = set()
+    done: set[str] = set()
+    failed: set[str] = set()
+    cell_payloads: list[dict] = []
+    end_payload = snap_payload = None
+    name = None
+    state = "idle"
+    first = last = None
+    for rec in records:
+        ev = rec.get("ev")
+        if not isinstance(ev, str):
+            continue
+        lifecycle[ev] = lifecycle.get(ev, 0) + 1
+        wall = rec.get("wall")
+        if isinstance(wall, (int, float)):
+            first = wall if first is None else min(first, wall)
+            last = wall if last is None else max(last, wall)
+        key = rec.get("key")
+        worker = rec.get("worker")
+        if ev == "campaign_start":
+            name = rec.get("name", name)
+            state = "running"
+        elif ev == "campaign_end":
+            state = "finished"
+            if isinstance(rec.get("stats"), dict):
+                end_payload = rec["stats"]
+        elif ev == "snapshot":
+            if isinstance(rec.get("stats"), dict):
+                snap_payload = rec["stats"]
+        elif ev == "published":
+            queued.add(key)
+        elif ev == "claimed":
+            workers.add(worker)
+            queued.discard(key)
+            running.add(key)
+        elif ev == "completed":
+            workers.add(worker)
+            queued.discard(key)
+            running.discard(key)
+            done.add(key)
+            if "error" in rec:
+                failed.add(key)
+            if isinstance(rec.get("stats"), dict):
+                cell_payloads.append(rec["stats"])
+        elif ev in ("settled", "cached"):
+            queued.discard(key)
+            running.discard(key)
+            done.add(key)
+        elif ev == "expired":
+            running.discard(key)
+            queued.add(key)
+        elif ev in ("heartbeat", "worker_start", "worker_exit"):
+            workers.add(worker)
+    stats = Stats()
+    if end_payload is not None:
+        stats.merge(end_payload)
+    elif snap_payload is not None:
+        stats.merge(snap_payload)
+    else:
+        for payload in cell_payloads:
+            stats.merge(payload)
+    workers.discard(None)
+    workers.discard("parent")
+    stats.gauge("journal.cells.queued", len(queued))
+    stats.gauge("journal.cells.running", len(running))
+    stats.gauge("journal.cells.done", len(done))
+    stats.gauge("journal.cells.failed", len(failed))
+    stats.gauge("journal.workers", len(workers))
+    return {
+        "campaign": name,
+        "state": state,
+        "records": sum(lifecycle.values()),
+        "lifecycle": dict(sorted(lifecycle.items())),
+        "workers": sorted(workers),
+        "cells": {
+            "queued": len(queued),
+            "running": len(running),
+            "done": len(done),
+            "failed": len(failed),
+        },
+        "first_wall": first,
+        "last_wall": last,
+        "elapsed_s": (last - first) if first is not None and last is not None else 0.0,
+        "stats": stats.payload(),
+    }

@@ -1,0 +1,167 @@
+"""Durable append-only event journal for distributed campaigns.
+
+A journal is a JSONL file every participant of a campaign — the parent
+and each spool worker, on any host sharing the directory — appends
+structured events to.  Durability follows the result cache's
+discipline: each record is one atomic ``O_APPEND`` ``os.write`` (so
+concurrent writers interleave whole lines, never bytes), a crash mid-
+write leaves at most one torn tail line which readers skip, and a
+writer that opens a file with a torn tail heals it by prefixing its
+first record with a newline.
+
+Every record is self-identifying::
+
+    {"v": 1, "ev": "claimed", "worker": "host-123", "host": "host",
+     "pid": 123, "wall": 1699.5, "mono": 88.2, ...event fields...}
+
+``wall`` is ``time.time()`` (comparable across processes on one host,
+approximately across NTP-synced hosts); ``mono`` is ``time.monotonic()``
+(durations within one process only).  Event vocabulary (see
+:mod:`repro.campaign`): ``published`` / ``claimed`` / ``heartbeat`` /
+``completed`` (spool cell lifecycle), ``expired`` / ``retried``
+(parent-side lease recovery), ``worker_start`` / ``worker_exit``,
+``campaign_start`` / ``cached`` / ``settled`` / ``snapshot`` /
+``campaign_end`` (runner lifecycle).
+
+The journal is **decision-neutral**: nothing reads it on the scheduling
+path, so schedules and cache keys are bit-identical with it on or off
+(enforced by test).  Consumers live in :mod:`repro.obs.export`
+(metrics), :func:`repro.obs.trace.campaign_trace` (Perfetto timeline),
+and :mod:`repro.campaign.dashboard` (``campaign status --watch``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+from .registry import current as _current
+
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Journal filename inside a spool directory.
+JOURNAL_FILENAME = "journal.jsonl"
+
+#: Default ``worker`` identity for records written by the campaign
+#: parent (executors, triage, runner) rather than a spool worker.
+PARENT = "parent"
+
+
+def _hostname() -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "._-" else "-" for ch in socket.gethostname()
+    )
+
+
+class Journal:
+    """Append-only event writer over one JSONL file.
+
+    Opens lazily on the first :meth:`emit` (constructing a journal for
+    a spool that never runs costs nothing), keeps an unbuffered
+    ``O_APPEND`` descriptor, and is safe to share across threads (the
+    worker's heartbeat thread and its main loop write concurrently).
+    """
+
+    def __init__(self, path: str | Path, worker: str = PARENT) -> None:
+        self.path = Path(path)
+        self.worker = worker
+        self._fd: int | None = None
+        self._needs_newline = False
+        self._lock = threading.Lock()
+
+    def _open(self) -> int:
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                with self.path.open("rb") as fh:
+                    fh.seek(0, os.SEEK_END)
+                    if fh.tell() > 0:
+                        fh.seek(-1, os.SEEK_END)
+                        # heal a torn tail left by a crashed writer
+                        self._needs_newline = fh.read(1) != b"\n"
+            except OSError:
+                pass
+            self._fd = os.open(
+                self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+            )
+        return self._fd
+
+    def emit(self, event: str, **fields) -> dict:
+        """Append one event record; returns the record written.
+
+        Identity stamps (``worker``/``host``/``pid``/``wall``/``mono``)
+        are filled in automatically; explicit keyword fields override
+        them (spool methods pass the claiming worker's id).
+        """
+        record = {
+            "v": JOURNAL_SCHEMA_VERSION,
+            "ev": event,
+            "worker": self.worker,
+            "host": _hostname(),
+            "pid": os.getpid(),
+            "wall": time.time(),
+            "mono": time.monotonic(),
+        }
+        record.update(fields)
+        data = (json.dumps(record, sort_keys=True, default=str) + "\n").encode()
+        with self._lock:
+            fd = self._open()
+            if self._needs_newline:
+                data = b"\n" + data
+                self._needs_newline = False
+            os.write(fd, data)
+        stats = _current()
+        if stats is not None:
+            stats.inc("journal.events")
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> Journal:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Journal({str(self.path)!r}, worker={self.worker!r})"
+
+
+def journal_path(root: str | Path) -> Path:
+    """The journal file of a spool directory (or a file path as-is)."""
+    root = Path(root)
+    return root / JOURNAL_FILENAME if root.is_dir() else root
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Parse every complete record of a journal file (or spool dir).
+
+    Torn tails and malformed lines — crashed writers — are skipped,
+    mirroring the result cache's reader.  A missing file reads as an
+    empty journal.
+    """
+    path = journal_path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return []
+    records: list[dict] = []
+    for line in raw.split(b"\n"):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn write from a crashed writer
+        if isinstance(record, dict) and isinstance(record.get("ev"), str):
+            records.append(record)
+    return records

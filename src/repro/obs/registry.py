@@ -70,6 +70,15 @@ CATALOG: dict[str, tuple[str, str]] = {
         "count", "worker leases that expired without a completion"),
     "campaign.spool_poll": (
         "count", "parent poll sweeps over the spool's done/ shards"),
+    "campaign.snapshots": ("count", "rolling metrics snapshots recorded"),
+    # durable event journal (obs/journal.py) and its derived progress
+    # gauges (obs/export.py folds a journal into these for export)
+    "journal.events": ("count", "records appended to the event journal"),
+    "journal.cells.queued": ("gauge", "published cells awaiting a claim"),
+    "journal.cells.running": ("gauge", "cells currently claimed by a worker"),
+    "journal.cells.done": ("gauge", "cells completed, settled, or cached"),
+    "journal.cells.failed": ("gauge", "cells that completed with an error"),
+    "journal.workers": ("gauge", "distinct workers seen in the journal"),
     # wall-clock phase timers (also recorded as spans for the trace)
     "phase.statics": ("seconds", "static cost compilation (ranks, frontiers)"),
     "phase.rank": ("seconds", "priority/rank computation"),
@@ -191,6 +200,20 @@ class Stats:
             width = max(len(k) for k in self.gauges)
             for name in sorted(self.gauges):
                 lines.append(f"  {name:<{width}}  {self.gauges[name]:>14g}")
+        if self.spans:
+            totals: dict[str, list[float]] = {}
+            for name, _, dur in self.spans:
+                ent = totals.setdefault(name, [0, 0.0])
+                ent[0] += 1
+                ent[1] += dur
+            lines.append("spans")
+            width = max(len(k) for k in totals)
+            for name in sorted(totals):
+                count, seconds = totals[name]
+                lines.append(
+                    f"  {name:<{width}}  {seconds * 1e3:>12.3f} ms"
+                    f"  ({int(count)} span(s))"
+                )
         return "\n".join(lines) if lines else "(no metrics collected)"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

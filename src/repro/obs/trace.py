@@ -1,6 +1,6 @@
 """Chrome ``trace_event`` JSON export (Perfetto-loadable).
 
-Three views share one file format (``{"traceEvents": [...]}`` with
+Four views share one file format (``{"traceEvents": [...]}`` with
 ``"X"`` complete events, ``"C"`` counters, ``"i"`` instants, and
 ``"M"`` process/thread-name metadata):
 
@@ -12,6 +12,10 @@ Three views share one file format (``{"traceEvents": [...]}`` with
 * :func:`phase_events` — wall-clock phase spans a
   :class:`~repro.obs.registry.Stats` collector recorded during
   construction.
+* :func:`campaign_trace` — a distributed campaign reconstructed from
+  its event journal (:mod:`repro.obs.journal`): one track per worker,
+  cells as spans, lease expiries/retries as instants, queue-depth
+  counters.
 
 Model time is unitless in the paper; traces emit **1 model time unit =
 1 µs** so Perfetto's microsecond axis reads directly in model units.
@@ -27,11 +31,12 @@ from pathlib import Path
 
 from .registry import Stats
 
-#: Process ids for the three views (Perfetto groups tracks by pid).
+#: Process ids for the views (Perfetto groups tracks by pid).
 PID_PHASES = 1
 PID_COMPUTE = 2
 PID_PORTS = 3
 PID_ENGINE = 4
+PID_CAMPAIGN = 5
 
 #: Model-time unit -> trace microseconds.
 TIME_SCALE = 1.0
@@ -238,6 +243,143 @@ def online_trace(result, stats: Stats | None = None) -> dict:
             "horizon": result.horizon,
             "utilization": result.utilization,
             "events": result.events,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# view 4: campaign journal
+# ----------------------------------------------------------------------
+def campaign_trace(records: list[dict]) -> dict:
+    """Render a campaign journal as a Perfetto timeline (wall clock).
+
+    Tracks: ``tid 0`` is the parent (campaign start/end, lease-expiry
+    and retry instants), then one track per distinct worker with each
+    executed cell as a span from its ``claimed`` to its ``completed``
+    record.  A claim that expired instead of completing renders as a
+    ``(lost)`` span on the dead worker's track.  The ``cells`` counter
+    carries queued/running/done depths.  Time is microseconds since the
+    earliest record, so host clocks must be roughly aligned (same host
+    or NTP) for cross-worker ordering to read correctly.
+
+    ``records`` come from :func:`repro.obs.journal.read_journal`; the
+    result validates with :func:`validate_trace` (worker loops execute
+    cells sequentially, so tracks never overlap).
+    """
+    records = [r for r in records if isinstance(r.get("wall"), (int, float))]
+    if not records:
+        raise ValueError("campaign_trace needs a non-empty journal")
+    records.sort(key=lambda r: r["wall"])
+    t0 = records[0]["wall"]
+
+    def us(rec: dict) -> float:
+        return (rec["wall"] - t0) * 1e6
+
+    events: list[dict] = [
+        _meta("campaign (wall clock)", PID_CAMPAIGN),
+        _meta("parent", PID_CAMPAIGN, 0),
+    ]
+    worker_events = {
+        "claimed", "completed", "heartbeat", "worker_start", "worker_exit",
+    }
+    workers = sorted({
+        r["worker"] for r in records
+        if r.get("ev") in worker_events and isinstance(r.get("worker"), str)
+    })
+    tid_of = {w: i + 1 for i, w in enumerate(workers)}
+    for w, tid in tid_of.items():
+        events.append(_meta(f"worker {w}", PID_CAMPAIGN, tid))
+
+    open_claims: dict[tuple, dict] = {}
+    queued = running = done = failed = 0
+    name = None
+
+    def depth(rec: dict) -> None:
+        events.append(_counter("cells", PID_CAMPAIGN, us(rec), {
+            "queued": queued, "running": running, "done": done,
+        }))
+
+    for rec in records:
+        ev = rec.get("ev")
+        worker = rec.get("worker")
+        key = rec.get("key")
+        if ev == "campaign_start":
+            name = rec.get("name", name)
+            events.append(_instant("campaign start", PID_CAMPAIGN, 0, us(rec), {
+                k: rec[k]
+                for k in ("name", "cells", "cached", "pending", "executor")
+                if k in rec
+            }))
+        elif ev == "campaign_end":
+            events.append(_instant("campaign end", PID_CAMPAIGN, 0, us(rec), {
+                "cells": rec.get("cells"), "elapsed_s": rec.get("elapsed_s"),
+            }))
+        elif ev == "published":
+            queued += 1
+            depth(rec)
+        elif ev == "claimed":
+            open_claims[(worker, key)] = rec
+            queued = max(queued - 1, 0)
+            running += 1
+            depth(rec)
+        elif ev == "completed":
+            claim = open_claims.pop((worker, key), None)
+            start = us(claim) if claim is not None else us(rec)
+            ok = "error" not in rec
+            args = {"key": key, "attempt": rec.get("attempt"), "ok": ok}
+            if not ok:
+                args["error"] = rec["error"]
+                failed += 1
+            label = rec.get("label") or str(key or "?")[:12]
+            events.append(_complete(
+                label, PID_CAMPAIGN, tid_of.get(worker, 0),
+                start, us(rec) - start, args,
+            ))
+            running = max(running - 1, 0)
+            done += 1
+            depth(rec)
+        elif ev == "settled":
+            done += 1
+            depth(rec)
+        elif ev == "expired":
+            lease_worker = rec.get("lease_worker")
+            claim = open_claims.pop((lease_worker, key), None)
+            if claim is not None and lease_worker in tid_of:
+                events.append(_complete(
+                    f"{str(key or '?')[:12]} (lost)", PID_CAMPAIGN,
+                    tid_of[lease_worker], us(claim), us(rec) - us(claim),
+                    {"key": key, "crashed": True},
+                ))
+            events.append(_instant("lease expired", PID_CAMPAIGN, 0, us(rec), {
+                "key": key, "worker": lease_worker,
+            }))
+            running = max(running - 1, 0)
+            queued += 1
+            depth(rec)
+        elif ev == "retried":
+            events.append(_instant("retry", PID_CAMPAIGN, 0, us(rec), {
+                "key": key, "attempt": rec.get("attempt"),
+            }))
+        elif ev == "worker_start":
+            events.append(
+                _instant("worker start", PID_CAMPAIGN, tid_of.get(worker, 0),
+                         us(rec))
+            )
+        elif ev == "worker_exit":
+            events.append(_instant(
+                "worker exit", PID_CAMPAIGN, tid_of.get(worker, 0), us(rec),
+                {"executed": rec.get("executed"), "errors": rec.get("errors")},
+            ))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "view": "campaign",
+            "campaign": name,
+            "workers": workers,
+            "records": len(records),
+            "cells_done": done,
+            "cells_failed": failed,
         },
     }
 

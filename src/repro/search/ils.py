@@ -193,6 +193,7 @@ class IteratedLocalSearch(Scheduler):
         patience = self.patience or max(64, 2 * graph.num_tasks)
         deadline = None if self.time_limit_s is None else time.monotonic() + self.time_limit_s
         evals = accepted = kicks = rounds = sideways_taken = 0
+        search_t0 = time.perf_counter()
 
         def out_of_time() -> bool:
             return deadline is not None and time.monotonic() > deadline
@@ -257,6 +258,7 @@ class IteratedLocalSearch(Scheduler):
             stats.inc("search.sideways", sideways_taken)
             stats.inc("search.kicks", kicks)
             stats.inc("search.rounds", rounds)
+            stats.add_time("phase.search.run", time.perf_counter() - search_t0)
         out.search_stats = {  # dynamic attribute; see class docstring
             "base": self.base_label(self.base, self.base_kwargs),
             "base_makespan": base_sched.makespan(),

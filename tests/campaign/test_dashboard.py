@@ -1,0 +1,125 @@
+"""Spool dashboard: model folding, rendering, and the watch loop.
+
+The dashboard reads only the spool directory and its journal, so it
+must render a finished campaign without the parent process — and a
+half-finished one from whatever records exist.
+"""
+
+from repro.campaign import (
+    CampaignSpec,
+    HeuristicSpec,
+    dashboard_model,
+    render_dashboard,
+    run_campaign,
+)
+from repro.campaign.dashboard import watch
+
+
+def records(now: float = 200.0) -> list[dict]:
+    return [
+        {"ev": "campaign_start", "name": "demo", "wall": now - 10.0,
+         "worker": "parent"},
+        {"ev": "published", "key": "aaaa1111", "wall": now - 9.9,
+         "worker": "parent"},
+        {"ev": "published", "key": "bbbb2222", "wall": now - 9.9,
+         "worker": "parent"},
+        {"ev": "published", "key": "cccc3333", "wall": now - 9.9,
+         "worker": "parent"},
+        {"ev": "claimed", "key": "aaaa1111", "wall": now - 9.0, "worker": "w1"},
+        {"ev": "completed", "key": "aaaa1111", "wall": now - 7.0,
+         "worker": "w1"},
+        {"ev": "claimed", "key": "bbbb2222", "wall": now - 6.5, "worker": "w1"},
+        {"ev": "completed", "key": "bbbb2222", "wall": now - 5.0,
+         "worker": "w1", "error": "boom"},
+        {"ev": "claimed", "key": "cccc3333", "wall": now - 4.0, "worker": "w2"},
+    ]
+
+
+class TestModel:
+    def test_folds_progress_rate_and_workers(self):
+        model = dashboard_model(None, records(), now=200.0)
+        assert model["campaign"] == "demo"
+        assert model["state"] == "running" and not model["finished"]
+        assert model["cells"] == {
+            "queued": 0, "running": 1, "done": 2, "failed": 1,
+        }
+        # two completions 2s apart -> 0.5 cells/s; one cell left -> 2s
+        assert model["rate_cells_s"] == 0.5
+        assert model["eta_s"] == 2.0
+        w1 = model["workers"]["w1"]
+        assert w1["done"] == 2 and w1["errors"] == 1
+        assert model["workers"]["w2"]["current"] == "cccc3333"
+        (err,) = model["errors"]
+        assert err["error"] == "boom" and err["worker"] == "w1"
+
+    def test_live_spool_counts_override_the_journal(self):
+        status = {"pending": 5, "leased": 2, "worker_health": {}}
+        model = dashboard_model(status, records(), now=200.0)
+        assert model["cells"]["queued"] == 5
+        assert model["cells"]["running"] == 2
+
+    def test_worker_health_overlays_heartbeats(self):
+        status = {
+            "pending": 0, "leased": 1,
+            "worker_health": {
+                "w2": {"done": 0, "heartbeat_age_s": 42.5, "stale": True},
+            },
+        }
+        model = dashboard_model(status, records(), now=200.0)
+        assert model["workers"]["w2"]["heartbeat_age_s"] == 42.5
+        assert model["workers"]["w2"]["stale"] is True
+
+    def test_finished_needs_campaign_end_and_a_drained_spool(self):
+        ended = records() + [
+            {"ev": "campaign_end", "name": "demo", "wall": 199.0,
+             "worker": "parent"},
+        ]
+        still_leased = {"pending": 0, "leased": 1, "worker_health": {}}
+        assert not dashboard_model(still_leased, ended, now=200.0)["finished"]
+        drained = {"pending": 0, "leased": 0, "worker_health": {}}
+        assert dashboard_model(drained, ended, now=200.0)["finished"]
+
+
+class TestRender:
+    def test_renders_every_section(self):
+        status = {
+            "pending": 0, "leased": 1,
+            "worker_health": {
+                "w2": {"done": 0, "heartbeat_age_s": 1.5, "stale": True},
+            },
+        }
+        text = render_dashboard(dashboard_model(status, records(), now=200.0))
+        assert "campaign demo — running" in text
+        assert "2 done (1 failed), 1 running, 0 queued" in text
+        assert "0.50 cells/s" in text
+        assert "w1" in text and "w2" in text
+        assert "[stale]" in text
+        assert "boom" in text
+
+
+class TestWatch:
+    def test_one_frame_on_a_finished_campaign(self, tmp_path):
+        """Acceptance: --watch renders from the journal of a finished
+        campaign with no parent process alive."""
+        spool_dir = tmp_path / "spool"
+        run_campaign(
+            CampaignSpec(name="watched", testbeds=["fork-join"], sizes=[5],
+                         heuristics=[HeuristicSpec.of("heft")]),
+            workers=1, executor="spool",
+            executor_options={"dir": str(spool_dir), "poll_s": 0.02,
+                              "worker_poll_s": 0.02},
+        )
+        frames: list[str] = []
+        assert watch(spool_dir, interval_s=0.01, out=frames.append) == 0
+        (frame,) = frames  # finished campaign: renders once and exits
+        assert "campaign watched — finished" in frame
+        assert "1 done" in frame
+
+    def test_max_frames_bounds_an_unfinished_journal(self, tmp_path):
+        from repro.campaign import Spool
+
+        Spool(tmp_path / "s", create=True).publish({"key": "k"})
+        frames: list[str] = []
+        assert watch(tmp_path / "s", interval_s=0.01, out=frames.append,
+                     max_frames=2) == 0
+        assert len(frames) == 2

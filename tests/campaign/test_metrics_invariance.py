@@ -1,0 +1,62 @@
+"""Merged campaign metrics are executor- and worker-count-invariant.
+
+Each cell collects into its own scope and ships the payload back, so
+the parent's merged counters must be identical for serial, process,
+and spool execution at any worker count — only transport bookkeeping
+(poll sweeps, lease recovery, snapshots, journal records) and
+wall-clock-derived values (timers, occupancy) may differ.
+"""
+
+import pytest
+
+from repro.campaign import CampaignSpec, HeuristicSpec, run_campaign
+from repro.obs import collect
+
+#: Counters that measure the transport, not the work: legitimately
+#: executor- or timing-dependent.
+TRANSPORT = {
+    "campaign.spool_poll",
+    "campaign.leases_expired",
+    "campaign.retries",
+    "campaign.snapshots",
+}
+
+
+def spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="invariance",
+        testbeds=["fork-join", "lu"],
+        sizes=[5, 7],
+        heuristics=[HeuristicSpec.of("heft"), HeuristicSpec.of("ilha", {"b": 4})],
+        models=["one-port"],
+        seeds=[0],
+    )
+
+
+def work_counters(executor: str, workers: int, tmp_path) -> dict:
+    options = None
+    if executor == "spool":
+        options = {
+            "dir": str(tmp_path / f"spool-{workers}"),
+            "poll_s": 0.02, "worker_poll_s": 0.02,
+        }
+    with collect() as stats:
+        run_campaign(
+            spec(), workers=workers, executor=executor,
+            executor_options=options,
+        )
+    return {
+        k: v for k, v in stats.counters.items()
+        if k not in TRANSPORT and not k.startswith("journal.")
+    }
+
+
+@pytest.mark.parametrize(
+    "executor,workers",
+    [("process", 2), ("spool", 1), ("spool", 2)],
+)
+def test_merged_counters_match_serial(executor, workers, tmp_path):
+    reference = work_counters("serial", 1, tmp_path)
+    assert reference["campaign.cells"] == 8
+    assert reference["builder.commits"] > 0
+    assert work_counters(executor, workers, tmp_path) == reference

@@ -126,6 +126,30 @@ class TestProtocol:
             fh.write('ll": {}}\n')
         assert [r["key"] for r in spool.read_done(cursor)] == ["torn"]
 
+    def test_status_worker_health(self, tmp_path):
+        """Satellite: per-worker lease age and heartbeat staleness in
+        the status snapshot (what `campaign status --json` publishes)."""
+        spool = Spool(tmp_path, create=True)
+        spool.complete("alice", "d1", 0, cell={})
+        spool.complete("alice", "d2", 0, cell={})
+        spool.claim("k1", "alice", ttl=60.0)
+        spool.claim("k2", "bob", ttl=60.0)
+        # age bob's lease past its ttl without a renewal
+        lease = spool.lease_info("k2")
+        (spool.leases_dir / "k2.json").write_text(json.dumps({
+            **lease, "acquired": lease["acquired"] - 120.0,
+            "renewed": lease["renewed"] - 120.0, "ttl": 60.0,
+        }))
+        health = spool.status()["worker_health"]
+        alice, bob = health["alice"], health["bob"]
+        assert alice["done"] == 2 and alice["leases"] == 1
+        assert alice["heartbeat_age_s"] < 60.0 and not alice["stale"]
+        assert alice["oldest_lease_age_s"] is not None
+        assert bob["done"] == 0 and bob["leases"] == 1
+        assert bob["heartbeat_age_s"] >= 120.0 and bob["stale"]
+        # lease entries expose the raw heartbeat age too
+        assert spool.status()["leases"]["k2"]["heartbeat_age_s"] >= 120.0
+
     def test_status_snapshot(self, tmp_path):
         spool = Spool(tmp_path, create=True)
         spool.publish({"key": "p"})
@@ -248,6 +272,30 @@ class TestCrashRecovery:
         keys = [r["key"] for r in rows]
         assert sorted(keys) == sorted(set(keys))
         assert set(keys) == {o.cell.key for o in recovered.outcomes}
+
+        # acceptance: the journal of the recovered run renders as a
+        # schema-valid campaign trace — one track per worker (victim +
+        # rescuer), the lost claim as a crashed span, and the lease
+        # expiry / retry as parent-track instants
+        from repro.obs import campaign_trace, read_journal, validate_trace
+
+        journal = read_journal(root)
+        events = [r["ev"] for r in journal]
+        assert events.count("expired") >= 1 and events.count("retried") >= 1
+        trace = campaign_trace(journal)
+        assert validate_trace(trace)["events"] > 0
+        meta = trace["metadata"]
+        assert meta["view"] == "campaign"
+        assert "victim" in meta["workers"] and len(meta["workers"]) >= 2
+        tracks = {ev["args"]["name"] for ev in trace["traceEvents"]
+                  if ev.get("name") == "thread_name"}
+        assert {f"worker {w}" for w in meta["workers"]} <= tracks
+        instants = {ev["name"] for ev in trace["traceEvents"]
+                    if ev.get("ph") == "i"}
+        assert {"lease expired", "retry"} <= instants
+        lost = [ev for ev in trace["traceEvents"]
+                if ev.get("ph") == "X" and ev.get("args", {}).get("crashed")]
+        assert lost, "the victim's expired claim must render as a lost span"
 
     def test_exhausted_retries_fail_explicitly_not_hang(
         self, tmp_path, fork_ctx

@@ -1,0 +1,60 @@
+"""CATALOG completeness lint: emissions and registry agree exactly.
+
+Walks every ``src/repro`` module for metric emission sites
+(``inc``/``add``/``add_time``/``gauge``/``span`` with a literal dotted
+name) and checks both directions against
+:data:`repro.obs.registry.CATALOG`: an unregistered emission would be
+invisible to ``repro info``, the README catalog, and the Prometheus
+``HELP``/``TYPE`` lines; a registered name with no emission site is a
+dead entry that documents a metric nobody records.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.registry import CATALOG
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: A literal dotted metric name passed to a recording method.  The dot
+#: requirement keeps set/list ``add`` calls and argparse noise out.
+EMIT_RE = re.compile(
+    # `span` without the leading \b: aliased imports (`_obs_span`) and
+    # method calls (`stats.span`) both end in `span(`
+    r"(?:\b(?:inc|add|add_time|gauge)|span)"
+    r"\(\s*[\"']([a-z0-9_]+(?:\.[a-z0-9_.]+)+)[\"']"
+)
+
+
+def emission_sites() -> dict[str, list[str]]:
+    """Metric name -> source files that emit it."""
+    sites: dict[str, list[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "registry.py":
+            continue  # the catalog itself, not an emitter
+        for match in EMIT_RE.finditer(path.read_text()):
+            sites.setdefault(match.group(1), []).append(
+                str(path.relative_to(SRC))
+            )
+    return sites
+
+
+def test_every_emission_is_registered():
+    unregistered = {
+        name: files for name, files in emission_sites().items()
+        if name not in CATALOG
+    }
+    assert not unregistered, (
+        f"metrics emitted but missing from CATALOG: {unregistered}"
+    )
+
+
+def test_no_dead_catalog_entries():
+    dead = sorted(set(CATALOG) - set(emission_sites()))
+    assert not dead, f"CATALOG entries with no emission site: {dead}"
+
+
+def test_catalog_entries_are_documented():
+    for name, (unit, desc) in CATALOG.items():
+        assert unit, f"{name} has no unit"
+        assert desc, f"{name} has no description"

@@ -1,0 +1,119 @@
+"""Metrics export: Prometheus text exposition + journal folding."""
+
+import pytest
+
+from repro.obs import Journal, journal_summary, prometheus_text
+from repro.obs.registry import Stats
+
+
+def stats_with_everything() -> Stats:
+    stats = Stats()
+    stats.inc("campaign.cells", 8)
+    stats.add_time("phase.cell", 0.25, calls=8)
+    stats.gauge("campaign.occupancy", 0.75)
+    return stats
+
+
+class TestPrometheusText:
+    def test_counters_timers_gauges(self):
+        text = prometheus_text(stats_with_everything())
+        assert "repro_campaign_cells_total 8" in text
+        assert "repro_phase_cell_seconds_total 0.25" in text
+        assert "repro_phase_cell_calls_total 8" in text
+        assert "repro_campaign_occupancy 0.75" in text
+        assert text.endswith("\n")
+
+    def test_help_and_type_lines_come_from_the_catalog(self):
+        text = prometheus_text(stats_with_everything())
+        assert ("# HELP repro_campaign_cells_total "
+                "unique cells in the expanded campaign") in text
+        assert "# TYPE repro_campaign_cells_total counter" in text
+        assert "# TYPE repro_campaign_occupancy gauge" in text
+
+    def test_names_are_sanitized(self):
+        stats = Stats()
+        stats.inc("ad-hoc.metric/name", 1)
+        assert "repro_ad_hoc_metric_name_total 1" in prometheus_text(stats)
+
+    def test_accepts_a_payload_dict(self):
+        text = prometheus_text(stats_with_everything().payload())
+        assert "repro_campaign_cells_total 8" in text
+
+    def test_empty_stats_render_empty(self):
+        assert prometheus_text(Stats()) == ""
+
+
+def lifecycle_records() -> list[dict]:
+    return [
+        {"ev": "campaign_start", "name": "demo", "wall": 100.0, "worker": "parent"},
+        {"ev": "published", "key": "a", "wall": 100.1, "worker": "parent"},
+        {"ev": "published", "key": "b", "wall": 100.1, "worker": "parent"},
+        {"ev": "published", "key": "c", "wall": 100.1, "worker": "parent"},
+        {"ev": "claimed", "key": "a", "wall": 100.2, "worker": "w1"},
+        {"ev": "claimed", "key": "b", "wall": 100.2, "worker": "w2"},
+        {"ev": "completed", "key": "a", "wall": 100.5, "worker": "w1",
+         "stats": {"counters": {"builder.commits": 3}}},
+        {"ev": "completed", "key": "b", "wall": 100.6, "worker": "w2",
+         "error": "boom"},
+    ]
+
+
+class TestJournalSummary:
+    def test_cell_sets_reconstruct_from_lifecycle(self):
+        summary = journal_summary(lifecycle_records())
+        assert summary["campaign"] == "demo"
+        assert summary["state"] == "running"
+        assert summary["cells"] == {
+            "queued": 1, "running": 0, "done": 2, "failed": 1,
+        }
+        assert summary["workers"] == ["w1", "w2"]
+        assert summary["elapsed_s"] == pytest.approx(0.6)
+        gauges = summary["stats"]["gauges"]
+        assert gauges["journal.cells.done"] == 2
+        assert gauges["journal.workers"] == 2
+
+    def test_expired_cells_requeue(self):
+        records = lifecycle_records() + [
+            {"ev": "claimed", "key": "c", "wall": 100.7, "worker": "w1"},
+            {"ev": "expired", "key": "c", "wall": 101.5, "worker": "parent"},
+        ]
+        summary = journal_summary(records)
+        assert summary["cells"]["queued"] == 1
+        assert summary["cells"]["running"] == 0
+
+    def test_cell_payloads_merge_when_no_snapshot(self):
+        summary = journal_summary(lifecycle_records())
+        assert summary["stats"]["counters"]["builder.commits"] == 3
+
+    def test_snapshot_beats_cell_payloads(self):
+        records = lifecycle_records() + [
+            {"ev": "snapshot", "wall": 100.8, "worker": "parent",
+             "stats": {"counters": {"builder.commits": 10}}},
+        ]
+        summary = journal_summary(records)
+        assert summary["stats"]["counters"]["builder.commits"] == 10
+
+    def test_campaign_end_beats_everything(self):
+        records = lifecycle_records() + [
+            {"ev": "snapshot", "wall": 100.8, "worker": "parent",
+             "stats": {"counters": {"builder.commits": 10}}},
+            {"ev": "campaign_end", "wall": 101.0, "worker": "parent",
+             "stats": {"counters": {"builder.commits": 42}}},
+        ]
+        summary = journal_summary(records)
+        assert summary["state"] == "finished"
+        assert summary["stats"]["counters"]["builder.commits"] == 42
+
+    def test_accepts_a_journal_path(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl") as journal:
+            journal.emit("campaign_start", name="fs")
+            journal.emit("settled", key="k")
+        summary = journal_summary(tmp_path / "j.jsonl")
+        assert summary["campaign"] == "fs"
+        assert summary["cells"]["done"] == 1
+
+    def test_empty_journal_is_idle(self):
+        summary = journal_summary([])
+        assert summary["state"] == "idle"
+        assert summary["records"] == 0
+        assert summary["cells"]["done"] == 0

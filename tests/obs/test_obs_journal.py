@@ -1,0 +1,156 @@
+"""Durable event journal: atomic appends, torn tails, decision neutrality.
+
+The journal follows the result cache's durability discipline (one
+atomic ``O_APPEND`` write per record, readers skip torn tails, writers
+heal them) and must be strictly decision-neutral: a campaign run with
+the journal on produces bit-identical cells and cache rows to one with
+it off.
+"""
+
+import json
+
+from repro.campaign import CampaignSpec, HeuristicSpec, ResultCache, run_campaign
+from repro.obs import Journal, collect, read_journal
+from repro.obs.journal import (
+    JOURNAL_FILENAME,
+    JOURNAL_SCHEMA_VERSION,
+    journal_path,
+)
+
+
+def spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="neutrality",
+        testbeds=["fork-join"],
+        sizes=[5, 7],
+        heuristics=[HeuristicSpec.of("heft")],
+        models=["one-port"],
+        seeds=[0],
+    )
+
+
+class TestWriter:
+    def test_records_are_self_identifying(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl") as journal:
+            record = journal.emit("claimed", key="k1", ttl=5.0)
+        assert record["v"] == JOURNAL_SCHEMA_VERSION
+        assert record["ev"] == "claimed"
+        assert record["worker"] == "parent"
+        assert record["key"] == "k1" and record["ttl"] == 5.0
+        assert isinstance(record["pid"], int)
+        assert isinstance(record["wall"], float)
+        assert isinstance(record["mono"], float)
+        (read_back,) = read_journal(tmp_path / "j.jsonl")
+        assert read_back == json.loads(json.dumps(record))
+
+    def test_explicit_fields_override_identity_stamps(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl") as journal:
+            record = journal.emit("completed", worker="w-9", key="k")
+        assert record["worker"] == "w-9"
+
+    def test_open_is_lazy(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        assert not (tmp_path / "j.jsonl").exists()
+        journal.emit("x")
+        assert (tmp_path / "j.jsonl").exists()
+        journal.close()
+
+    def test_two_writers_interleave_whole_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, worker="a") as one, Journal(path, worker="b") as two:
+            for i in range(20):
+                (one if i % 2 else two).emit("tick", i=i)
+        records = read_journal(path)
+        assert sorted(r["i"] for r in records) == list(range(20))
+        assert {r["worker"] for r in records} == {"a", "b"}
+
+    def test_torn_tail_is_healed_by_the_next_writer(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.emit("first")
+        with path.open("a") as fh:
+            fh.write('{"ev": "torn')  # crash mid-append, no newline
+        assert [r["ev"] for r in read_journal(path)] == ["first"]
+        with Journal(path) as journal:
+            journal.emit("second")
+        # the healed record parses; the torn fragment stays skipped
+        assert [r["ev"] for r in read_journal(path)] == ["first", "second"]
+
+    def test_counts_events_under_a_collector(self, tmp_path):
+        with collect() as stats, Journal(tmp_path / "j.jsonl") as journal:
+            journal.emit("a")
+            journal.emit("b")
+        assert stats.counters["journal.events"] == 2
+
+
+class TestReader:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_journal(tmp_path / "absent.jsonl") == []
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"ev": "good", "v": 1}\n'
+            "not json at all\n"
+            '["ev", "not-a-dict"]\n'
+            '{"no_ev_field": 1}\n'
+            '{"ev": "also-good"}\n'
+        )
+        assert [r["ev"] for r in read_journal(path)] == ["good", "also-good"]
+
+    def test_journal_path_resolves_spool_dirs(self, tmp_path):
+        assert journal_path(tmp_path) == tmp_path / JOURNAL_FILENAME
+        file = tmp_path / "explicit.jsonl"
+        assert journal_path(file) == file
+
+
+class TestDecisionNeutrality:
+    def test_journal_on_off_bit_identical_cells_and_cache(self, tmp_path):
+        """Tentpole guard: the journal observes, never steers — cells,
+        metrics, and durable cache rows match byte for byte with it on
+        or off."""
+        plain_cache = ResultCache(tmp_path / "plain")
+        with collect() as plain_stats:
+            plain = run_campaign(spec(), workers=1, cache=plain_cache)
+
+        journaled_cache = ResultCache(tmp_path / "journaled")
+        with collect() as journaled_stats:
+            journaled = run_campaign(
+                spec(), workers=1, cache=journaled_cache,
+                journal=tmp_path / "journal.jsonl",
+            )
+
+        def cells(result):
+            return [
+                {k: v for k, v in o.result.as_dict().items() if k != "runtime_s"}
+                for o in result.outcomes
+            ]
+
+        assert cells(plain) == cells(journaled)
+
+        def cache_keys(cache):
+            return {
+                json.loads(line)["key"]
+                for line in cache.path.read_text().splitlines()
+                if line.strip()
+            }
+
+        assert cache_keys(plain_cache) == cache_keys(journaled_cache)
+        # identical decision-relevant counters: only the journal's own
+        # bookkeeping may differ between the two runs
+        strip = lambda c: {k: v for k, v in c.items()  # noqa: E731
+                           if not k.startswith("journal.")}
+        assert strip(plain_stats.counters) == strip(journaled_stats.counters)
+
+        events = [r["ev"] for r in read_journal(tmp_path / "journal.jsonl")]
+        assert events[0] == "campaign_start" and events[-1] == "campaign_end"
+        assert events.count("settled") == 2
+
+    def test_serial_journal_records_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(spec(), workers=1, cache=cache)
+        run_campaign(
+            spec(), workers=1, cache=cache, journal=tmp_path / "warm.jsonl"
+        )
+        events = [r["ev"] for r in read_journal(tmp_path / "warm.jsonl")]
+        assert events.count("cached") == 2 and "settled" not in events

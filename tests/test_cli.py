@@ -342,3 +342,113 @@ class TestObsSurface:
         assert payload["counters"]["campaign.cells"] == 1
         assert payload["counters"]["builder.commits"] > 0
         assert "phase.cell" in payload["timers"]
+
+
+class TestObsJournalCli:
+    GRID = ["--testbeds", "fork-join", "--sizes", "5", "7",
+            "--heuristics", "heft", "--seeds", "0"]
+
+    def run_spooled(self, tmp_path, capsys) -> str:
+        spool = str(tmp_path / "spool")
+        assert main(["campaign", "run", *self.GRID, "--executor", "spool",
+                     "--spool-dir", spool,
+                     "--cache-dir", str(tmp_path / "cache"), "--quiet"]) == 0
+        capsys.readouterr()
+        return spool
+
+    def test_info_json_documents_the_journal(self, capsys):
+        import json
+
+        assert main(["info", "--json"]) == 0
+        obs = json.loads(capsys.readouterr().out)["obs"]
+        assert obs["log_env"] == "REPRO_LOG"
+        assert obs["journal"]["filename"] == "journal.jsonl"
+        assert obs["journal"]["schema_version"] == 1
+        assert obs["export_formats"] == ["json", "prometheus"]
+
+    def test_profile_prints_gauges_and_span_totals(self, capsys, tmp_path):
+        assert main(["--profile", "campaign", "run", *self.GRID,
+                     "--no-cache", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "gauges" in out and "campaign.workers" in out
+        assert "spans" in out and "span(s)" in out
+
+    def test_obs_trace_from_a_spool_journal(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        spool = self.run_spooled(tmp_path, capsys)
+        out_path = tmp_path / "campaign-trace.json"
+        assert main(["obs", "trace", "--journal", spool,
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote campaign trace" in out and "perfetto" in out
+        trace = json.loads(out_path.read_text())
+        assert trace["metadata"]["view"] == "campaign"
+        assert trace["metadata"]["cells_done"] == 2
+        assert len(trace["metadata"]["workers"]) == 1
+        assert validate_trace(trace)["events"] > 0
+
+    def test_obs_export_prometheus_from_a_journal(self, capsys, tmp_path):
+        spool = self.run_spooled(tmp_path, capsys)
+        assert main(["obs", "export", "--journal", spool,
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_journal_cells_done 2" in out
+        assert "# TYPE repro_journal_cells_done gauge" in out
+
+    def test_obs_export_json_summary(self, capsys, tmp_path):
+        import json
+
+        spool = self.run_spooled(tmp_path, capsys)
+        assert main(["obs", "export", "--journal", spool,
+                     "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["state"] == "finished"
+        assert summary["cells"]["done"] == 2
+        assert summary["lifecycle"]["completed"] == 2
+
+    def test_obs_export_from_a_metrics_payload(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        assert main(["campaign", "run", *self.GRID, "--no-cache", "--quiet",
+                     "--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "export", "--metrics", str(metrics),
+                     "--format", "prometheus"]) == 0
+        assert "repro_campaign_cells_total 2" in capsys.readouterr().out
+
+    def test_obs_export_empty_journal_exits_1(self, capsys, tmp_path):
+        assert main(["obs", "export", "--journal",
+                     str(tmp_path / "nope.jsonl")]) == 1
+
+    def test_status_watch_renders_a_finished_campaign(self, capsys, tmp_path):
+        """Acceptance: --watch works from journal + spool dir alone,
+        long after the campaign parent exited."""
+        spool = self.run_spooled(tmp_path, capsys)
+        assert main(["campaign", "status", "--spool-dir", spool,
+                     "--watch"]) == 0
+        out = capsys.readouterr().out
+        assert "finished" in out and "2 done" in out
+
+    def test_status_text_shows_worker_health(self, capsys, tmp_path):
+        spool = self.run_spooled(tmp_path, capsys)
+        assert main(["campaign", "status", "--spool-dir", spool]) == 0
+        out = capsys.readouterr().out
+        assert "workers" in out and "2 done" in out
+
+    def test_metrics_interval_snapshots_while_running(self, capsys, tmp_path):
+        from repro.obs import read_journal
+
+        journal = tmp_path / "j.jsonl"
+        # enough cells that the campaign comfortably outlives the first
+        # 1ms snapshot tick
+        grid = ["--testbeds", "lu", "--sizes", "10", "14", "18", "22",
+                "--heuristics", "heft", "ilha:b=8"]
+        assert main(["campaign", "run", *grid, "--no-cache", "--quiet",
+                     "--journal", str(journal),
+                     "--metrics-interval", "0.001"]) == 0
+        records = read_journal(journal)
+        events = [r["ev"] for r in records]
+        assert events.count("snapshot") >= 1
+        assert events[-1] == "campaign_end"
