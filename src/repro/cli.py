@@ -94,6 +94,11 @@ from .kernel.backends import (
     current_backend_name,
     set_backend,
 )
+from .kernel.cext_backend import (
+    cext_available,
+    cext_build_info,
+    cext_import_error,
+)
 from .models import available_models
 from .obs import (
     JOURNAL_FILENAME,
@@ -140,6 +145,15 @@ def _cmd_info(args) -> int:
                 "backends": available_backends(),
             },
             "backend": current_backend_name(),
+            "backends": {
+                "registered": available_backends(),
+                "active": current_backend_name(),
+                "cext": {
+                    "available": cext_available(),
+                    "import_error": cext_import_error(),
+                    "build_info": cext_build_info(),
+                },
+            },
             "obs": {
                 "enabled": obs_enabled(),
                 "metrics": metric_names(),
@@ -170,6 +184,12 @@ def _cmd_info(args) -> int:
         f"  kernel backends   : {', '.join(available_backends())}"
         f" (active: {current_backend_name()})"
     )
+    if cext_available():
+        info = cext_build_info() or {}
+        built = info.get("compiler") or "compiled"
+        print(f"  cext engine       : available ({built})")
+    else:
+        print(f"  cext engine       : not built ({cext_import_error()})")
     print(
         f"  obs metrics       : {len(metric_names())} registered "
         f"(collect with --profile)"

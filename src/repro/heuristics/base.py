@@ -41,6 +41,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable, Hashable, Iterable, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
+from time import perf_counter
 
 from ..core.exceptions import ConfigurationError, SchedulingError
 from ..core.platform import Platform
@@ -52,6 +53,7 @@ from ..models import make_model
 from ..models.base import CommTrial, CommunicationModel
 from ..obs import current as _obs_current
 from ..obs import get_logger as _get_logger
+from ..obs import stage_detail as _stage_detail
 
 TaskId = Hashable
 PriorityKey = Callable[[TaskId], tuple]
@@ -288,12 +290,22 @@ class SchedulerState:
     ) -> Candidate:
         builder = self.builder
         builder.gen += 1  # begin_trial: rejecting this candidate is free
-        if self._stats is not None:
-            self._stats.inc("builder.candidates")
+        stats = self._stats
+        detail = stats is not None and _stage_detail()
+        if stats is not None:
+            stats.inc("builder.candidates")
+        if detail:
+            t0 = perf_counter()
         est = self.booker.trial_est(parents, proc)
+        if detail:
+            stats.add_time("stage.seed", perf_counter() - t0)
         duration = self.kernel.exec_[ti][proc]
         if self.insertion if insertion is None else insertion:
+            if detail:
+                t0 = perf_counter()
             start = row_next_fit(builder.rows_s[proc], builder.rows_e[proc], est, duration)
+            if detail:
+                stats.add_time("stage.gap", perf_counter() - t0)
         else:
             ce = builder.rows_e[proc]
             last = ce[-1] if ce else 0.0
@@ -378,6 +390,9 @@ class SchedulerState:
         bf = bs = _INF
         bp = None
         stats = self._stats
+        detail = stats is not None and _stage_detail()
+        if detail:
+            t_sweep = perf_counter()
         for proc in procs:
             duration = exec_row[proc]
             if prunable and maxpf + duration > bf:
@@ -393,13 +408,21 @@ class SchedulerState:
             builder.gen += 1  # begin_trial
             if stats is not None:
                 stats.inc("builder.candidates")
+            if detail:
+                t0 = perf_counter()
             est = booker.trial_est(flat, proc, bf if prunable else _INF, duration)
+            if detail:
+                stats.add_time("stage.seed", perf_counter() - t0)
             if prunable and est + duration > bf:
                 if stats is not None:
                     stats.inc("builder.prune.abort")
                 continue  # provably worse (possibly aborted mid-booking)
             if use_insertion:
+                if detail:
+                    t0 = perf_counter()
                 start = row_next_fit(rows_s[proc], ce, est, duration)
+                if detail:
+                    stats.add_time("stage.gap", perf_counter() - t0)
             else:
                 start = est if est >= last else last
             finish = start + duration
@@ -407,6 +430,8 @@ class SchedulerState:
                 finish == bf and (start < bs or (start == bs and proc < bp))
             ):
                 bf, bs, bp = finish, start, proc
+        if detail:
+            stats.add_time("stage.sweep", perf_counter() - t_sweep)
         if bp is None:
             raise SchedulingError(f"no candidate processors for task {task!r}")
         return Candidate(task, bp, bs, bf)
@@ -453,8 +478,14 @@ class SchedulerState:
         """
         task = candidate.task
         ti = self.kernel.intern(task)
+        stats = self._stats
+        detail = stats is not None and _stage_detail()
+        if detail:
+            t0 = perf_counter()
         self._commit_comms(task, ti, candidate.proc)
         self._place(task, ti, candidate.proc, candidate.start, candidate.finish)
+        if detail:
+            stats.add_time("stage.commit", perf_counter() - t0)
 
     def schedule_on(
         self, task: TaskId, proc: int, insertion: bool | None = None
@@ -462,7 +493,13 @@ class SchedulerState:
         """Evaluate-and-commit ``task`` on a fixed processor (one pass)."""
         ti = self.kernel.intern(task)
         builder = self.builder
+        stats = self._stats
+        detail = stats is not None and _stage_detail()
+        if detail:
+            t0 = perf_counter()
         est = self._commit_comms(task, ti, proc)
+        if detail:
+            stats.add_time("stage.commit", perf_counter() - t0)
         duration = self.kernel.exec_[ti][proc]
         if self.insertion if insertion is None else insertion:
             # committed transfer windows of this very task (no-overlap
@@ -509,7 +546,13 @@ class SchedulerState:
     def restore(self, mark) -> None:
         """Roll back to ``mark``, undoing bookings/placements/events."""
         cursor, place_cursor, events_len = mark
+        stats = self._stats
+        detail = stats is not None and _stage_detail()
+        if detail:
+            t0 = perf_counter()
         self.builder.rollback(cursor)
+        if detail:
+            stats.add_time("stage.journal", perf_counter() - t0)
         tasks = self.kernel.tasks
         log = self._place_log
         for ti in reversed(log[place_cursor:]):

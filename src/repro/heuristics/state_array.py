@@ -33,9 +33,11 @@ asserts this over every registered heuristic × flat model × testbed.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
+from time import perf_counter
 
 from ..core.exceptions import SchedulingError
 from ..kernel.array_backend import GapRows
+from ..obs import stage_detail as _stage_detail
 from .base import Candidate, SchedulerState
 
 TaskId = Hashable
@@ -98,6 +100,11 @@ class ArraySchedulerState(SchedulerState):
             # path also carries the per-probe missing-link checks
             self._commit_key = None
             return super().best_candidate(task, procs, insertion)
+        # stage.sweep is recorded here only on the fused paths; the
+        # scalar delegations above/below record it in the base sweep
+        detail = self._stats is not None and _stage_detail()
+        if detail:
+            t_sweep = perf_counter()
         ti = kernel.intern(task)
         flat = self._parents(ti)
         builder = self.builder
@@ -122,6 +129,8 @@ class ArraySchedulerState(SchedulerState):
                     self._commit_events = bev
                 else:
                     self._commit_key = None
+                if detail:
+                    self._stats.add_time("stage.sweep", perf_counter() - t_sweep)
                 return Candidate(task, bp, bs, bf)
             self._commit_key = None
             return super().best_candidate(task, procs, insertion)
@@ -195,6 +204,8 @@ class ArraySchedulerState(SchedulerState):
             self._commit_events = bev
         else:
             self._commit_key = None
+        if detail:
+            self._stats.add_time("stage.sweep", perf_counter() - t_sweep)
         return Candidate(task, bp, bs, bf)
 
     def evaluate_all(
@@ -256,6 +267,9 @@ class ArraySchedulerState(SchedulerState):
             task = candidate.task
             ti = self.kernel.intern(task)
             if key == (ti, self.builder.commit_count, candidate.proc):
+                detail = self._stats is not None and _stage_detail()
+                if detail:
+                    t0 = perf_counter()
                 events = self._commit_events
                 self.booker.commit_resolved(events, candidate.proc)
                 if events:
@@ -266,6 +280,8 @@ class ArraySchedulerState(SchedulerState):
                     for e, q, start, dur in events:
                         record(tasks[esrc[e]], task, q, proc, start, dur, edata[e])
                 self._place(task, ti, candidate.proc, candidate.start, candidate.finish)
+                if detail:
+                    self._stats.add_time("stage.commit", perf_counter() - t0)
                 return
         super().commit(candidate)
 

@@ -76,6 +76,7 @@ class KernelStatics:
         "exec_np",
         "_exec_order",
         "link_rows",
+        "_cext",
     )
 
     def __init__(self, graph: TaskGraph, platform: Platform) -> None:
@@ -174,6 +175,9 @@ class KernelStatics:
         #: True when every link is finite: hot loops skip the per-edge
         #: ``isfinite`` guard that partially connected platforms need.
         self.all_links_finite: bool = platform.is_fully_connected()
+        #: Lazily-built flattened mirror for the compiled backend (see
+        #: :func:`repro.kernel.cext_backend.engine_statics`).
+        self._cext = None
 
     def exec_order(self) -> list[list[int]]:
         """Per task, the processors in increasing execution-time order.

@@ -76,6 +76,8 @@ from .registry import (
     enabled,
     metric_names,
     span,
+    stage_detail,
+    stage_detail_scope,
 )
 from .trace import (
     campaign_trace,
@@ -108,6 +110,8 @@ __all__ = [
     "read_journal",
     "schedule_trace",
     "span",
+    "stage_detail",
+    "stage_detail_scope",
     "validate_trace",
     "write_trace",
 ]

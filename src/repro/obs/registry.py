@@ -79,6 +79,14 @@ CATALOG: dict[str, tuple[str, str]] = {
     "journal.cells.done": ("gauge", "cells completed, settled, or cached"),
     "journal.cells.failed": ("gauge", "cells that completed with an error"),
     "journal.workers": ("gauge", "distinct workers seen in the journal"),
+    # per-stage booking-loop timers (bench_sched --stages): only
+    # recorded while :func:`stage_detail_scope` is active, so routine
+    # stats-on runs never pay per-candidate clock reads
+    "stage.sweep": ("seconds", "all-processor candidate sweep per task"),
+    "stage.seed": ("seconds", "message booking / seed resolution (trial_est)"),
+    "stage.gap": ("seconds", "compute-slot gap search"),
+    "stage.commit": ("seconds", "commit re-derivation + placement booking"),
+    "stage.journal": ("seconds", "undo-journal rollbacks"),
     # wall-clock phase timers (also recorded as spans for the trace)
     "phase.statics": ("seconds", "static cost compilation (ranks, frontiers)"),
     "phase.rank": ("seconds", "priority/rank computation"),
@@ -94,6 +102,30 @@ CATALOG: dict[str, tuple[str, str]] = {
 def metric_names() -> list[str]:
     """Sorted names of every registered metric."""
     return sorted(CATALOG)
+
+
+#: Per-stage booking-loop timers are opt-in: timing every candidate's
+#: gap search / seed resolution costs two clock reads per probe, far
+#: too much for routine stats-on runs (the bench's stats-overhead
+#: guard).  ``bench_sched --stages`` flips this for its timed region.
+_STAGE_DETAIL = False
+
+
+def stage_detail() -> bool:
+    """Whether the ``stage.*`` booking-loop timers are active."""
+    return _STAGE_DETAIL
+
+
+@contextmanager
+def stage_detail_scope():
+    """Enable the ``stage.*`` timers for the dynamic extent of the block."""
+    global _STAGE_DETAIL
+    prev = _STAGE_DETAIL
+    _STAGE_DETAIL = True
+    try:
+        yield
+    finally:
+        _STAGE_DETAIL = prev
 
 
 class Stats:

@@ -1,17 +1,20 @@
-"""Cross-backend equivalence: numpy array backend vs pure Python.
+"""Cross-backend equivalence: numpy and cext backends vs pure Python.
 
 The acceptance property of the backend registry: for every registered
-heuristic x flat-capable model x testbed, the ``numpy`` backend
-(``ArraySchedulerState``: fused sweeps, gap-indexed rows, frontier
-propagation) produces *bit-identical* schedules — placements, starts,
-finishes, and communication events, exact float equality — to the
-pure-Python default.
+heuristic x flat-capable model x testbed, the accelerated backends —
+``numpy`` (``ArraySchedulerState``: fused sweeps, gap-indexed rows,
+frontier propagation) and ``cext`` (``CextSchedulerState``: the
+compiled C booking engine) — produce *bit-identical* schedules:
+placements, starts, finishes, and communication events, exact float
+equality, against the pure-Python default.
 
 Also here: the backend registry surface (selection precedence, unknown
 names, the ``REPRO_BACKEND`` environment channel) and the
 fallback-visibility regressions — a model without a flat booker must
-say so (one ``repro.heuristics`` log warning) and record the active
-engine in ``Schedule.state_impl``.
+say so (one ``repro.heuristics`` log warning), a ``cext`` selection
+without the compiled extension must degrade to the pure-Python state
+with one ``repro.kernel`` warning, and ``Schedule.state_impl`` must
+record the engine that actually ran.
 """
 
 import logging
@@ -25,7 +28,7 @@ from repro.core.exceptions import ConfigurationError
 from repro.graphs import irregular_testbed, layered_testbed, lu_graph
 from repro.heuristics import available_schedulers, get_scheduler
 from repro.heuristics.base import _FALLBACK_WARNED
-from repro.kernel import backends
+from repro.kernel import backends, cext_backend
 from repro.kernel.backends import (
     available_backends,
     current_backend_name,
@@ -33,7 +36,18 @@ from repro.kernel.backends import (
     set_backend,
     use_backend,
 )
+from repro.kernel.cext_backend import cext_available
 from repro.models import RoutedOnePortModel, make_model
+
+#: The accelerated backends under test, each compared against the
+#: pure-Python reference; cext rows skip when the extension isn't built.
+needs_cext = pytest.mark.skipif(
+    not cext_available(), reason="cext extension not built"
+)
+ACCEL_BACKENDS = [
+    pytest.param("numpy"),
+    pytest.param("cext", marks=needs_cext),
+]
 
 TESTBEDS = {
     "lu": lambda: lu_graph(8),
@@ -66,47 +80,51 @@ def assert_identical(a, b):
     assert a.makespan() == b.makespan()
 
 
-def run_both_backends(scheduler, graph, platform, model_name):
-    with use_backend("python"):
-        ref = scheduler.run(graph, platform, make_model(platform, model_name))
-    with use_backend("numpy"):
-        arr = scheduler.run(graph, platform, make_model(platform, model_name))
-    return ref, arr
+def run_on_backend(scheduler, graph, platform, model_name, backend):
+    with use_backend(backend):
+        return scheduler.run(graph, platform, make_model(platform, model_name))
 
 
+@pytest.mark.parametrize("backend", ACCEL_BACKENDS)
 @pytest.mark.parametrize("model_name", MODELS)
 @pytest.mark.parametrize("testbed", sorted(TESTBEDS))
 @pytest.mark.parametrize(
     "name",
     [n for n in available_schedulers() if SCHEDULER_KWARGS.get(n, {}) is not None],
 )
-def test_numpy_matches_python_for_every_heuristic(
-    name, testbed, model_name, paper_platform
+def test_accel_matches_python_for_every_heuristic(
+    name, testbed, model_name, backend, paper_platform
 ):
     scheduler = get_scheduler(name, **SCHEDULER_KWARGS.get(name, {}))
     graph = TESTBEDS[testbed]()
-    ref, arr = run_both_backends(scheduler, graph, paper_platform, model_name)
-    assert_identical(ref, arr)
+    ref = run_on_backend(scheduler, graph, paper_platform, model_name, "python")
+    acc = run_on_backend(scheduler, graph, paper_platform, model_name, backend)
+    assert_identical(ref, acc)
 
 
 @pytest.mark.parametrize("name", ["heft", "ilha"])
-@pytest.mark.parametrize("seed", [0, 11])
+@pytest.mark.parametrize("seed", [0, 11, 23])
 def test_large_irregular_fuzz(name, seed, paper_platform):
     """1000-task instances push rows past the gap-index threshold, so
     the indexed scans, mirror extension, and the dirty-watermark
-    invalidation all run — and must not move a single float."""
+    invalidation all run — and, on cext, the C engine's realloc'd rows,
+    journal, and seed memo — and must not move a single float."""
     graph = irregular_testbed(1000, seed=seed)
     scheduler = get_scheduler(name)
-    ref, arr = run_both_backends(scheduler, graph, paper_platform, "one-port")
-    assert_identical(ref, arr)
+    ref = run_on_backend(scheduler, graph, paper_platform, "one-port", "python")
+    for backend in ["numpy"] + (["cext"] if cext_available() else []):
+        acc = run_on_backend(scheduler, graph, paper_platform, "one-port", backend)
+        assert_identical(ref, acc)
 
 
-def test_fixed_allocation_equivalence(paper_platform):
+@pytest.mark.parametrize("backend", ACCEL_BACKENDS)
+def test_fixed_allocation_equivalence(backend, paper_platform):
     graph = lu_graph(6)
     alloc = {t: i % paper_platform.num_processors for i, t in enumerate(graph)}
     scheduler = get_scheduler("fixed", alloc=alloc)
-    ref, arr = run_both_backends(scheduler, graph, paper_platform, "one-port")
-    assert_identical(ref, arr)
+    ref = run_on_backend(scheduler, graph, paper_platform, "one-port", "python")
+    acc = run_on_backend(scheduler, graph, paper_platform, "one-port", backend)
+    assert_identical(ref, acc)
 
 
 def test_state_impl_recorded_per_backend(paper_platform):
@@ -120,13 +138,21 @@ def test_state_impl_recorded_per_backend(paper_platform):
     assert sched.state_impl == "flat-numpy"
 
 
+@needs_cext
+def test_state_impl_recorded_for_cext(paper_platform):
+    with use_backend("cext"):
+        sched = get_scheduler("heft").run(lu_graph(4), paper_platform, "one-port")
+    assert sched.state_impl == "flat-cext"
+    assert sched.summary()["state_impl"] == "flat-cext"
+
+
 # ----------------------------------------------------------------------
 # registry surface
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_both_backends_registered(self):
+    def test_all_backends_registered(self):
         names = available_backends()
-        assert "python" in names and "numpy" in names
+        assert "python" in names and "numpy" in names and "cext" in names
 
     def test_default_is_python(self, monkeypatch):
         monkeypatch.delenv(backends.BACKEND_ENV, raising=False)
@@ -137,6 +163,19 @@ class TestRegistry:
         monkeypatch.setenv(backends.BACKEND_ENV, "numpy")
         monkeypatch.setattr(backends, "_ACTIVE", None)
         assert current_backend_name() == "numpy"
+
+    def test_environment_channel_cext(self, monkeypatch):
+        """cext is selectable through REPRO_BACKEND regardless of
+        whether the extension is built — degradation happens at state
+        construction, not at registry lookup."""
+        monkeypatch.setenv(backends.BACKEND_ENV, "cext")
+        monkeypatch.setattr(backends, "_ACTIVE", None)
+        assert current_backend_name() == "cext"
+
+    def test_explicit_cext_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "numpy")
+        with use_backend("cext"):
+            assert current_backend_name() == "cext"
 
     def test_unknown_environment_value_falls_back(self, monkeypatch):
         monkeypatch.setenv(backends.BACKEND_ENV, "fortran")
@@ -207,3 +246,53 @@ class TestFallbackVisibility:
         with caplog.at_level(logging.WARNING, logger="repro.heuristics"):
             get_scheduler("heft").run(lu_graph(4), paper_platform, "one-port")
         assert not [r for r in caplog.records if "no flat booker" in r.getMessage()]
+
+
+# ----------------------------------------------------------------------
+# graceful degradation without a compiler: simulate the extension being
+# absent (the state every user without a C toolchain is in)
+# ----------------------------------------------------------------------
+class TestCextGracefulDegradation:
+    @pytest.fixture()
+    def no_extension(self, monkeypatch):
+        monkeypatch.setattr(cext_backend, "_cext", None)
+        monkeypatch.setattr(
+            cext_backend, "_IMPORT_ERROR",
+            "No module named 'repro.kernel._cext'",
+        )
+        monkeypatch.setattr(cext_backend, "_WARNED", False)
+
+    def test_availability_probes(self, no_extension):
+        assert not cext_backend.cext_available()
+        assert "repro.kernel._cext" in cext_backend.cext_import_error()
+        assert cext_backend.cext_build_info() is None
+
+    def test_backend_still_registered(self, no_extension):
+        assert "cext" in available_backends()
+        assert get_backend("cext").state_class() is None
+
+    def test_falls_back_to_python_state_with_one_warning(
+        self, no_extension, paper_platform, caplog
+    ):
+        graph = lu_graph(6)
+        with caplog.at_level(logging.WARNING, logger="repro.kernel"):
+            with use_backend("cext"):
+                sched = get_scheduler("heft").run(graph, paper_platform, "one-port")
+                again = get_scheduler("heft").run(graph, paper_platform, "one-port")
+        # ran, on the pure-Python state, and recorded what actually ran
+        assert sched.state_impl == "flat-python"
+        assert again.state_impl == "flat-python"
+        warnings = [
+            r for r in caplog.records
+            if "compiled extension is not available" in r.getMessage()
+        ]
+        assert len(warnings) == 1, "expected exactly one fallback warning"
+        assert warnings[0].name == "repro.kernel"
+        assert "build_ext" in warnings[0].getMessage()
+
+    def test_fallback_schedule_matches_python(self, no_extension, paper_platform):
+        graph = irregular_testbed(40, seed=3)
+        scheduler = get_scheduler("ilha", b=4)
+        ref = run_on_backend(scheduler, graph, paper_platform, "one-port", "python")
+        fb = run_on_backend(scheduler, graph, paper_platform, "one-port", "cext")
+        assert_identical(ref, fb)

@@ -17,7 +17,8 @@ from repro.graphs import layered_testbed, lu_graph
 from repro.heuristics import available_schedulers, get_scheduler
 from repro.heuristics.base import make_model
 from repro.kernel.backends import use_backend
-from repro.obs import collect
+from repro.kernel.cext_backend import cext_available
+from repro.obs import collect, stage_detail_scope
 
 #: Constructor overrides; ``None`` excludes a scheduler from the sweep
 #: (``fixed`` needs a per-graph allocation, ``ils`` goes through replay
@@ -31,7 +32,7 @@ SCHEDULER_KWARGS = {
 #: Every model with a flat booker (the instrumented construction path).
 MODELS = ["one-port", "macro-dataflow", "uni-port", "no-overlap"]
 
-BACKENDS = ["python", "numpy"]
+BACKENDS = ["python", "numpy"] + (["cext"] if cext_available() else [])
 
 SWEEP = [n for n in available_schedulers() if SCHEDULER_KWARGS.get(n, {}) is not None]
 
@@ -63,6 +64,23 @@ def test_construction_identical_with_stats(name, model_name, backend, paper_plat
     # is a lower bound, not an equality)
     assert on.state_impl != "object"
     assert stats.counters.get("builder.commits", 0) >= len(on.placements)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stage_timers_are_opt_in(backend, paper_platform):
+    """The per-stage breakdown timers (``stage.*``) only record inside
+    :func:`stage_detail_scope` — and must stay decision-neutral there."""
+    graph = lu_graph(6)
+    with use_backend(backend):
+        with collect() as plain_stats:
+            off = get_scheduler("heft").run(graph, paper_platform, "one-port")
+        with collect() as stats, stage_detail_scope():
+            on = get_scheduler("heft").run(graph, paper_platform, "one-port")
+    assert not any(n.startswith("stage.") for n in plain_stats.timers)
+    staged = {n for n in stats.timers if n.startswith("stage.")}
+    assert "stage.sweep" in staged and "stage.commit" in staged
+    assert stats.timers["stage.sweep"][1] > 0.0
+    assert_identical(off, on)
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
